@@ -1,0 +1,85 @@
+// Ablation: the paper's footnote 1 assumes 2-way Cascade evaluates joins
+// "in the optimal order". This sweep quantifies how much the order
+// matters: a chain query over relations of very different sizes and
+// selectivities is evaluated in every valid order, reporting intermediate
+// volume and modeled time.
+
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "common/str_format.h"
+#include "core/optimizer.h"
+#include "core/runner.h"
+#include "query/parser.h"
+#include "table_bench.h"
+
+namespace mwsj::bench {
+namespace {
+
+int Main() {
+  ThreadPool pool;
+  const BenchEnv env = BenchEnv::FromEnvironment(&pool);
+  const Query query = ParseQuery("R1 OV R2 AND R2 OV R3").value();
+  PrintHeader(
+      "Ablation — 2-way Cascade join order (skewed chain: small R1, huge "
+      "dense R2/R3)",
+      query.ToString(), env);
+
+  const Rect space = ScaledSyntheticSpace(env);
+  // R1 is small and sparse; R2 and R3 are large with fat rectangles, so
+  // starting with R2xR3 creates a giant intermediate result.
+  const std::vector<std::vector<Rect>> data = {
+      ScaledSyntheticRelation(env, 200'000, 100, 100, 1),
+      ScaledSyntheticRelation(env, 2'000'000, 300, 300, 2),
+      ScaledSyntheticRelation(env, 2'000'000, 300, 300, 3),
+  };
+
+  const std::vector<std::vector<int>> orders = {
+      {0, 1, 2},  // Selective first (the good plan).
+      {1, 0, 2}, {1, 2, 0}, {2, 1, 0},  // Start from the dense side.
+  };
+
+  std::printf("%-12s %-12s %-16s %-12s\n", "order", "wall s",
+              "intermediates(m)", "modeled s");
+  for (const auto& order : orders) {
+    RunnerOptions options;
+    options.algorithm = Algorithm::kTwoWayCascade;
+    options.grid_rows = 8;
+    options.grid_cols = 8;
+    options.space = space;
+    options.cascade_order = order;
+    options.count_only = true;
+    options.pool = env.pool;
+    Stopwatch watch;
+    const auto result = RunSpatialJoin(query, data, options);
+    if (!result.ok()) {
+      std::printf("order failed: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    const double wall = watch.ElapsedSeconds();
+    const std::string name = StrFormat("R%d,R%d,R%d", order[0] + 1,
+                                       order[1] + 1, order[2] + 1);
+    std::printf(
+        "%-12s %-12.2f %-16s %-12.1f\n", name.c_str(), wall,
+        FormatMillions(
+            static_cast<double>(
+                result.value().stats.TotalIntermediateRecords()) /
+            env.scale)
+            .c_str(),
+        env.model.RunSeconds(result.value().stats));
+  }
+  const std::vector<int> chosen = OptimizeCascadeOrder(query, data);
+  std::printf("sampling optimizer picks: R%d,R%d,R%d\n", chosen[0] + 1,
+              chosen[1] + 1, chosen[2] + 1);
+  PrintNote(
+      "expected: orders that defer the small selective relation shuffle an "
+      "order of magnitude more intermediate records — the paper's 'optimal "
+      "order' assumption is load-bearing for the Cascade baseline, and the "
+      "sampling optimizer recovers a cheap order automatically.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mwsj::bench
+
+int main() { return mwsj::bench::Main(); }

@@ -1,0 +1,89 @@
+// Ablation: uniform vs equi-depth reducer grids under spatial skew.
+// The paper partitions the space into equal cells (§5.1); on clustered
+// data like road networks that leaves some reducers idle and others
+// overloaded. The equi-depth extension places grid lines at data
+// quantiles. This sweep compares reducer balance and end-to-end cost on
+// the California workload.
+
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "common/str_format.h"
+#include "core/runner.h"
+#include "table_bench.h"
+
+namespace mwsj::bench {
+namespace {
+
+int Main() {
+  ThreadPool pool;
+  const BenchEnv env = BenchEnv::FromEnvironment(&pool);
+  QueryBuilder qb;
+  const int a = qb.AddRelation("Road1");
+  const int b = qb.AddRelation("Road2");
+  const int c = qb.AddRelation("Road3");
+  qb.AddOverlap(a, b).AddOverlap(b, c);
+  const Query query = qb.Build().value();
+  PrintHeader(
+      "Ablation — uniform vs equi-depth partitioning on clustered road data "
+      "(Q2s, C-Rep)",
+      query.ToString(), env);
+
+  const Rect space = ScaledCaliforniaSpace(env);
+  const std::vector<Rect> roads = ScaledCaliforniaRoads(env, 2'092'079, 2000);
+  const std::vector<std::vector<Rect>> data = {roads, roads, roads};
+  std::printf("roads: %zu\n", roads.size());
+
+  std::printf("%-11s %-10s %-16s %-16s %-12s %-14s\n", "grid", "wall s",
+              "mark max/avg", "join max/avg", "idle cells", "shuffled (m)");
+  for (const Partitioning partitioning :
+       {Partitioning::kUniform, Partitioning::kEquiDepth}) {
+    RunnerOptions options;
+    options.algorithm = Algorithm::kControlledReplicate;
+    options.grid_rows = 8;
+    options.grid_cols = 8;
+    options.partitioning = partitioning;
+    options.space = space;
+    options.count_only = true;
+    options.pool = env.pool;
+    Stopwatch watch;
+    const auto result = RunSpatialJoin(query, data, options);
+    if (!result.ok()) {
+      std::printf("failed: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    const double wall = watch.ElapsedSeconds();
+    const JobStats& mark_job = result.value().stats.jobs.front();
+    const JobStats& join_job = result.value().stats.jobs.back();
+    int idle = 0;
+    for (int64_t records : join_job.per_reducer_records) {
+      if (records == 0) ++idle;
+    }
+    auto skew = [](const JobStats& job) {
+      const double avg = static_cast<double>(job.intermediate_records) /
+                         job.num_reducers;
+      return avg > 0 ? static_cast<double>(job.MaxReducerRecords()) / avg : 0;
+    };
+    std::printf(
+        "%-11s %-10.2f %-16.2f %-16.2f %-12d %-14s\n",
+        partitioning == Partitioning::kUniform ? "uniform" : "equi-depth",
+        wall, skew(mark_job), skew(join_job), idle,
+        FormatMillions(
+            static_cast<double>(
+                result.value().stats.TotalIntermediateRecords()) /
+            env.scale)
+            .c_str());
+  }
+  PrintNote(
+      "expected: the quantile grid balances the split-driven round-1 "
+      "(marking) load; the join round stays skewed either way because f1 "
+      "replication concentrates copies toward bottom-right reducers — "
+      "balancing that round needs a different replication quadrant per "
+      "region, which the paper notes is an arbitrary choice (§6.1).");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mwsj::bench
+
+int main() { return mwsj::bench::Main(); }

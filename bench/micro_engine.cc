@@ -1,0 +1,94 @@
+// Micro-benchmarks for the map-reduce engine substrate: shuffle and
+// grouping throughput bounds every algorithm's fixed costs.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "mapreduce/engine.h"
+
+namespace mwsj {
+namespace {
+
+using IntJob = MapReduceJob<int64_t, int32_t, int64_t, int64_t>;
+
+void BM_ShuffleThroughput(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<int64_t> input;
+  input.reserve(static_cast<size_t>(n));
+  Rng rng(1);
+  for (int64_t i = 0; i < n; ++i) input.push_back(rng.Next() >> 1);
+  for (auto _ : state) {
+    IntJob job("shuffle", 64);
+    job.set_partition([](const int32_t& k) { return k & 63; });
+    job.set_map([](const int64_t& v, IntJob::Emitter& emit) {
+      emit.Emit(static_cast<int32_t>(v % 64), v);
+    });
+    job.set_reduce([](const int32_t&, std::span<const int64_t> vals,
+                      IntJob::OutEmitter& out) {
+      int64_t sum = 0;
+      for (int64_t v : vals) sum += v;
+      out.Emit(sum);
+    });
+    std::vector<int64_t> output;
+    const JobStats stats = job.Run(std::span<const int64_t>(input), &output);
+    benchmark::DoNotOptimize(stats.intermediate_records);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ShuffleThroughput)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_FanOutAmplification(benchmark::State& state) {
+  // Each input record emits `fan` intermediate pairs — the replication
+  // pattern of All-Replicate.
+  const int fan = static_cast<int>(state.range(0));
+  std::vector<int64_t> input(20'000);
+  for (size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<int64_t>(i);
+  }
+  for (auto _ : state) {
+    IntJob job("fanout", 64);
+    job.set_partition([](const int32_t& k) { return k & 63; });
+    job.set_map([fan](const int64_t& v, IntJob::Emitter& emit) {
+      for (int f = 0; f < fan; ++f) {
+        emit.Emit(static_cast<int32_t>((v + f) % 64), v);
+      }
+    });
+    job.set_reduce([](const int32_t&, std::span<const int64_t> vals,
+                      IntJob::OutEmitter& out) {
+      out.Emit(static_cast<int64_t>(vals.size()));
+    });
+    std::vector<int64_t> output;
+    const JobStats stats = job.Run(std::span<const int64_t>(input), &output);
+    benchmark::DoNotOptimize(stats.intermediate_records);
+  }
+  state.SetItemsProcessed(state.iterations() * 20'000 * fan);
+}
+BENCHMARK(BM_FanOutAmplification)->Arg(1)->Arg(4)->Arg(20);
+
+void BM_GroupingManyKeys(benchmark::State& state) {
+  // Many distinct keys per reducer stress the sort-and-group phase.
+  const int64_t keys = state.range(0);
+  std::vector<int64_t> input(200'000);
+  Rng rng(3);
+  for (auto& v : input) v = rng.UniformInt(0, keys - 1);
+  for (auto _ : state) {
+    IntJob job("grouping", 16);
+    job.set_map([](const int64_t& v, IntJob::Emitter& emit) {
+      emit.Emit(static_cast<int32_t>(v), v);
+    });
+    job.set_reduce([](const int32_t&, std::span<const int64_t> vals,
+                      IntJob::OutEmitter& out) {
+      out.Emit(static_cast<int64_t>(vals.size()));
+    });
+    std::vector<int64_t> output;
+    job.Run(std::span<const int64_t>(input), &output);
+    benchmark::DoNotOptimize(output.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 200'000);
+}
+BENCHMARK(BM_GroupingManyKeys)->Arg(16)->Arg(4096)->Arg(100'000);
+
+}  // namespace
+}  // namespace mwsj
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Micro-benchmarks for the geometry kernel: the predicates run once per
+// candidate pair in every reducer.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "geometry/polygon.h"
+#include "geometry/rect.h"
+
+namespace mwsj {
+namespace {
+
+std::vector<Rect> MakeRects(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Rect> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(Rect::FromXYLB(rng.Uniform(0, 900), rng.Uniform(100, 1000),
+                                 rng.Uniform(0, 100), rng.Uniform(0, 100)));
+  }
+  return out;
+}
+
+void BM_Overlaps(benchmark::State& state) {
+  const auto rects = MakeRects(1024, 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Overlaps(rects[i & 1023], rects[(i * 7 + 13) & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Overlaps);
+
+void BM_MinDistance(benchmark::State& state) {
+  const auto rects = MakeRects(1024, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MinDistance(rects[i & 1023], rects[(i * 7 + 13) & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_MinDistance);
+
+void BM_Intersection(benchmark::State& state) {
+  const auto rects = MakeRects(1024, 3);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Intersection(rects[i & 1023], rects[(i * 3 + 5) & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Intersection);
+
+void BM_PolygonIntersects(benchmark::State& state) {
+  const int sides = static_cast<int>(state.range(0));
+  Rng rng(4);
+  std::vector<Polygon> polys;
+  for (int i = 0; i < 256; ++i) {
+    polys.push_back(Polygon::RegularNGon(
+        Point{rng.Uniform(0, 1000), rng.Uniform(0, 1000)},
+        rng.Uniform(10, 80), sides, rng.Uniform(0, 1)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        polys[i & 255].Intersects(polys[(i * 11 + 3) & 255]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PolygonIntersects)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PolygonMinDistance(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<Polygon> polys;
+  for (int i = 0; i < 256; ++i) {
+    polys.push_back(Polygon::RegularNGon(
+        Point{rng.Uniform(0, 5000), rng.Uniform(0, 5000)},
+        rng.Uniform(10, 40), 12, rng.Uniform(0, 1)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        polys[i & 255].MinDistanceTo(polys[(i * 11 + 3) & 255]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PolygonMinDistance);
+
+}  // namespace
+}  // namespace mwsj
+
+BENCHMARK_MAIN();

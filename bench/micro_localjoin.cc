@@ -1,0 +1,112 @@
+// Micro-benchmarks for the reducer-side join kernels: STR R-tree build and
+// probe, plane sweep, and the multiway backtracking join.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "localjoin/multiway.h"
+#include "localjoin/plane_sweep.h"
+#include "localjoin/rtree.h"
+#include "query/query.h"
+
+namespace mwsj {
+namespace {
+
+std::vector<Rect> MakeRects(int n, uint64_t seed, double space = 10'000,
+                            double max_dim = 60) {
+  Rng rng(seed);
+  std::vector<Rect> rects;
+  rects.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double l = rng.Uniform(0, max_dim);
+    const double b = rng.Uniform(0, max_dim);
+    rects.push_back(
+        Rect::FromXYLB(rng.Uniform(0, space - l), rng.Uniform(b, space), l, b));
+  }
+  return rects;
+}
+
+void BM_RTreeBuild(benchmark::State& state) {
+  const auto rects = MakeRects(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    RTree tree(rects);
+    benchmark::DoNotOptimize(&tree);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RTreeOverlapProbe(benchmark::State& state) {
+  const auto rects = MakeRects(static_cast<int>(state.range(0)), 2);
+  const RTree tree(rects);
+  const auto probes = MakeRects(512, 3);
+  std::vector<int32_t> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    tree.CollectOverlapping(probes[i & 511], &out);
+    benchmark::DoNotOptimize(out.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_RTreeOverlapProbe)->Arg(1000)->Arg(100000);
+
+void BM_RTreeDistanceProbe(benchmark::State& state) {
+  const auto rects = MakeRects(static_cast<int>(state.range(0)), 4);
+  const RTree tree(rects);
+  const auto probes = MakeRects(512, 5);
+  std::vector<int32_t> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    tree.CollectWithinDistance(probes[i & 511], 100.0, &out);
+    benchmark::DoNotOptimize(out.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_RTreeDistanceProbe)->Arg(1000)->Arg(100000);
+
+void BM_PlaneSweepOverlap(benchmark::State& state) {
+  const auto a = MakeRects(static_cast<int>(state.range(0)), 6);
+  const auto b = MakeRects(static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) {
+    int64_t pairs = 0;
+    PlaneSweepJoin(a, b, Predicate::Overlap(),
+                   [&pairs](int32_t, int32_t) { ++pairs; });
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * state.range(0));
+}
+BENCHMARK(BM_PlaneSweepOverlap)->Arg(1000)->Arg(20000);
+
+void BM_MultiwayLocalJoinChain3(benchmark::State& state) {
+  const Query query = MakeChainQuery(3, Predicate::Overlap()).value();
+  const int n = static_cast<int>(state.range(0));
+  std::vector<std::vector<LocalRect>> locals;
+  for (uint64_t r = 0; r < 3; ++r) {
+    const auto rects = MakeRects(n, 10 + r);
+    std::vector<LocalRect> local;
+    local.reserve(rects.size());
+    for (size_t i = 0; i < rects.size(); ++i) {
+      local.push_back(LocalRect{rects[i], static_cast<int64_t>(i)});
+    }
+    locals.push_back(std::move(local));
+  }
+  for (auto _ : state) {
+    std::vector<std::span<const LocalRect>> spans;
+    for (const auto& l : locals) spans.emplace_back(l.data(), l.size());
+    MultiwayLocalJoin join(query, std::move(spans));
+    int64_t tuples = 0;
+    join.Execute([&tuples](const std::vector<const LocalRect*>&) {
+      ++tuples;
+    });
+    benchmark::DoNotOptimize(tuples);
+  }
+  state.SetItemsProcessed(state.iterations() * 3 * n);
+}
+BENCHMARK(BM_MultiwayLocalJoinChain3)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace mwsj
+
+BENCHMARK_MAIN();

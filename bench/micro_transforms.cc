@@ -1,0 +1,103 @@
+// Micro-benchmarks for the grid substrate: the transform operations of §4
+// run once per rectangle per job, so their throughput bounds the map
+// phase.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "grid/transform.h"
+
+namespace mwsj {
+namespace {
+
+std::vector<Rect> MakeRects(int n, double space, double max_dim) {
+  Rng rng(42);
+  std::vector<Rect> rects;
+  rects.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double l = rng.Uniform(0, max_dim);
+    const double b = rng.Uniform(0, max_dim);
+    rects.push_back(
+        Rect::FromXYLB(rng.Uniform(0, space - l), rng.Uniform(b, space), l, b));
+  }
+  return rects;
+}
+
+void BM_CellOfPoint(benchmark::State& state) {
+  const GridPartition grid =
+      GridPartition::Create(Rect(0, 0, 100'000, 100'000), 8, 8).value();
+  const auto rects = MakeRects(1024, 100'000, 100);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.CellOfPoint(rects[i & 1023].start_point()));
+    ++i;
+  }
+}
+BENCHMARK(BM_CellOfPoint);
+
+void BM_SplitCells(benchmark::State& state) {
+  const GridPartition grid =
+      GridPartition::Create(Rect(0, 0, 100'000, 100'000), 8, 8).value();
+  const auto rects = MakeRects(1024, 100'000, state.range(0));
+  std::vector<CellId> cells;
+  size_t i = 0;
+  for (auto _ : state) {
+    cells.clear();
+    SplitCells(grid, rects[i & 1023], &cells);
+    benchmark::DoNotOptimize(cells.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_SplitCells)->Arg(100)->Arg(5000)->Arg(40000);
+
+void BM_ReplicateF1(benchmark::State& state) {
+  const GridPartition grid =
+      GridPartition::Create(Rect(0, 0, 100'000, 100'000), 8, 8).value();
+  const auto rects = MakeRects(1024, 100'000, 100);
+  std::vector<CellId> cells;
+  size_t i = 0;
+  for (auto _ : state) {
+    cells.clear();
+    ReplicateF1Cells(grid, rects[i & 1023], &cells);
+    benchmark::DoNotOptimize(cells.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_ReplicateF1);
+
+void BM_ReplicateF2(benchmark::State& state) {
+  const GridPartition grid =
+      GridPartition::Create(Rect(0, 0, 100'000, 100'000), 8, 8).value();
+  const auto rects = MakeRects(1024, 100'000, 100);
+  const double d = static_cast<double>(state.range(0));
+  std::vector<CellId> cells;
+  size_t i = 0;
+  for (auto _ : state) {
+    cells.clear();
+    ReplicateF2Cells(grid, rects[i & 1023], d, DistanceMetric::kChebyshev,
+                     &cells);
+    benchmark::DoNotOptimize(cells.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_ReplicateF2)->Arg(100)->Arg(20000);
+
+void BM_EnlargedSplit(benchmark::State& state) {
+  const GridPartition grid =
+      GridPartition::Create(Rect(0, 0, 100'000, 100'000), 8, 8).value();
+  const auto rects = MakeRects(1024, 100'000, 100);
+  std::vector<CellId> cells;
+  size_t i = 0;
+  for (auto _ : state) {
+    cells.clear();
+    EnlargedSplitCells(grid, rects[i & 1023], 500.0, &cells);
+    benchmark::DoNotOptimize(cells.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_EnlargedSplit);
+
+}  // namespace
+}  // namespace mwsj
+
+BENCHMARK_MAIN();

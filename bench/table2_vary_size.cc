@@ -1,0 +1,109 @@
+// Reproduces Table 2 of the paper: query Q2 = R1 Ov R2 ∧ R2 Ov R3 over
+// synthetic uniform data (100K x 100K, dims in (0,100)), varying the
+// relation size nI from 1 to 5 million, comparing 2-way Cascade,
+// All-Replicate, C-Rep and C-Rep-L on end-to-end time and on the number
+// of rectangles replicated / communicated after replication.
+//
+// Expected shape (the paper's finding): All-Rep degrades fastest (its
+// communication is ~20x the input), Cascade degrades with the growing
+// intermediate results, and C-Rep/C-Rep-L stay cheap with replication
+// around 1/20th of the input and C-Rep-L shipping fewer copies.
+
+#include <cstdio>
+
+#include "common/str_format.h"
+#include "query/parser.h"
+#include "table_bench.h"
+
+namespace mwsj::bench {
+namespace {
+
+struct PaperRow {
+  int64_t paper_n;        // Rectangles per relation in the paper's run.
+  const char* cascade;    // Paper's hh:mm columns.
+  const char* all_rep;
+  const char* c_rep;
+  const char* c_rep_l;
+  const char* rep_all;    // Paper's replication columns.
+  const char* rep_crep;
+  const char* rep_crepl;
+};
+
+constexpr PaperRow kRows[] = {
+    {1'000'000, "00:05", "00:32", "00:05", "00:05", "3, (64.3)",
+     "0.05, (3.9)", "0.05 (3.0)"},
+    {2'000'000, "00:10", "01:22", "00:07", "00:07", "6, (128.7)",
+     "0.1, (7.6)", "0.1 (6.1)"},
+    {3'000'000, "00:13", ">03:00", "00:08", "00:09", "9, (-)",
+     "0.19, (12.5)", "0.19 (9.2)"},
+    {4'000'000, "00:24", ">03:00", "00:11", "00:11", "12, (-)",
+     "0.23, (15.6)", "0.23 (12.2)"},
+    {5'000'000, "00:35", ">03:00", "00:15", "00:13", "15, (-)",
+     "0.31 (19.8)", "0.31 (17.9)"},
+};
+
+int Main() {
+  ThreadPool pool;
+  const BenchEnv env = BenchEnv::FromEnvironment(&pool);
+  const Query query = ParseQuery("R1 OV R2 AND R2 OV R3").value();
+  PrintHeader("Table 2 — Q2, varying the dataset size (nI 1..5 million)",
+              query.ToString(), env);
+
+  const Rect space = ScaledSyntheticSpace(env);
+  std::printf("%-5s %-15s %-9s %-24s %-28s\n", "nI", "algorithm",
+              "paper", "measured time", "replicated (paper | measured)");
+
+  for (size_t row = 0; row < std::size(kRows); ++row) {
+    const PaperRow& paper = kRows[row];
+    std::vector<std::vector<Rect>> data;
+    for (uint64_t r = 0; r < 3; ++r) {
+      data.push_back(ScaledSyntheticRelation(env, paper.paper_n, 100, 100,
+                                             1000 * (row + 1) + r));
+    }
+
+    const Measured cascade =
+        RunMeasured(env, query, data, space, Algorithm::kTwoWayCascade);
+    // The paper aborts All-Replicate beyond nI=2m (">03:00"); mirror that
+    // unless the caller insists.
+    Measured all_rep;
+    if (row < 2 || std::getenv("MWSJ_BENCH_ALLREP_ALL") != nullptr) {
+      all_rep =
+          RunMeasured(env, query, data, space, Algorithm::kAllReplicate);
+    }
+    const Measured c_rep = RunMeasured(env, query, data, space,
+                                       Algorithm::kControlledReplicate);
+    const Measured c_rep_l = RunMeasured(
+        env, query, data, space, Algorithm::kControlledReplicateInLimit);
+
+    const double n_millions =
+        static_cast<double>(paper.paper_n) / 1'000'000;
+    std::printf("%-5.0f %-15s %-9s %-24s %-28s\n", n_millions, "Cascade",
+                paper.cascade, TimeCell(cascade).c_str(), "");
+    std::printf("%-5s %-15s %-9s %-24s %s | %s\n", "", "All-Rep",
+                paper.all_rep, TimeCell(all_rep).c_str(), paper.rep_all,
+                ReplicationCell(all_rep).c_str());
+    std::printf("%-5s %-15s %-9s %-24s %s | %s\n", "", "C-Rep", paper.c_rep,
+                TimeCell(c_rep).c_str(), paper.rep_crep,
+                ReplicationCell(c_rep).c_str());
+    std::printf("%-5s %-15s %-9s %-24s %s | %s\n", "", "C-Rep-L",
+                paper.c_rep_l, TimeCell(c_rep_l).c_str(), paper.rep_crepl,
+                ReplicationCell(c_rep_l).c_str());
+    if (c_rep.ran && cascade.ran) {
+      std::printf(
+          "      -> output ~%s tuples at paper scale; C-Rep vs Cascade "
+          "speedup (modeled): %.2fx\n",
+          FormatMillions(static_cast<double>(c_rep.output_tuples) / env.scale)
+              .c_str(),
+          cascade.modeled_seconds / c_rep.modeled_seconds);
+    }
+  }
+  PrintNote(
+      "shape check: All-Rep communication ~20x input and worst time; "
+      "C-Rep(-L) replicate a few percent of the input and win at every nI.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mwsj::bench
+
+int main() { return mwsj::bench::Main(); }

@@ -1,0 +1,97 @@
+// Reproduces Table 4 of the paper: the self-join Q2s = R Ov R ∧ R Ov R
+// (road triples rd1-rd2-rd3) over the California road dataset (nI = 2
+// million MBBs), densified by enlarging every MBB by a factor k from 1.0
+// to 2.0. Larger k -> more overlaps -> bigger output; the paper shows
+// C-Rep beating Cascade in every row, with C-Rep-L slightly ahead.
+//
+// The paper's replication column for the California tables counts
+// replicated copies only (0.8m-1.33m), so that is what the measured cell
+// shows here.
+
+#include <cstdio>
+
+#include "common/str_format.h"
+#include "datagen/synthetic.h"
+#include "table_bench.h"
+
+namespace mwsj::bench {
+namespace {
+
+struct PaperRow {
+  double k;
+  double row_scale;
+  const char* cascade;
+  const char* c_rep;
+  const char* c_rep_l;
+  const char* rep_crep;
+  const char* rep_crepl;
+};
+
+constexpr PaperRow kRows[] = {
+    {1.00, 1.0, "00:19", "00:15", "00:14", "0.08, (0.8)", "0.08 (0.64)"},
+    {1.25, 1.0, "00:27", "00:24", "00:21", "0.12, (0.9)", "0.12 (0.65)"},
+    {1.50, 1.0, "00:43", "00:25", "00:24", "0.18, (1.0)", "0.18 (0.66)"},
+    {1.75, 1.0, "01:04", "00:46", "00:42", "0.23, (1.14)", "0.23 (0.67)"},
+    {2.00, 1.0, "01:35", "00:57", "00:53", "0.32, (1.33)", "0.32 (0.68)"},
+};
+
+int Main() {
+  ThreadPool pool;
+  const BenchEnv base_env = BenchEnv::FromEnvironment(&pool);
+  // Three roles over one dataset: Road1 Ov Road2 ∧ Road2 Ov Road3.
+  QueryBuilder qb;
+  const int a = qb.AddRelation("Road1");
+  const int b = qb.AddRelation("Road2");
+  const int c = qb.AddRelation("Road3");
+  qb.AddOverlap(a, b).AddOverlap(b, c);
+  const Query query = qb.Build().value();
+
+  PrintHeader(
+      "Table 4 — Q2s (road triples) on California road data, varying the "
+      "enlargement factor k",
+      query.ToString(), base_env);
+  std::printf("%-5s %-15s %-9s %-24s %-28s\n", "k", "algorithm", "paper",
+              "measured time", "replicated copies (paper | measured)");
+
+  for (const PaperRow& paper : kRows) {
+    const BenchEnv env = base_env.WithRowScale(paper.row_scale);
+    const Rect space = ScaledCaliforniaSpace(env);
+    const std::vector<Rect> roads = ClampInto(
+        EnlargeDataset(ScaledCaliforniaRoads(env, 2'092'079, 2000), paper.k),
+        space);
+    const std::vector<std::vector<Rect>> data = {roads, roads, roads};
+
+    const Measured cascade =
+        RunMeasured(env, query, data, space, Algorithm::kTwoWayCascade);
+    const Measured c_rep = RunMeasured(env, query, data, space,
+                                       Algorithm::kControlledReplicate);
+    const Measured c_rep_l = RunMeasured(
+        env, query, data, space, Algorithm::kControlledReplicateInLimit);
+
+    std::printf("%-5.2f %-15s %-9s %-24s (row scale %g)\n", paper.k,
+                "Cascade", paper.cascade, TimeCell(cascade).c_str(),
+                env.scale);
+    std::printf("%-5s %-15s %-9s %-24s %s | %s\n", "", "C-Rep", paper.c_rep,
+                TimeCell(c_rep).c_str(), paper.rep_crep,
+                ReplicationCopiesCell(c_rep).c_str());
+    std::printf("%-5s %-15s %-9s %-24s %s | %s\n", "", "C-Rep-L",
+                paper.c_rep_l, TimeCell(c_rep_l).c_str(), paper.rep_crepl,
+                ReplicationCopiesCell(c_rep_l).c_str());
+    if (c_rep.ran) {
+      std::printf("      -> output ~%s road triples at paper scale\n",
+                  FormatMillions(
+                      static_cast<double>(c_rep.output_tuples) / env.scale)
+                      .c_str());
+    }
+  }
+  PrintNote(
+      "shape check: every algorithm slows as k grows; C-Rep beats Cascade "
+      "throughout, and C-Rep-L's copy count stays nearly flat with k "
+      "(paper: 0.64 -> 0.68) while C-Rep's rises (0.8 -> 1.33).");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mwsj::bench
+
+int main() { return mwsj::bench::Main(); }

@@ -1,0 +1,131 @@
+#ifndef MWSJ_BENCH_TABLE_BENCH_H_
+#define MWSJ_BENCH_TABLE_BENCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/runner.h"
+#include "geometry/rect.h"
+#include "mapreduce/cost_model.h"
+#include "query/query.h"
+
+namespace mwsj::bench {
+
+/// Shared harness for the table-reproduction benchmarks.
+///
+/// The paper runs 1-5 million rectangles per relation on a 16-node Hadoop
+/// cluster; these binaries run a density-preserving scaled world on one
+/// process: counts shrink by `scale`, the coordinate space side shrinks by
+/// sqrt(scale), and rectangle dimensions / range distances stay at their
+/// paper values. This keeps the spatial density — and therefore the
+/// expected number of join partners per rectangle, the size of every
+/// intermediate result *relative to its input*, and the per-reducer work
+/// per record — identical to the paper's workload, which is what the
+/// paper's algorithm comparison hinges on. Two quantities do not survive
+/// scaling with the reducer grid fixed at the paper's 8x8: output-tuple
+/// counts shrink linearly (reported extrapolated by 1/scale), and the
+/// probability that a rectangle crosses a (now smaller) cell boundary is
+/// inflated, so C-Rep's replicated fraction is an upper bound on the
+/// paper's — still far below All-Replicate's 100%, which preserves the
+/// ranking.
+///
+/// MWSJ_BENCH_SCALE overrides the default scale (e.g. =1 reproduces the
+/// full-size world; expect hours, like the paper).
+struct BenchEnv {
+  double scale = 0.02;
+  double length_scale = 0.1414;  // sqrt(scale), cached.
+  ThreadPool* pool = nullptr;
+  CostModel model;
+
+  static BenchEnv FromEnvironment(ThreadPool* pool);
+
+  /// A copy of this environment with `scale *= factor`. High-selectivity
+  /// rows (huge outputs even in the paper) run at a smaller per-row scale
+  /// so every bench binary completes in seconds; the row printers show the
+  /// effective scale.
+  BenchEnv WithRowScale(double factor) const;
+
+  /// Scales a paper-world count (e.g. nI = 2'000'000) to this run.
+  int64_t Count(int64_t paper_count) const;
+  /// Scales a paper-world space extent (coordinates only — rectangle
+  /// dimensions and range distances are used unscaled).
+  double SpaceLength(double paper_length) const;
+};
+
+/// One algorithm execution on one configuration.
+struct Measured {
+  bool ran = false;
+  double wall_seconds = 0;
+  /// Modeled cluster seconds at PAPER scale (counters extrapolated by
+  /// 1/scale before applying the cost model).
+  double modeled_seconds = 0;
+  /// Counters extrapolated to paper scale.
+  double replicated = 0;
+  double after_replication = 0;  // Projections + copies (Table 2 style).
+  double copies = 0;             // Replicated copies only (Table 4 style).
+  int64_t output_tuples = 0;
+};
+
+/// Runs `algorithm` on the given world using the paper's 8x8 reducer grid.
+/// Output tuples are counted, not materialized — unless `distinct_ids` is
+/// requested (self-join road triples), which needs the ids.
+Measured RunMeasured(const BenchEnv& env, const Query& query,
+                     const std::vector<std::vector<Rect>>& relations,
+                     const Rect& space, Algorithm algorithm,
+                     bool distinct_ids = false);
+
+/// Generates the paper's synthetic relation (§7.8.2 defaults: uniform
+/// everything, 100K x 100K space, dims in (0, lmax/bmax)), already scaled
+/// into this run's world.
+std::vector<Rect> ScaledSyntheticRelation(const BenchEnv& env,
+                                          int64_t paper_count,
+                                          double paper_lmax, double paper_bmax,
+                                          uint64_t seed);
+
+/// The scaled synthetic space matching ScaledSyntheticRelation.
+Rect ScaledSyntheticSpace(const BenchEnv& env);
+
+/// California roads, scaled into this run's world by *cropping*: the full
+/// `paper_count`-road dataset is generated (optionally Bernoulli-sampled
+/// with `sample_p`, as the paper's Tables 7/9 do with p=0.5) and the roads
+/// inside the window [0, 63K*sqrt(scale)] x [0, 100K*sqrt(scale)] are
+/// kept. Cropping preserves the local clustering and MBB size statistics
+/// exactly — contracting positions would compress road corridors and
+/// inflate local density.
+std::vector<Rect> ScaledCaliforniaRoads(const BenchEnv& env,
+                                        int64_t paper_count, uint64_t seed,
+                                        double sample_p = 1.0);
+
+/// The scaled California space.
+Rect ScaledCaliforniaSpace(const BenchEnv& env);
+
+/// Shifts every rectangle the minimum amount needed to lie inside `space`
+/// (dimensions preserved, capped at the space extent). Used after §7.8.6
+/// factor-enlargement, which can push border rectangles outside.
+std::vector<Rect> ClampInto(const std::vector<Rect>& rects, const Rect& space);
+
+// ---- Table formatting -----------------------------------------------------
+
+/// Prints the bench banner: table name, query, scale, grid.
+void PrintHeader(const std::string& table, const std::string& query_text,
+                 const BenchEnv& env);
+
+/// Formats a Measured cell as "hh:mm (wall 1.2s)" or "-" when not run.
+std::string TimeCell(const Measured& m);
+
+/// Formats the paper's "#replicated, (after replication)" cell from a
+/// Measured, in millions at paper scale. The synthetic tables (2, 3, 5,
+/// 6, 8) report the total rectangles received by the join round; the
+/// California tables (4, 7, 9) report replicated copies only — matching
+/// how the paper's respective tables count (see core/records.h).
+std::string ReplicationCell(const Measured& m);
+std::string ReplicationCopiesCell(const Measured& m);
+
+/// Prints a final free-text note (shape checks, skipped rows).
+void PrintNote(const std::string& note);
+
+}  // namespace mwsj::bench
+
+#endif  // MWSJ_BENCH_TABLE_BENCH_H_

@@ -1,0 +1,42 @@
+#ifndef MWSJ_COMMON_RANDOM_H_
+#define MWSJ_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace mwsj {
+
+/// Deterministic, seedable PRNG (xoshiro256**). Used everywhere instead of
+/// <random> engines so that datasets, shuffles, and property tests are
+/// reproducible across platforms and standard-library versions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi; returns lo when equal.
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Bernoulli trial with probability `p` of returning true.
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace mwsj
+
+#endif  // MWSJ_COMMON_RANDOM_H_

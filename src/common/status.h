@@ -1,0 +1,104 @@
+#ifndef MWSJ_COMMON_STATUS_H_
+#define MWSJ_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mwsj {
+
+/// Error categories used across the library. Modeled after the
+/// Status idiom common in database engines: no exceptions on the
+/// hot path, explicit propagation at module boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// A cheap, copyable success-or-error value. `Status::OK()` carries no
+/// allocation; error statuses carry a code and a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>", for logging and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Returns the enum name of `code`, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A value-or-error result. Callers must check `ok()` before `value()`.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT: implicit by design, mirrors absl.
+      : repr_(std::move(status)) {}
+  StatusOr(T value)  // NOLINT: implicit by design, mirrors absl.
+      : repr_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    // Leaked-singleton OK value: a function-local static Status would have
+    // a non-trivial destructor (static-destruction-order hazard), and
+    // get_if keeps this warning-free where std::get's throwing path
+    // confuses GCC's uninitialized-value analysis.
+    static const Status& kOk = *new Status();
+    const Status* error = std::get_if<Status>(&repr_);
+    return error != nullptr ? *error : kOk;
+  }
+
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define MWSJ_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::mwsj::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+}  // namespace mwsj
+
+#endif  // MWSJ_COMMON_STATUS_H_

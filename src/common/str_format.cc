@@ -1,0 +1,22 @@
+#include "common/str_format.h"
+
+#include <cmath>
+
+namespace mwsj {
+
+std::string FormatHhMm(double seconds) {
+  if (seconds < 0) seconds = 0;
+  const long total_minutes = std::lround(seconds / 60.0);
+  const long hh = total_minutes / 60;
+  const long mm = total_minutes % 60;
+  return StrFormat("%02ld:%02ld", hh, mm);
+}
+
+std::string FormatMillions(double count) {
+  const double millions = count / 1e6;
+  if (millions >= 100.0) return StrFormat("%.0fm", millions);
+  if (millions >= 1.0) return StrFormat("%.1fm", millions);
+  return StrFormat("%.2fm", millions);
+}
+
+}  // namespace mwsj

@@ -1,0 +1,56 @@
+#ifndef MWSJ_COMMON_THREAD_POOL_H_
+#define MWSJ_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mwsj {
+
+/// A fixed-size worker pool. The map-reduce engine uses one pool for the map
+/// phase and one for the reduce phase; tasks are closures and `Wait()`
+/// blocks until the queue drains. The pool is intentionally minimal — no
+/// futures, no priorities — because the engine only ever runs
+/// fork-join-style batches.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers. `num_threads == 0` selects
+  /// `std::thread::hardware_concurrency()` (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // Queued + currently-running tasks.
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace mwsj
+
+#endif  // MWSJ_COMMON_THREAD_POOL_H_

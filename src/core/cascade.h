@@ -1,0 +1,44 @@
+#ifndef MWSJ_CORE_CASCADE_H_
+#define MWSJ_CORE_CASCADE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/records.h"
+#include "grid/grid_partition.h"
+#include "query/query.h"
+
+namespace mwsj {
+
+/// The 2-way Cascade baseline (§6.1): the multi-way join runs as a series
+/// of 2-way map-reduce joins, each joining the accumulated intermediate
+/// tuple set with the next relation. Every step re-reads the previous
+/// step's (growing) output and re-writes a larger one — exactly the
+/// read/write amplification the paper criticizes in §6.4 and that the cost
+/// model charges per job.
+///
+/// Each step routes an intermediate tuple by the component that the step's
+/// anchor condition joins (Split for overlap, enlarged-Split for range);
+/// the incoming relation is Split. The §5 pair duplicate-avoidance rule is
+/// applied to the anchor pair, and every other query condition between the
+/// new relation and already-bound relations is checked in the same reduce.
+///
+/// `join_order` optionally overrides the relation evaluation order; it must
+/// be a permutation of all relations in which every relation (after the
+/// first) is connected by a query condition to an earlier one. An empty
+/// order selects a breadth-first order from relation 0 (the paper assumes
+/// "the optimal order", footnote 1; benches can sweep orders).
+/// `count_only` counts the final join output without materializing it
+/// (intermediate results are still fully materialized — they are the point
+/// of this baseline).
+StatusOr<JoinRunResult> CascadeJoin(const Query& query,
+                                    const GridPartition& grid,
+                                    const std::vector<std::vector<Rect>>& relations,
+                                    std::vector<int> join_order = {},
+                                    bool count_only = false,
+                                    ThreadPool* pool = nullptr);
+
+}  // namespace mwsj
+
+#endif  // MWSJ_CORE_CASCADE_H_

@@ -1,0 +1,103 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_format.h"
+
+namespace mwsj {
+
+namespace {
+
+std::string LoadBar(double fraction, int width = 24) {
+  const int filled = static_cast<int>(std::lround(fraction * width));
+  std::string bar;
+  for (int i = 0; i < width; ++i) bar += (i < filled) ? '#' : '.';
+  return bar;
+}
+
+std::string HumanBytes(double bytes) {
+  if (bytes >= 1024.0 * 1024 * 1024) {
+    return StrFormat("%.1f GiB", bytes / (1024.0 * 1024 * 1024));
+  }
+  if (bytes >= 1024.0 * 1024) return StrFormat("%.1f MiB", bytes / (1024.0 * 1024));
+  if (bytes >= 1024.0) return StrFormat("%.1f KiB", bytes / 1024.0);
+  return StrFormat("%.0f B", bytes);
+}
+
+}  // namespace
+
+std::string ExplainRun(const Query& query, const JoinRunResult& result,
+                       const CostModel& model) {
+  std::string out;
+  out += StrFormat("query: %s\n", query.ToString().c_str());
+  out += StrFormat("output tuples: %lld\n",
+                   static_cast<long long>(result.num_tuples));
+
+  for (size_t j = 0; j < result.stats.jobs.size(); ++j) {
+    const JobStats& job = result.stats.jobs[j];
+    out += StrFormat("\njob %zu/%zu: %s\n", j + 1, result.stats.jobs.size(),
+                     job.job_name.c_str());
+    out += StrFormat(
+        "  map: %lld records in (%s); shuffle: %lld records (%s)\n",
+        static_cast<long long>(job.map_input_records),
+        HumanBytes(static_cast<double>(job.map_input_bytes)).c_str(),
+        static_cast<long long>(job.intermediate_records),
+        HumanBytes(static_cast<double>(job.intermediate_bytes)).c_str());
+    out += StrFormat("  reduce: %lld records out across %d reducers\n",
+                     static_cast<long long>(job.reduce_output_records),
+                     job.num_reducers);
+
+    if (!job.per_reducer_records.empty()) {
+      std::vector<int64_t> loads = job.per_reducer_records;
+      std::sort(loads.begin(), loads.end());
+      const int64_t min = loads.front();
+      const int64_t max = loads.back();
+      const int64_t median = loads[loads.size() / 2];
+      const double avg = static_cast<double>(job.intermediate_records) /
+                         static_cast<double>(loads.size());
+      out += StrFormat(
+          "  reducer load: min %lld / median %lld / max %lld (skew %.2fx)\n",
+          static_cast<long long>(min), static_cast<long long>(median),
+          static_cast<long long>(max), avg > 0 ? max / avg : 0.0);
+      // A small load histogram across reducer-id order (spatial layout).
+      if (max > 0 && loads.size() >= 4) {
+        const size_t buckets = std::min<size_t>(8, loads.size());
+        out += "  load by reducer range:\n";
+        const auto& records = job.per_reducer_records;
+        const size_t per_bucket = (records.size() + buckets - 1) / buckets;
+        for (size_t b = 0; b < buckets; ++b) {
+          int64_t sum = 0;
+          size_t count = 0;
+          for (size_t r = b * per_bucket;
+               r < std::min(records.size(), (b + 1) * per_bucket); ++r) {
+            sum += records[r];
+            ++count;
+          }
+          if (count == 0) continue;
+          const double bucket_avg =
+              static_cast<double>(sum) / static_cast<double>(count);
+          out += StrFormat(
+              "    [%3zu..%3zu] %s %.0f\n", b * per_bucket,
+              std::min(records.size(), (b + 1) * per_bucket) - 1,
+              LoadBar(bucket_avg / static_cast<double>(max)).c_str(),
+              bucket_avg);
+        }
+      }
+    }
+    out += StrFormat("  reduce time: total %.3fs, slowest task %.3fs\n",
+                     job.SumReducerSeconds(), job.MaxReducerSeconds());
+    for (const auto& [name, value] : job.user_counters) {
+      out += StrFormat("  counter %s = %lld\n", name.c_str(),
+                       static_cast<long long>(value));
+    }
+  }
+
+  out += StrFormat("\ntotal wall time: %.3fs\n",
+                   result.stats.total_wall_seconds);
+  out += StrFormat("modeled cluster time: %s\n",
+                   FormatHhMm(model.RunSeconds(result.stats)).c_str());
+  return out;
+}
+
+}  // namespace mwsj

@@ -1,0 +1,22 @@
+#ifndef MWSJ_CORE_EXPLAIN_H_
+#define MWSJ_CORE_EXPLAIN_H_
+
+#include <string>
+
+#include "core/records.h"
+#include "mapreduce/cost_model.h"
+#include "query/query.h"
+
+namespace mwsj {
+
+/// Renders a human-readable post-run report of a join execution: one block
+/// per map-reduce job with record/byte volumes, reducer-load distribution
+/// (min / median / max and a load bar), measured reduce time, the
+/// replication counters, and the modeled cluster time. Used by
+/// `mwsj_join --explain` and handy when tuning grid sizes.
+std::string ExplainRun(const Query& query, const JoinRunResult& result,
+                       const CostModel& model = {});
+
+}  // namespace mwsj
+
+#endif  // MWSJ_CORE_EXPLAIN_H_

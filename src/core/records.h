@@ -1,0 +1,63 @@
+#ifndef MWSJ_CORE_RECORDS_H_
+#define MWSJ_CORE_RECORDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/rect.h"
+#include "localjoin/brute_force.h"  // IdTuple
+#include "localjoin/multiway.h"     // LocalRect
+#include "mapreduce/counters.h"
+
+namespace mwsj {
+
+/// A rectangle tagged with its dataset identity — the record type the
+/// spatial map-reduce jobs read and shuffle. `relation` indexes the query's
+/// relation list; `id` identifies the rectangle within its relation
+/// (benches and tests use the position in the input vector).
+struct RelRect {
+  Rect rect;
+  int64_t id = 0;
+  int32_t relation = 0;
+};
+
+/// Round-1 output of Controlled-Replicate (§7.1): every input rectangle,
+/// exactly once, carrying the replication decision flag.
+struct MarkedRect {
+  Rect rect;
+  int64_t id = 0;
+  int32_t relation = 0;
+  bool marked = false;
+};
+
+/// Result of running a multi-way join end to end: the output tuples (one
+/// id per relation, in relation order, lexicographically sorted) plus the
+/// per-job statistics of the run. Runs started with `count_only` leave
+/// `tuples` empty and report only `num_tuples` — benchmarks over
+/// high-selectivity configurations use this to avoid materializing
+/// hundreds of millions of ids.
+struct JoinRunResult {
+  std::vector<IdTuple> tuples;
+  int64_t num_tuples = 0;  // == tuples.size() unless count_only.
+  RunStats stats;
+};
+
+/// Names of the user counters the algorithms export, mirroring the paper's
+/// reported metrics (§7.8.3). The paper's "number of rectangles after
+/// replication" is not used consistently across its tables — Table 2's
+/// values can only be the *total* rectangles received by the join round's
+/// reducers (projections + copies), while Table 4's can only be the
+/// replicated *copies* alone — so both are exported:
+///   * kCounterRectanglesReplicated: rectangles marked for replication;
+///   * kCounterRectanglesAfterReplication: all rectangles received by the
+///     join round (projected once + every replicated copy);
+///   * kCounterReplicationCopies: copies produced for marked rectangles
+///     only.
+inline constexpr char kCounterRectanglesReplicated[] = "rectangles_replicated";
+inline constexpr char kCounterRectanglesAfterReplication[] =
+    "rectangles_after_replication";
+inline constexpr char kCounterReplicationCopies[] = "replication_copies";
+
+}  // namespace mwsj
+
+#endif  // MWSJ_CORE_RECORDS_H_

@@ -1,0 +1,164 @@
+#include "core/runner.h"
+
+#include <algorithm>
+
+#include "common/str_format.h"
+#include "core/all_replicate.h"
+#include "core/cascade.h"
+#include "core/controlled_replicate.h"
+#include "core/optimizer.h"
+#include "localjoin/brute_force.h"
+
+namespace mwsj {
+
+const char* AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kBruteForce:
+      return "BruteForce";
+    case Algorithm::kTwoWayCascade:
+      return "2-way Cascade";
+    case Algorithm::kAllReplicate:
+      return "All-Replicate";
+    case Algorithm::kControlledReplicate:
+      return "C-Rep";
+    case Algorithm::kControlledReplicateInLimit:
+      return "C-Rep-L";
+  }
+  return "Unknown";
+}
+
+Rect ComputeBoundingSpace(const std::vector<std::vector<Rect>>& relations) {
+  bool first = true;
+  Rect space;
+  for (const auto& relation : relations) {
+    for (const Rect& r : relation) {
+      space = first ? r : Rect::Union(space, r);
+      first = false;
+    }
+  }
+  if (first) return Rect(0, 0, 1, 1);  // No data: any non-empty space works.
+  // Grow degenerate extents so the grid has positive cell sizes.
+  if (space.length() <= 0 || space.breadth() <= 0) {
+    space = Rect(space.min_x(), space.min_y() - 1, space.max_x() + 1,
+                 space.max_y());
+  }
+  return space;
+}
+
+namespace {
+
+void FilterDistinctIds(std::vector<IdTuple>* tuples) {
+  tuples->erase(std::remove_if(tuples->begin(), tuples->end(),
+                               [](const IdTuple& t) {
+                                 for (size_t i = 0; i < t.size(); ++i) {
+                                   for (size_t j = i + 1; j < t.size(); ++j) {
+                                     if (t[i] == t[j]) return true;
+                                   }
+                                 }
+                                 return false;
+                               }),
+                tuples->end());
+}
+
+}  // namespace
+
+StatusOr<JoinRunResult> RunSpatialJoin(
+    const Query& query, const std::vector<std::vector<Rect>>& relations,
+    const RunnerOptions& options) {
+  if (static_cast<int>(relations.size()) != query.num_relations()) {
+    return Status::InvalidArgument(
+        StrFormat("query has %d relations but %zu datasets were supplied",
+                  query.num_relations(), relations.size()));
+  }
+
+  const Rect space = options.space.value_or(ComputeBoundingSpace(relations));
+  if (options.space.has_value()) {
+    for (size_t r = 0; r < relations.size(); ++r) {
+      for (const Rect& rect : relations[r]) {
+        if (!space.Contains(rect)) {
+          return Status::InvalidArgument(StrFormat(
+              "relation %zu contains a rectangle outside the declared space",
+              r));
+        }
+      }
+    }
+  }
+  StatusOr<GridPartition> grid = Status::Internal("unreachable");
+  if (options.partitioning == Partitioning::kEquiDepth) {
+    // Sample start points across all relations (bounded, round-robin).
+    std::vector<Rect> sample;
+    constexpr size_t kMaxSample = 20'000;
+    size_t total = 0;
+    for (const auto& rel : relations) total += rel.size();
+    const size_t stride = std::max<size_t>(1, total / kMaxSample);
+    size_t i = 0;
+    for (const auto& rel : relations) {
+      for (const Rect& r : rel) {
+        if (i++ % stride == 0) sample.push_back(r);
+      }
+    }
+    grid = GridPartition::CreateEquiDepth(space, options.grid_rows,
+                                          options.grid_cols, sample);
+  } else {
+    grid = GridPartition::Create(space, options.grid_rows, options.grid_cols);
+  }
+  if (!grid.ok()) return grid.status();
+
+  if (options.count_only && options.distinct_ids) {
+    return Status::InvalidArgument(
+        "count_only cannot be combined with distinct_ids (the filter needs "
+        "materialized tuples)");
+  }
+
+  StatusOr<JoinRunResult> result = Status::Internal("unreachable");
+  switch (options.algorithm) {
+    case Algorithm::kBruteForce: {
+      JoinRunResult r;
+      r.tuples = BruteForceJoin(query, relations);
+      r.num_tuples = static_cast<int64_t>(r.tuples.size());
+      if (options.count_only) r.tuples.clear();
+      result = std::move(r);
+      break;
+    }
+    case Algorithm::kTwoWayCascade: {
+      std::vector<int> order = options.cascade_order;
+      if (order.empty() && options.optimize_cascade_order) {
+        order = OptimizeCascadeOrder(query, relations);
+      }
+      result = CascadeJoin(query, grid.value(), relations, std::move(order),
+                           options.count_only, options.pool);
+      break;
+    }
+    case Algorithm::kAllReplicate:
+      result = AllReplicateJoin(query, grid.value(), relations,
+                                options.count_only, options.pool);
+      break;
+    case Algorithm::kControlledReplicate: {
+      ControlledReplicateOptions crep;
+      crep.limit_replication = false;
+      crep.count_only = options.count_only;
+      result = ControlledReplicateJoin(query, grid.value(), relations, crep,
+                                       options.pool);
+      break;
+    }
+    case Algorithm::kControlledReplicateInLimit: {
+      ControlledReplicateOptions crep;
+      crep.limit_replication = true;
+      crep.limit_metric = options.limit_metric;
+      crep.count_only = options.count_only;
+      result = ControlledReplicateJoin(query, grid.value(), relations, crep,
+                                       options.pool);
+      break;
+    }
+  }
+  if (!result.ok()) return result.status();
+
+  if (options.distinct_ids) {
+    FilterDistinctIds(&result.value().tuples);
+    result.value().num_tuples =
+        static_cast<int64_t>(result.value().tuples.size());
+  }
+  return result;
+}
+
+}  // namespace mwsj

@@ -1,0 +1,91 @@
+#ifndef MWSJ_CORE_RUNNER_H_
+#define MWSJ_CORE_RUNNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/records.h"
+#include "grid/grid_partition.h"
+#include "grid/transform.h"
+#include "query/query.h"
+
+namespace mwsj {
+
+/// The algorithms this library implements, in the paper's terminology.
+enum class Algorithm {
+  kBruteForce,            // single-machine reference, no map-reduce
+  kTwoWayCascade,         // §6.1 baseline: series of 2-way MR joins
+  kAllReplicate,          // §6.1 baseline: replicate everything, one job
+  kControlledReplicate,   // §7/§8/§9: C-Rep, two MR rounds
+  kControlledReplicateInLimit,  // §7.9/§8: C-Rep-L, bounded replication
+};
+
+const char* AlgorithmName(Algorithm a);
+
+/// How the reducer grid's boundary positions are chosen.
+enum class Partitioning {
+  kUniform,    // Equal-sized cells — the paper's setup.
+  kEquiDepth,  // Boundaries at data quantiles: balances reducer input
+               // under spatial skew (extension; see GridPartition).
+};
+
+/// End-to-end configuration for RunSpatialJoin.
+struct RunnerOptions {
+  Algorithm algorithm = Algorithm::kControlledReplicate;
+
+  /// Reducer grid (the paper's experiments use 8x8 = 64 reducers).
+  int grid_rows = 8;
+  int grid_cols = 8;
+
+  /// Boundary placement; kEquiDepth samples the input start points.
+  Partitioning partitioning = Partitioning::kUniform;
+
+  /// The partitioned space. Unset → the bounding box of all input data.
+  std::optional<Rect> space;
+
+  /// C-Rep-L cell-distance metric (see ControlledReplicateOptions).
+  DistanceMetric limit_metric = DistanceMetric::kChebyshev;
+
+  /// Drop output tuples binding the same rectangle id in several roles.
+  /// Convenience for self-joins: "road triples" normally should not list
+  /// one road twice. Incompatible with count_only.
+  bool distinct_ids = false;
+
+  /// Count output tuples without materializing them (see JoinRunResult).
+  bool count_only = false;
+
+  /// Cascade evaluation order override (see CascadeJoin).
+  std::vector<int> cascade_order;
+
+  /// When the order is not overridden, pick it with the sampling-based
+  /// optimizer (core/optimizer.h) instead of the default breadth-first
+  /// order from relation 0.
+  bool optimize_cascade_order = false;
+
+  /// Optional worker pool shared across phases; null = synchronous.
+  ThreadPool* pool = nullptr;
+};
+
+/// Runs the multi-way spatial join `query` over `relations` (one rectangle
+/// dataset per query relation, ids = vector positions) with the selected
+/// algorithm, and returns the duplicate-free output tuples plus run
+/// statistics. All algorithms produce identical tuple sets; they differ in
+/// cost profile.
+///
+/// Self-joins: register the same dataset once per role in the query and
+/// pass it once per role here (datasets are taken by const reference, so
+/// no copy is needed at the call site beyond the vector of vectors).
+StatusOr<JoinRunResult> RunSpatialJoin(
+    const Query& query, const std::vector<std::vector<Rect>>& relations,
+    const RunnerOptions& options);
+
+/// Smallest rectangle containing every rectangle of every relation —
+/// the default partitioned space.
+Rect ComputeBoundingSpace(const std::vector<std::vector<Rect>>& relations);
+
+}  // namespace mwsj
+
+#endif  // MWSJ_CORE_RUNNER_H_

@@ -1,0 +1,41 @@
+#ifndef MWSJ_CORE_TWO_WAY_H_
+#define MWSJ_CORE_TWO_WAY_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/records.h"
+#include "grid/grid_partition.h"
+#include "query/predicate.h"
+
+namespace mwsj {
+
+/// Result of a single 2-way spatial join map-reduce job.
+struct TwoWayJoinOutcome {
+  /// (left id, right id) pairs satisfying the predicate, duplicate-free.
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  JobStats stats;
+};
+
+/// The 2-way spatial join of §5, as one map-reduce job over `grid`.
+///
+/// Overlap predicate (§5.2): both sides are Split; the cell containing the
+/// start point of the overlap area emits the pair.
+///
+/// Range predicate (§5.3): the left side is routed to every cell
+/// overlapping its rectangle enlarged by d, the right side is Split; the
+/// cell containing the start point of (left^e(d) ∩ right) emits the pair
+/// after confirming the exact Euclidean distance (enlarged-overlap alone is
+/// only a necessary condition — the paper's r2' counter-example).
+TwoWayJoinOutcome TwoWaySpatialJoin(const GridPartition& grid,
+                                    const Predicate& predicate,
+                                    std::span<const LocalRect> left,
+                                    std::span<const LocalRect> right,
+                                    ThreadPool* pool = nullptr);
+
+}  // namespace mwsj
+
+#endif  // MWSJ_CORE_TWO_WAY_H_

@@ -1,0 +1,64 @@
+#include "core/verification.h"
+
+#include <algorithm>
+
+#include "common/str_format.h"
+
+namespace mwsj {
+
+Status VerifyJoinResult(const Query& query,
+                        const std::vector<std::vector<Rect>>& relations,
+                        const std::vector<IdTuple>& tuples) {
+  const size_t m = static_cast<size_t>(query.num_relations());
+  if (relations.size() != m) {
+    return Status::InvalidArgument("relation count does not match the query");
+  }
+
+  for (size_t t = 0; t < tuples.size(); ++t) {
+    const IdTuple& tuple = tuples[t];
+    if (tuple.size() != m) {
+      return Status::FailedPrecondition(
+          StrFormat("tuple %zu has %zu components, query has %zu relations",
+                    t, tuple.size(), m));
+    }
+    for (size_t r = 0; r < m; ++r) {
+      if (tuple[r] < 0 ||
+          tuple[r] >= static_cast<int64_t>(relations[r].size())) {
+        return Status::FailedPrecondition(
+            StrFormat("tuple %zu references id %lld outside relation %zu "
+                      "(size %zu)",
+                      t, static_cast<long long>(tuple[r]), r,
+                      relations[r].size()));
+      }
+    }
+    for (const JoinCondition& c : query.conditions()) {
+      const Rect& left =
+          relations[static_cast<size_t>(c.left)]
+                   [static_cast<size_t>(tuple[static_cast<size_t>(c.left)])];
+      const Rect& right =
+          relations[static_cast<size_t>(c.right)]
+                   [static_cast<size_t>(tuple[static_cast<size_t>(c.right)])];
+      if (!c.predicate.Evaluate(left, right)) {
+        return Status::FailedPrecondition(StrFormat(
+            "tuple %zu violates condition %s between relations %d and %d", t,
+            c.predicate.ToString().c_str(), c.left, c.right));
+      }
+    }
+  }
+
+  // Duplicate-freedom.
+  std::vector<const IdTuple*> sorted;
+  sorted.reserve(tuples.size());
+  for (const IdTuple& tuple : tuples) sorted.push_back(&tuple);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const IdTuple* a, const IdTuple* b) { return *a < *b; });
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (*sorted[i] == *sorted[i - 1]) {
+      return Status::FailedPrecondition(
+          "result contains a duplicate tuple (duplicate-avoidance failed)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mwsj

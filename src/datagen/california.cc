@@ -1,0 +1,87 @@
+#include "datagen/california.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace mwsj {
+
+namespace {
+
+constexpr double kXMax = 63'000;
+constexpr double kYMax = 100'000;
+constexpr double kMaxLength = 2285;
+constexpr double kMaxBreadth = 1344;
+
+// Bucket probabilities and shapes of the road-extent mixture, calibrated
+// to the published statistics (avg l=18/b=8, 97% < 100, 99% < 1000).
+constexpr double kArterialProb = 0.012;   // extent in [100, 1000)
+constexpr double kHighwayProb = 0.004;    // extent in [1000, 2285]
+constexpr double kLocalMeanExtent = 15.0;  // truncated-exponential mean
+
+// Log-uniform sample in [lo, hi].
+double LogUniform(Rng& rng, double lo, double hi) {
+  return std::exp(rng.Uniform(std::log(lo), std::log(hi)));
+}
+
+double SampleExtent(Rng& rng) {
+  const double bucket = rng.NextDouble();
+  if (bucket < kHighwayProb) return LogUniform(rng, 1000, kMaxLength);
+  if (bucket < kHighwayProb + kArterialProb) return LogUniform(rng, 100, 1000);
+  // Local street: 1 + Exp(mean kLocalMeanExtent), truncated below 99.
+  double e;
+  do {
+    double u = rng.NextDouble();
+    while (u <= 0) u = rng.NextDouble();
+    e = 1.0 - kLocalMeanExtent * std::log(u);
+  } while (e >= 99);
+  return e;
+}
+
+}  // namespace
+
+Rect CaliforniaSpace() { return Rect(0, 0, kXMax, kYMax); }
+
+std::vector<Rect> GenerateCaliforniaRoads(const CaliforniaParams& params) {
+  Rng rng(params.seed);
+
+  // Population hubs that corridors connect.
+  constexpr int kNumHubs = 256;
+  std::vector<Point> hubs;
+  hubs.reserve(kNumHubs);
+  for (int i = 0; i < kNumHubs; ++i) {
+    hubs.push_back(Point{rng.Uniform(0, kXMax), rng.Uniform(0, kYMax)});
+  }
+
+  std::vector<Rect> out;
+  out.reserve(static_cast<size_t>(params.num_roads));
+  Point cursor = hubs[0];
+  for (int64_t i = 0; i < params.num_roads; ++i) {
+    // Polyline continuation: mostly small steps from the previous road
+    // segment; occasionally the walk teleports to a hub (a new polyline).
+    if (rng.Bernoulli(0.004)) {
+      cursor = hubs[static_cast<size_t>(rng.UniformInt(0, kNumHubs - 1))];
+    } else {
+      cursor.x += rng.Gaussian(0, 400);
+      cursor.y += rng.Gaussian(0, 400);
+      cursor.x = std::clamp(cursor.x, 0.0, kXMax);
+      cursor.y = std::clamp(cursor.y, 0.0, kYMax);
+    }
+
+    const double extent = SampleExtent(rng);
+    const double bearing = rng.Uniform(0, M_PI / 2);
+    // North-south corridors dominate in the flattened projection; the 0.45
+    // breadth factor reproduces the published 18-vs-8 length/breadth skew.
+    double l = std::clamp(extent * std::cos(bearing), 1.0, kMaxLength);
+    double b = std::clamp(extent * std::sin(bearing) * 0.45, 1.0, kMaxBreadth);
+
+    // Anchor the MBB at the cursor, nudged to stay inside the space.
+    const double x = std::clamp(cursor.x, 0.0, kXMax - l);
+    const double y = std::clamp(cursor.y, b, kYMax);
+    out.push_back(Rect::FromXYLB(x, y, l, b));
+  }
+  return out;
+}
+
+}  // namespace mwsj

@@ -1,0 +1,77 @@
+#include "datagen/polygons.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mwsj {
+
+namespace {
+
+// A center placed so that a shape of extent `radius` stays inside space.
+Point SafeCenter(Rng& rng, const Rect& space, double radius) {
+  return Point{rng.Uniform(space.min_x() + radius, space.max_x() - radius),
+               rng.Uniform(space.min_y() + radius, space.max_y() - radius)};
+}
+
+}  // namespace
+
+std::vector<Polygon> GenerateConvexFootprints(const PolygonDatasetParams& p) {
+  Rng rng(p.seed);
+  std::vector<Polygon> out;
+  out.reserve(static_cast<size_t>(p.count));
+  for (int64_t i = 0; i < p.count; ++i) {
+    const double radius = rng.Uniform(p.min_radius, p.max_radius);
+    const int sides = static_cast<int>(rng.UniformInt(5, 9));
+    out.push_back(Polygon::RegularNGon(SafeCenter(rng, p.space, radius),
+                                       radius, sides, rng.Uniform(0, 1)));
+  }
+  return out;
+}
+
+std::vector<Polygon> GenerateConcaveBlobs(const PolygonDatasetParams& p) {
+  Rng rng(p.seed);
+  std::vector<Polygon> out;
+  out.reserve(static_cast<size_t>(p.count));
+  for (int64_t i = 0; i < p.count; ++i) {
+    const double radius = rng.Uniform(p.min_radius, p.max_radius);
+    const Point center = SafeCenter(rng, p.space, radius);
+    const int arms = static_cast<int>(rng.UniformInt(8, 14));
+    std::vector<Point> verts;
+    verts.reserve(static_cast<size_t>(arms));
+    for (int a = 0; a < arms; ++a) {
+      const double angle = 2 * M_PI * a / arms;
+      // Alternate long and short arms for concavity.
+      const double r = rng.Uniform(0.35 * radius, radius);
+      verts.push_back(Point{center.x + r * std::cos(angle),
+                            center.y + r * std::sin(angle)});
+    }
+    out.push_back(Polygon(std::move(verts)));
+  }
+  return out;
+}
+
+std::vector<Polygon> GenerateCorridors(const PolygonDatasetParams& p) {
+  Rng rng(p.seed);
+  std::vector<Polygon> out;
+  out.reserve(static_cast<size_t>(p.count));
+  for (int64_t i = 0; i < p.count; ++i) {
+    const double length = rng.Uniform(4 * p.min_radius, 8 * p.max_radius);
+    const double width = rng.Uniform(0.1 * p.min_radius, 0.5 * p.min_radius);
+    const double angle = rng.Uniform(0, M_PI);
+    const double reach =
+        std::max(std::abs(std::cos(angle)), std::abs(std::sin(angle))) *
+            length / 2 + width;
+    const Point c = SafeCenter(rng, p.space, reach);
+    const double dx = std::cos(angle) * length / 2;
+    const double dy = std::sin(angle) * length / 2;
+    const double nx = -std::sin(angle) * width;
+    const double ny = std::cos(angle) * width;
+    out.push_back(Polygon({{c.x - dx + nx, c.y - dy + ny},
+                           {c.x - dx - nx, c.y - dy - ny},
+                           {c.x + dx - nx, c.y + dy - ny},
+                           {c.x + dx + nx, c.y + dy + ny}}));
+  }
+  return out;
+}
+
+}  // namespace mwsj

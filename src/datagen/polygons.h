@@ -1,0 +1,38 @@
+#ifndef MWSJ_DATAGEN_POLYGONS_H_
+#define MWSJ_DATAGEN_POLYGONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "geometry/polygon.h"
+
+namespace mwsj {
+
+/// Synthetic polygon datasets for the filter-and-refine pipeline (§1.1).
+/// Three families mirroring the paper's motivating query ("cities adjacent
+/// to a forest and overlapping with a river"):
+///
+///  * compact convex footprints (regular n-gons with jittered radius) —
+///    cities, buildings;
+///  * irregular star-shaped blobs (concave) — forests, lakes;
+///  * long thin corridors (quadrilateral strips) — rivers, roads.
+///
+/// All polygons stay inside `space`; generation is deterministic per seed.
+
+struct PolygonDatasetParams {
+  int64_t count = 0;
+  Rect space = Rect(0, 0, 1000, 1000);
+  /// Rough object radius range (for corridors: length/width scale).
+  double min_radius = 5;
+  double max_radius = 40;
+  uint64_t seed = 1;
+};
+
+std::vector<Polygon> GenerateConvexFootprints(const PolygonDatasetParams& p);
+std::vector<Polygon> GenerateConcaveBlobs(const PolygonDatasetParams& p);
+std::vector<Polygon> GenerateCorridors(const PolygonDatasetParams& p);
+
+}  // namespace mwsj
+
+#endif  // MWSJ_DATAGEN_POLYGONS_H_

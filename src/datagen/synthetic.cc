@@ -1,0 +1,74 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+
+#include "common/str_format.h"
+
+namespace mwsj {
+
+Status SyntheticParams::Validate() const {
+  if (num_rectangles < 0) {
+    return Status::InvalidArgument("num_rectangles must be non-negative");
+  }
+  if (x_min >= x_max || y_min >= y_max) {
+    return Status::InvalidArgument("coordinate ranges must be non-empty");
+  }
+  if (l_min < 0 || b_min < 0 || l_min > l_max || b_min > b_max) {
+    return Status::InvalidArgument("dimension ranges must be ordered and "
+                                   "non-negative");
+  }
+  if (l_max > x_max - x_min || b_max > y_max - y_min) {
+    return Status::InvalidArgument(
+        "maximum dimensions cannot exceed the coordinate space");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<Rect>> GenerateSynthetic(const SyntheticParams& params) {
+  MWSJ_RETURN_IF_ERROR(params.Validate());
+  Rng rng(params.seed);
+  std::vector<Rect> out;
+  out.reserve(static_cast<size_t>(params.num_rectangles));
+  for (int64_t i = 0; i < params.num_rectangles; ++i) {
+    const double l =
+        SampleInRange(rng, params.dist_l, params.l_min, params.l_max,
+                      params.seed + 1);
+    const double b =
+        SampleInRange(rng, params.dist_b, params.b_min, params.b_max,
+                      params.seed + 2);
+    // Start point so that the rectangle stays inside the space: x in
+    // [x_min, x_max - l], y (the top edge) in [y_min + b, y_max].
+    const double x = SampleInRange(rng, params.dist_x, params.x_min,
+                                   params.x_max - l, params.seed + 3);
+    const double y = SampleInRange(rng, params.dist_y, params.y_min + b,
+                                   params.y_max, params.seed + 4);
+    out.push_back(Rect::FromXYLB(x, y, l, b));
+  }
+  return out;
+}
+
+std::vector<Rect> SampleDataset(const std::vector<Rect>& data, double p,
+                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Rect> out;
+  out.reserve(static_cast<size_t>(static_cast<double>(data.size()) * p * 1.1));
+  for (const Rect& r : data) {
+    if (rng.Bernoulli(p)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<Rect> EnlargeDataset(const std::vector<Rect>& data, double k) {
+  std::vector<Rect> out;
+  out.reserve(data.size());
+  for (const Rect& r : data) out.push_back(r.EnlargeByFactor(k));
+  return out;
+}
+
+double MaxDiagonal(const std::vector<Rect>& data) {
+  double best = 0;
+  for (const Rect& r : data) best = std::max(best, r.Diagonal());
+  return best;
+}
+
+}  // namespace mwsj

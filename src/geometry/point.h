@@ -1,0 +1,29 @@
+#ifndef MWSJ_GEOMETRY_POINT_H_
+#define MWSJ_GEOMETRY_POINT_H_
+
+#include <cmath>
+
+namespace mwsj {
+
+/// A 2D point. The coordinate system follows the paper: x grows to the
+/// right, y grows upward, and a rectangle's *start point* is its top-left
+/// vertex (minimum x, maximum y).
+struct Point {
+  double x = 0;
+  double y = 0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Euclidean distance between two points.
+inline double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace mwsj
+
+#endif  // MWSJ_GEOMETRY_POINT_H_

@@ -1,0 +1,133 @@
+#include "geometry/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mwsj {
+
+namespace {
+
+// Sign of the cross product (b - a) x (c - a); 0 means collinear.
+int Orientation(const Point& a, const Point& b, const Point& c) {
+  const double v = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+  if (v > 0) return 1;
+  if (v < 0) return -1;
+  return 0;
+}
+
+bool OnSegment(const Point& a, const Point& b, const Point& p) {
+  return Orientation(a, b, p) == 0 && p.x >= std::min(a.x, b.x) &&
+         p.x <= std::max(a.x, b.x) && p.y >= std::min(a.y, b.y) &&
+         p.y <= std::max(a.y, b.y);
+}
+
+}  // namespace
+
+bool SegmentsIntersect(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2) {
+  const int o1 = Orientation(a1, a2, b1);
+  const int o2 = Orientation(a1, a2, b2);
+  const int o3 = Orientation(b1, b2, a1);
+  const int o4 = Orientation(b1, b2, a2);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && OnSegment(a1, a2, b1)) return true;
+  if (o2 == 0 && OnSegment(a1, a2, b2)) return true;
+  if (o3 == 0 && OnSegment(b1, b2, a1)) return true;
+  if (o4 == 0 && OnSegment(b1, b2, a2)) return true;
+  return false;
+}
+
+double SegmentPointDistance(const Point& a1, const Point& a2, const Point& p) {
+  const double dx = a2.x - a1.x;
+  const double dy = a2.y - a1.y;
+  const double len_sq = dx * dx + dy * dy;
+  if (len_sq == 0) return Distance(a1, p);
+  double t = ((p.x - a1.x) * dx + (p.y - a1.y) * dy) / len_sq;
+  t = std::clamp(t, 0.0, 1.0);
+  return Distance(Point{a1.x + t * dx, a1.y + t * dy}, p);
+}
+
+double SegmentSegmentDistance(const Point& a1, const Point& a2,
+                              const Point& b1, const Point& b2) {
+  if (SegmentsIntersect(a1, a2, b1, b2)) return 0;
+  return std::min({SegmentPointDistance(a1, a2, b1),
+                   SegmentPointDistance(a1, a2, b2),
+                   SegmentPointDistance(b1, b2, a1),
+                   SegmentPointDistance(b1, b2, a2)});
+}
+
+Polygon Polygon::RegularNGon(const Point& center, double radius, int n,
+                             double rotation_radians) {
+  std::vector<Point> verts;
+  verts.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double a = rotation_radians + 2 * M_PI * i / n;
+    verts.push_back(
+        Point{center.x + radius * std::cos(a), center.y + radius * std::sin(a)});
+  }
+  return Polygon(std::move(verts));
+}
+
+Rect Polygon::Mbr() const {
+  if (vertices_.empty()) return Rect();
+  double min_x = vertices_[0].x, max_x = vertices_[0].x;
+  double min_y = vertices_[0].y, max_y = vertices_[0].y;
+  for (const Point& p : vertices_) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  return Rect(min_x, min_y, max_x, max_y);
+}
+
+bool Polygon::Contains(const Point& p) const {
+  const size_t n = vertices_.size();
+  if (n < 3) return false;
+  bool inside = false;
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = vertices_[j];
+    const Point& b = vertices_[i];
+    if (OnSegment(a, b, p)) return true;  // Boundary counts as inside.
+    if ((b.y > p.y) != (a.y > p.y)) {
+      const double x_cross = (a.x - b.x) * (p.y - b.y) / (a.y - b.y) + b.x;
+      if (p.x < x_cross) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool Polygon::Intersects(const Polygon& other) const {
+  const size_t n = vertices_.size();
+  const size_t m = other.vertices_.size();
+  if (n == 0 || m == 0) return false;
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    for (size_t k = 0, l = m - 1; k < m; l = k++) {
+      if (SegmentsIntersect(vertices_[j], vertices_[i], other.vertices_[l],
+                            other.vertices_[k])) {
+        return true;
+      }
+    }
+  }
+  // No edge crossings: intersection only if one contains the other.
+  return Contains(other.vertices_[0]) || other.Contains(vertices_[0]);
+}
+
+double Polygon::MinDistanceTo(const Polygon& other) const {
+  if (Intersects(other)) return 0;
+  double best = std::numeric_limits<double>::infinity();
+  const size_t n = vertices_.size();
+  const size_t m = other.vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    for (size_t k = 0, l = m - 1; k < m; l = k++) {
+      best = std::min(best,
+                      SegmentSegmentDistance(vertices_[j], vertices_[i],
+                                             other.vertices_[l],
+                                             other.vertices_[k]));
+    }
+  }
+  return best;
+}
+
+}  // namespace mwsj

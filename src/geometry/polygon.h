@@ -1,0 +1,60 @@
+#ifndef MWSJ_GEOMETRY_POLYGON_H_
+#define MWSJ_GEOMETRY_POLYGON_H_
+
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace mwsj {
+
+/// A simple polygon (possibly concave, not self-intersecting), used by the
+/// *refinement* step of the filter-and-refine pipeline the paper describes
+/// in §1.1: joins run on MBRs (the filter step, this library's core), and
+/// candidate tuples are then re-checked against the true geometries.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> vertices)
+      : vertices_(std::move(vertices)) {}
+
+  /// Regular n-gon helper used by examples and tests.
+  static Polygon RegularNGon(const Point& center, double radius, int n,
+                             double rotation_radians = 0.0);
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  size_t size() const { return vertices_.size(); }
+
+  /// Minimum bounding rectangle — the MBR fed to the filter step.
+  Rect Mbr() const;
+
+  /// True when `p` lies inside or on the boundary (ray casting with
+  /// boundary handling).
+  bool Contains(const Point& p) const;
+
+  /// Exact overlap test: boundaries intersect, or one contains the other.
+  bool Intersects(const Polygon& other) const;
+
+  /// Minimum Euclidean distance between the two polygon boundaries/interiors
+  /// (0 when they intersect).
+  double MinDistanceTo(const Polygon& other) const;
+
+ private:
+  std::vector<Point> vertices_;
+};
+
+/// True when segments (a1,a2) and (b1,b2) intersect (inclusive of
+/// endpoints and collinear overlap).
+bool SegmentsIntersect(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2);
+
+/// Minimum distance between segment (a1,a2) and point p.
+double SegmentPointDistance(const Point& a1, const Point& a2, const Point& p);
+
+/// Minimum distance between two segments.
+double SegmentSegmentDistance(const Point& a1, const Point& a2,
+                              const Point& b1, const Point& b2);
+
+}  // namespace mwsj
+
+#endif  // MWSJ_GEOMETRY_POLYGON_H_

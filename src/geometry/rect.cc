@@ -1,0 +1,58 @@
+#include "geometry/rect.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_format.h"
+
+namespace mwsj {
+
+double Rect::Diagonal() const {
+  const double l = length();
+  const double b = breadth();
+  return std::sqrt(l * l + b * b);
+}
+
+Rect Rect::EnlargeByFactor(double k) const {
+  const double grow_x = length() * (k - 1) / 2;
+  const double grow_y = breadth() * (k - 1) / 2;
+  return Rect(min_x_ - grow_x, min_y_ - grow_y, max_x_ + grow_x,
+              max_y_ + grow_y);
+}
+
+std::string Rect::ToString() const {
+  return StrFormat("Rect(x=%g, y=%g, l=%g, b=%g)", x(), y(), length(),
+                   breadth());
+}
+
+namespace {
+
+// Distance between intervals [a_lo, a_hi] and [b_lo, b_hi] (0 if they
+// intersect).
+inline double AxisGap(double a_lo, double a_hi, double b_lo, double b_hi) {
+  if (a_hi < b_lo) return b_lo - a_hi;
+  if (b_hi < a_lo) return a_lo - b_hi;
+  return 0;
+}
+
+}  // namespace
+
+double MinDistance(const Rect& a, const Rect& b) {
+  const double dx = AxisGap(a.min_x(), a.max_x(), b.min_x(), b.max_x());
+  const double dy = AxisGap(a.min_y(), a.max_y(), b.min_y(), b.max_y());
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double MinDistance(const Rect& r, const Point& p) {
+  const double dx = AxisGap(r.min_x(), r.max_x(), p.x, p.x);
+  const double dy = AxisGap(r.min_y(), r.max_y(), p.y, p.y);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::optional<Rect> Intersection(const Rect& a, const Rect& b) {
+  if (!Overlaps(a, b)) return std::nullopt;
+  return Rect(std::max(a.min_x(), b.min_x()), std::max(a.min_y(), b.min_y()),
+              std::min(a.max_x(), b.max_x()), std::min(a.max_y(), b.max_y()));
+}
+
+}  // namespace mwsj

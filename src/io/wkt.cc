@@ -1,0 +1,137 @@
+#include "io/wkt.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/str_format.h"
+
+namespace mwsj {
+
+namespace {
+
+void SkipSpace(std::string_view text, size_t* pos) {
+  while (*pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[*pos]))) {
+    ++*pos;
+  }
+}
+
+bool ConsumeKeyword(std::string_view text, size_t* pos,
+                    std::string_view keyword) {
+  SkipSpace(text, pos);
+  if (text.size() - *pos < keyword.size()) return false;
+  for (size_t i = 0; i < keyword.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[*pos + i])) !=
+        keyword[i]) {
+      return false;
+    }
+  }
+  *pos += keyword.size();
+  return true;
+}
+
+bool ConsumeChar(std::string_view text, size_t* pos, char c) {
+  SkipSpace(text, pos);
+  if (*pos >= text.size() || text[*pos] != c) return false;
+  ++*pos;
+  return true;
+}
+
+bool ParseNumber(std::string_view text, size_t* pos, double* out) {
+  SkipSpace(text, pos);
+  const std::string rest(text.substr(*pos));
+  char* end = nullptr;
+  *out = std::strtod(rest.c_str(), &end);
+  if (end == rest.c_str()) return false;
+  *pos += static_cast<size_t>(end - rest.c_str());
+  return true;
+}
+
+}  // namespace
+
+StatusOr<Polygon> ParseWktPolygon(std::string_view text) {
+  size_t pos = 0;
+  if (!ConsumeKeyword(text, &pos, "POLYGON")) {
+    return Status::InvalidArgument("expected POLYGON keyword");
+  }
+  if (!ConsumeChar(text, &pos, '(') || !ConsumeChar(text, &pos, '(')) {
+    return Status::InvalidArgument("expected '((' after POLYGON");
+  }
+  std::vector<Point> vertices;
+  for (;;) {
+    double x, y;
+    if (!ParseNumber(text, &pos, &x) || !ParseNumber(text, &pos, &y)) {
+      return Status::InvalidArgument(
+          StrFormat("expected 'x y' coordinates at offset %zu", pos));
+    }
+    vertices.push_back(Point{x, y});
+    if (ConsumeChar(text, &pos, ',')) continue;
+    break;
+  }
+  if (!ConsumeChar(text, &pos, ')') || !ConsumeChar(text, &pos, ')')) {
+    return Status::InvalidArgument("expected '))' closing the ring");
+  }
+  SkipSpace(text, &pos);
+  if (pos != text.size()) {
+    return Status::InvalidArgument(
+        StrFormat("trailing characters at offset %zu", pos));
+  }
+  // Drop the WKT closing vertex if present.
+  if (vertices.size() >= 2 && vertices.front() == vertices.back()) {
+    vertices.pop_back();
+  }
+  if (vertices.size() < 3) {
+    return Status::InvalidArgument("a polygon ring needs at least 3 vertices");
+  }
+  return Polygon(std::move(vertices));
+}
+
+std::string ToWkt(const Polygon& polygon) {
+  std::string out = "POLYGON ((";
+  for (const Point& p : polygon.vertices()) {
+    out += StrFormat("%.17g %.17g, ", p.x, p.y);
+  }
+  // Close the ring on the first vertex.
+  if (!polygon.vertices().empty()) {
+    const Point& first = polygon.vertices().front();
+    out += StrFormat("%.17g %.17g", first.x, first.y);
+  }
+  out += "))";
+  return out;
+}
+
+StatusOr<std::vector<Polygon>> ReadPolygonsWkt(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::vector<Polygon> polygons;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    size_t start = 0;
+    SkipSpace(line, &start);
+    if (start == line.size() || line[start] == '#') continue;
+    StatusOr<Polygon> polygon = ParseWktPolygon(line);
+    if (!polygon.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("'%s' line %zu: %s", path.c_str(), line_number,
+                    polygon.status().message().c_str()));
+    }
+    polygons.push_back(std::move(polygon).value());
+  }
+  return polygons;
+}
+
+Status WritePolygonsWkt(const std::string& path,
+                        const std::vector<Polygon>& polygons) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+  for (const Polygon& p : polygons) out << ToWkt(p) << '\n';
+  out.flush();
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace mwsj

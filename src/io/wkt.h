@@ -1,0 +1,36 @@
+#ifndef MWSJ_IO_WKT_H_
+#define MWSJ_IO_WKT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/polygon.h"
+
+namespace mwsj {
+
+/// Well-Known-Text support for the polygon refinement pipeline (§1.1).
+/// The subset implemented is `POLYGON ((x y, x y, ...))` — single outer
+/// ring, no holes — which covers the interchange needs of the examples and
+/// the refine step. Rings may or may not repeat the first vertex at the
+/// end (the closing vertex is dropped on read and written on write, per
+/// WKT convention).
+
+/// Parses one POLYGON text. Case-insensitive keyword, flexible whitespace.
+StatusOr<Polygon> ParseWktPolygon(std::string_view text);
+
+/// Serializes a polygon as WKT (closing vertex repeated).
+std::string ToWkt(const Polygon& polygon);
+
+/// Reads a file with one WKT polygon per line (blank lines and lines
+/// starting with '#' are skipped).
+StatusOr<std::vector<Polygon>> ReadPolygonsWkt(const std::string& path);
+
+/// Writes one WKT polygon per line.
+Status WritePolygonsWkt(const std::string& path,
+                        const std::vector<Polygon>& polygons);
+
+}  // namespace mwsj
+
+#endif  // MWSJ_IO_WKT_H_

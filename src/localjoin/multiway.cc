@@ -1,0 +1,138 @@
+#include "localjoin/multiway.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mwsj {
+
+MultiwayLocalJoin::MultiwayLocalJoin(
+    const Query& query, std::vector<std::span<const LocalRect>> relations)
+    : query_(query), relations_(std::move(relations)) {
+  const int m = query_.num_relations();
+  rects_.resize(static_cast<size_t>(m));
+  trees_.resize(static_cast<size_t>(m));
+
+  // Plan the binding order greedily: start from the smallest relation,
+  // then repeatedly bind the smallest relation connected to the bound set.
+  // The query graph is connected (Query invariant), so this covers all
+  // relations.
+  std::vector<bool> bound(static_cast<size_t>(m), false);
+  int first = 0;
+  for (int r = 1; r < m; ++r) {
+    if (relations_[static_cast<size_t>(r)].size() <
+        relations_[static_cast<size_t>(first)].size()) {
+      first = r;
+    }
+  }
+  order_.push_back(first);
+  anchor_relation_.push_back(-1);
+  anchor_condition_.push_back(-1);
+  bound[static_cast<size_t>(first)] = true;
+
+  while (static_cast<int>(order_.size()) < m) {
+    int best = -1;
+    int best_condition = -1;
+    int best_anchor = -1;
+    size_t best_size = std::numeric_limits<size_t>::max();
+    for (int r = 0; r < m; ++r) {
+      if (bound[static_cast<size_t>(r)]) continue;
+      for (int ci : query_.ConditionsOf(r)) {
+        const JoinCondition& c = query_.conditions()[static_cast<size_t>(ci)];
+        const int other = (c.left == r) ? c.right : c.left;
+        if (!bound[static_cast<size_t>(other)]) continue;
+        if (relations_[static_cast<size_t>(r)].size() < best_size) {
+          best = r;
+          best_condition = ci;
+          best_anchor = other;
+          best_size = relations_[static_cast<size_t>(r)].size();
+        }
+        break;  // One bound-connected condition suffices for the anchor.
+      }
+    }
+    order_.push_back(best);
+    anchor_relation_.push_back(best_anchor);
+    anchor_condition_.push_back(best_condition);
+    bound[static_cast<size_t>(best)] = true;
+  }
+
+  // Residual conditions checked at each depth: both endpoints bound, and
+  // the condition is not the depth's anchor.
+  check_conditions_.resize(order_.size());
+  std::fill(bound.begin(), bound.end(), false);
+  for (size_t k = 0; k < order_.size(); ++k) {
+    const int r = order_[k];
+    bound[static_cast<size_t>(r)] = true;
+    for (int ci : query_.ConditionsOf(r)) {
+      if (ci == anchor_condition_[k]) continue;
+      const JoinCondition& c = query_.conditions()[static_cast<size_t>(ci)];
+      const int other = (c.left == r) ? c.right : c.left;
+      if (bound[static_cast<size_t>(other)]) check_conditions_[k].push_back(ci);
+    }
+  }
+
+  // Index every relation probed at depth > 0.
+  for (size_t k = 1; k < order_.size(); ++k) {
+    const int r = order_[k];
+    auto& rects = rects_[static_cast<size_t>(r)];
+    rects.reserve(relations_[static_cast<size_t>(r)].size());
+    for (const LocalRect& lr : relations_[static_cast<size_t>(r)]) {
+      rects.push_back(lr.rect);
+    }
+    trees_[static_cast<size_t>(r)] = std::make_unique<RTree>(rects);
+  }
+}
+
+void MultiwayLocalJoin::Bind(size_t depth,
+                             std::vector<const LocalRect*>& assignment,
+                             const EmitFn& emit) const {
+  if (depth == order_.size()) {
+    emit(assignment);
+    return;
+  }
+  const int r = order_[depth];
+  const auto relation = relations_[static_cast<size_t>(r)];
+
+  auto try_candidate = [&](const LocalRect& candidate) {
+    for (int ci : check_conditions_[depth]) {
+      const JoinCondition& c = query_.conditions()[static_cast<size_t>(ci)];
+      const int other = (c.left == r) ? c.right : c.left;
+      const LocalRect* bound_rect = assignment[static_cast<size_t>(other)];
+      if (!c.predicate.Evaluate(candidate.rect, bound_rect->rect)) return;
+    }
+    assignment[static_cast<size_t>(r)] = &candidate;
+    Bind(depth + 1, assignment, emit);
+    assignment[static_cast<size_t>(r)] = nullptr;
+  };
+
+  if (depth == 0) {
+    for (const LocalRect& candidate : relation) try_candidate(candidate);
+    return;
+  }
+
+  const JoinCondition& anchor =
+      query_.conditions()[static_cast<size_t>(anchor_condition_[depth])];
+  const LocalRect* anchor_rect =
+      assignment[static_cast<size_t>(anchor_relation_[depth])];
+  std::vector<int32_t> candidates;
+  const RTree& tree = *trees_[static_cast<size_t>(r)];
+  if (anchor.predicate.is_overlap()) {
+    tree.CollectOverlapping(anchor_rect->rect, &candidates);
+  } else {
+    tree.CollectWithinDistance(anchor_rect->rect, anchor.predicate.distance(),
+                               &candidates);
+  }
+  for (int32_t idx : candidates) {
+    try_candidate(relation[static_cast<size_t>(idx)]);
+  }
+}
+
+void MultiwayLocalJoin::Execute(const EmitFn& emit) const {
+  for (const auto& relation : relations_) {
+    if (relation.empty()) return;  // No full assignment can exist.
+  }
+  std::vector<const LocalRect*> assignment(
+      static_cast<size_t>(query_.num_relations()), nullptr);
+  Bind(0, assignment, emit);
+}
+
+}  // namespace mwsj

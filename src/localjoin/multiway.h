@@ -1,0 +1,66 @@
+#ifndef MWSJ_LOCALJOIN_MULTIWAY_H_
+#define MWSJ_LOCALJOIN_MULTIWAY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "geometry/rect.h"
+#include "localjoin/rtree.h"
+#include "query/query.h"
+
+namespace mwsj {
+
+/// A rectangle held by a reducer: geometry plus the global id used to
+/// assemble output tuples.
+struct LocalRect {
+  Rect rect;
+  int64_t id = 0;
+};
+
+/// Computes, within one reducer, every full assignment of rectangles (one
+/// per query relation) that satisfies all join conditions. This is the
+/// "compute the join" step every algorithm's final reduce phase runs
+/// (§6.1, §7.1); the caller applies its duplicate-avoidance filter in the
+/// emit callback.
+///
+/// Strategy: index each relation with an STR R-tree, bind relations along
+/// the join graph starting from the smallest relation, probe the next
+/// relation's tree through one connecting condition, and verify the
+/// remaining conditions against already-bound rectangles before recursing.
+class MultiwayLocalJoin {
+ public:
+  /// `relations[r]` holds the rectangles of query relation r present at
+  /// this reducer. The spans must outlive the object.
+  MultiwayLocalJoin(const Query& query,
+                    std::vector<std::span<const LocalRect>> relations);
+
+  /// `emit` receives one pointer per relation (indexed by relation). The
+  /// pointers are only valid during the callback.
+  using EmitFn = std::function<void(const std::vector<const LocalRect*>&)>;
+  void Execute(const EmitFn& emit) const;
+
+ private:
+  void Bind(size_t depth, std::vector<const LocalRect*>& assignment,
+            const EmitFn& emit) const;
+
+  const Query& query_;
+  std::vector<std::span<const LocalRect>> relations_;
+  std::vector<std::vector<Rect>> rects_;  // Per relation, index-aligned.
+  std::vector<std::unique_ptr<RTree>> trees_;
+
+  // Binding plan: order_[k] is the relation bound at depth k; for k > 0,
+  // anchor_condition_[k] connects it to the already-bound
+  // anchor_relation_[k], and check_conditions_[k] lists the other
+  // conditions whose endpoints are both bound once depth k binds.
+  std::vector<int> order_;
+  std::vector<int> anchor_relation_;
+  std::vector<int> anchor_condition_;
+  std::vector<std::vector<int>> check_conditions_;
+};
+
+}  // namespace mwsj
+
+#endif  // MWSJ_LOCALJOIN_MULTIWAY_H_

@@ -1,0 +1,73 @@
+#include "localjoin/plane_sweep.h"
+
+#include <algorithm>
+
+namespace mwsj {
+
+namespace {
+
+struct Event {
+  double min_x;
+  int32_t index;
+  bool from_a;
+};
+
+}  // namespace
+
+void PlaneSweepJoin(const std::vector<Rect>& a, const std::vector<Rect>& b,
+                    const Predicate& predicate,
+                    const std::function<void(int32_t, int32_t)>& emit) {
+  const double d = predicate.is_range() ? predicate.distance() : 0.0;
+
+  std::vector<Event> events;
+  events.reserve(a.size() + b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    events.push_back(Event{a[i].min_x(), static_cast<int32_t>(i), true});
+  }
+  for (size_t j = 0; j < b.size(); ++j) {
+    events.push_back(Event{b[j].min_x(), static_cast<int32_t>(j), false});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& x, const Event& y) {
+    return x.min_x < y.min_x;
+  });
+
+  // Active rectangles from each side, pruned lazily: an active rectangle
+  // dies once the sweep line passes max_x + d.
+  std::vector<int32_t> active_a;
+  std::vector<int32_t> active_b;
+
+  auto prune = [&](std::vector<int32_t>* active, const std::vector<Rect>& src,
+                   double line) {
+    size_t w = 0;
+    for (size_t i = 0; i < active->size(); ++i) {
+      if (src[static_cast<size_t>((*active)[i])].max_x() + d >= line) {
+        (*active)[w++] = (*active)[i];
+      }
+    }
+    active->resize(w);
+  };
+
+  for (const Event& e : events) {
+    prune(&active_a, a, e.min_x);
+    prune(&active_b, b, e.min_x);
+    if (e.from_a) {
+      const Rect& ra = a[static_cast<size_t>(e.index)];
+      for (int32_t j : active_b) {
+        if (predicate.Evaluate(ra, b[static_cast<size_t>(j)])) {
+          emit(e.index, j);
+        }
+      }
+      active_a.push_back(e.index);
+    } else {
+      const Rect& rb = b[static_cast<size_t>(e.index)];
+      for (int32_t i : active_a) {
+        if (predicate.Evaluate(a[static_cast<size_t>(i)], rb)) {
+          emit(i, e.index);
+        }
+      }
+      active_b.push_back(e.index);
+    }
+  }
+}
+
+}  // namespace mwsj

@@ -1,0 +1,26 @@
+#ifndef MWSJ_LOCALJOIN_PLANE_SWEEP_H_
+#define MWSJ_LOCALJOIN_PLANE_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geometry/rect.h"
+#include "query/predicate.h"
+
+namespace mwsj {
+
+/// Sort-based plane-sweep join between two rectangle sets: emits every
+/// index pair (i, j) with a[i], b[j] satisfying `predicate`. This is the
+/// pairwise kernel reducers run in the 2-way joins of §5 — O((n+m)·log +
+/// active-list work) instead of the quadratic nested loop.
+///
+/// For range predicates the sweep window on x is widened by the distance
+/// parameter; candidates are confirmed with the exact Euclidean test.
+void PlaneSweepJoin(const std::vector<Rect>& a, const std::vector<Rect>& b,
+                    const Predicate& predicate,
+                    const std::function<void(int32_t, int32_t)>& emit);
+
+}  // namespace mwsj
+
+#endif  // MWSJ_LOCALJOIN_PLANE_SWEEP_H_

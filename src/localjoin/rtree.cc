@@ -1,0 +1,155 @@
+#include "localjoin/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mwsj {
+
+namespace {
+
+// Sorts `ids` into STR tile order: primary slabs by center x, each slab
+// ordered by center y. `group` is the number of entries per tile consumer
+// (leaf or parent capacity).
+void StrSort(const std::vector<Rect>& rects, std::vector<int32_t>* ids,
+             int group) {
+  const size_t n = ids->size();
+  if (n == 0) return;
+  auto center_x = [&](int32_t i) { return rects[static_cast<size_t>(i)].center().x; };
+  auto center_y = [&](int32_t i) { return rects[static_cast<size_t>(i)].center().y; };
+
+  std::sort(ids->begin(), ids->end(),
+            [&](int32_t a, int32_t b) { return center_x(a) < center_x(b); });
+
+  const size_t num_tiles = (n + static_cast<size_t>(group) - 1) /
+                           static_cast<size_t>(group);
+  const size_t num_slabs =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_tiles))));
+  const size_t slab_size =
+      ((num_tiles + num_slabs - 1) / num_slabs) * static_cast<size_t>(group);
+  for (size_t lo = 0; lo < n; lo += slab_size) {
+    const size_t hi = std::min(n, lo + slab_size);
+    std::sort(ids->begin() + static_cast<ptrdiff_t>(lo),
+              ids->begin() + static_cast<ptrdiff_t>(hi),
+              [&](int32_t a, int32_t b) { return center_y(a) < center_y(b); });
+  }
+}
+
+}  // namespace
+
+RTree::RTree(const std::vector<Rect>& rects, int leaf_capacity)
+    : rects_(rects) {
+  const size_t n = rects_.size();
+  if (n == 0) return;
+  const int cap = std::max(2, leaf_capacity);
+
+  entries_.resize(n);
+  for (size_t i = 0; i < n; ++i) entries_[i] = static_cast<int32_t>(i);
+  StrSort(rects_, &entries_, cap);
+
+  // Level 0: leaves over contiguous entry groups.
+  std::vector<std::vector<Node>> levels;
+  levels.emplace_back();
+  for (size_t lo = 0; lo < n; lo += static_cast<size_t>(cap)) {
+    const size_t hi = std::min(n, lo + static_cast<size_t>(cap));
+    Node leaf;
+    leaf.is_leaf = true;
+    leaf.child_begin = static_cast<int32_t>(lo);
+    leaf.child_end = static_cast<int32_t>(hi);
+    leaf.mbr = rects_[static_cast<size_t>(entries_[lo])];
+    for (size_t i = lo + 1; i < hi; ++i) {
+      leaf.mbr = Rect::Union(leaf.mbr, rects_[static_cast<size_t>(entries_[i])]);
+    }
+    levels.back().push_back(leaf);
+  }
+
+  // Upper levels: STR-pack the previous level's nodes. The previous level
+  // is permuted into tile order first so that each parent's children are
+  // contiguous.
+  while (levels.back().size() > 1) {
+    std::vector<Node>& prev = levels.back();
+    std::vector<Rect> mbrs;
+    mbrs.reserve(prev.size());
+    for (const Node& nd : prev) mbrs.push_back(nd.mbr);
+    std::vector<int32_t> order(prev.size());
+    for (size_t i = 0; i < prev.size(); ++i) order[i] = static_cast<int32_t>(i);
+    StrSort(mbrs, &order, cap);
+    std::vector<Node> permuted;
+    permuted.reserve(prev.size());
+    for (int32_t idx : order) permuted.push_back(prev[static_cast<size_t>(idx)]);
+    prev = std::move(permuted);
+
+    std::vector<Node> parents;
+    for (size_t lo = 0; lo < prev.size(); lo += static_cast<size_t>(cap)) {
+      const size_t hi = std::min(prev.size(), lo + static_cast<size_t>(cap));
+      Node parent;
+      parent.is_leaf = false;
+      parent.child_begin = static_cast<int32_t>(lo);
+      parent.child_end = static_cast<int32_t>(hi);
+      parent.mbr = prev[lo].mbr;
+      for (size_t i = lo + 1; i < hi; ++i) {
+        parent.mbr = Rect::Union(parent.mbr, prev[i].mbr);
+      }
+      parents.push_back(parent);
+    }
+    levels.push_back(std::move(parents));
+  }
+
+  // Flatten top-down; children of a level-j node live at the next level's
+  // base offset.
+  nodes_.clear();
+  std::vector<int32_t> level_offset(levels.size(), 0);
+  int32_t offset = 0;
+  for (size_t j = levels.size(); j-- > 0;) {
+    level_offset[j] = offset;
+    offset += static_cast<int32_t>(levels[j].size());
+  }
+  nodes_.resize(static_cast<size_t>(offset));
+  for (size_t j = levels.size(); j-- > 0;) {
+    for (size_t i = 0; i < levels[j].size(); ++i) {
+      Node nd = levels[j][i];
+      if (!nd.is_leaf) {
+        nd.child_begin += level_offset[j - 1];
+        nd.child_end += level_offset[j - 1];
+      }
+      nodes_[static_cast<size_t>(level_offset[j]) + i] = nd;
+    }
+  }
+}
+
+template <typename Visit>
+void RTree::Query(const Rect& probe, double d, const Visit& visit) const {
+  if (nodes_.empty()) return;
+  std::vector<int32_t> stack = {0};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    const bool hit = (d < 0) ? Overlaps(node.mbr, probe)
+                             : MinDistance(node.mbr, probe) <= d;
+    if (!hit) continue;
+    if (node.is_leaf) {
+      for (int32_t i = node.child_begin; i < node.child_end; ++i) {
+        const int32_t entry = entries_[static_cast<size_t>(i)];
+        const Rect& r = rects_[static_cast<size_t>(entry)];
+        const bool match =
+            (d < 0) ? Overlaps(r, probe) : MinDistance(r, probe) <= d;
+        if (match) visit(entry);
+      }
+    } else {
+      for (int32_t c = node.child_begin; c < node.child_end; ++c) {
+        stack.push_back(c);
+      }
+    }
+  }
+}
+
+void RTree::CollectOverlapping(const Rect& query,
+                               std::vector<int32_t>* out) const {
+  Query(query, -1.0, [out](int32_t i) { out->push_back(i); });
+}
+
+void RTree::CollectWithinDistance(const Rect& query, double d,
+                                  std::vector<int32_t>* out) const {
+  Query(query, d, [out](int32_t i) { out->push_back(i); });
+}
+
+}  // namespace mwsj

@@ -1,0 +1,54 @@
+#ifndef MWSJ_LOCALJOIN_RTREE_H_
+#define MWSJ_LOCALJOIN_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/rect.h"
+
+namespace mwsj {
+
+/// A static R-tree over a set of rectangles, bulk-loaded with the
+/// Sort-Tile-Recursive (STR) algorithm. Reducers build one per relation to
+/// answer the overlap and within-distance probes of the multiway local
+/// join; entries are identified by their index in the input vector.
+///
+/// The tree is immutable after construction — reducers build, probe, and
+/// discard, so no insert/delete machinery is carried.
+class RTree {
+ public:
+  /// Builds the tree over `rects` (indices into this vector are the probe
+  /// results). An empty input yields an empty tree.
+  explicit RTree(const std::vector<Rect>& rects, int leaf_capacity = 16);
+
+  /// Appends to `*out` the indices of all rectangles overlapping `query`.
+  void CollectOverlapping(const Rect& query, std::vector<int32_t>* out) const;
+
+  /// Appends to `*out` the indices of all rectangles within Euclidean
+  /// distance `d` of `query`.
+  void CollectWithinDistance(const Rect& query, double d,
+                             std::vector<int32_t>* out) const;
+
+  size_t size() const { return rects_.size(); }
+
+ private:
+  struct Node {
+    Rect mbr;
+    // Children are nodes_[child_begin, child_end) for internal nodes, or
+    // entry indices entries_[child_begin, child_end) for leaves.
+    int32_t child_begin = 0;
+    int32_t child_end = 0;
+    bool is_leaf = true;
+  };
+
+  template <typename Visit>
+  void Query(const Rect& probe, double d, const Visit& visit) const;
+
+  std::vector<Rect> rects_;     // Copies of the input, index-aligned.
+  std::vector<int32_t> entries_;  // Leaf entry indices, grouped per leaf.
+  std::vector<Node> nodes_;     // nodes_[0] is the root (when non-empty).
+};
+
+}  // namespace mwsj
+
+#endif  // MWSJ_LOCALJOIN_RTREE_H_

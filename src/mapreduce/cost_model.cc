@@ -1,0 +1,28 @@
+#include "mapreduce/cost_model.h"
+
+#include <algorithm>
+
+namespace mwsj {
+
+double CostModel::JobSeconds(const JobStats& job) const {
+  double seconds = job_startup_seconds;
+  seconds += static_cast<double>(job.map_input_bytes) / scan_bytes_per_sec;
+  seconds += static_cast<double>(job.intermediate_bytes) / shuffle_bytes_per_sec;
+
+  // Reduce tasks are packed onto `reduce_slots` slots. Perfect packing is
+  // sum/slots; the slowest task lower-bounds the phase.
+  const double total_cpu = job.SumReducerSeconds() * cpu_scale;
+  const double slowest = job.MaxReducerSeconds() * cpu_scale;
+  seconds += std::max(total_cpu / reduce_slots, slowest);
+
+  seconds += static_cast<double>(job.reduce_output_bytes) / write_bytes_per_sec;
+  return seconds;
+}
+
+double CostModel::RunSeconds(const RunStats& run) const {
+  double seconds = 0;
+  for (const JobStats& job : run.jobs) seconds += JobSeconds(job);
+  return seconds;
+}
+
+}  // namespace mwsj

@@ -1,0 +1,51 @@
+#include "mapreduce/counters.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mwsj {
+
+int64_t JobStats::MaxReducerRecords() const {
+  if (per_reducer_records.empty()) return 0;
+  return *std::max_element(per_reducer_records.begin(),
+                           per_reducer_records.end());
+}
+
+double JobStats::MaxReducerSeconds() const {
+  if (per_reducer_seconds.empty()) return 0;
+  return *std::max_element(per_reducer_seconds.begin(),
+                           per_reducer_seconds.end());
+}
+
+double JobStats::SumReducerSeconds() const {
+  return std::accumulate(per_reducer_seconds.begin(),
+                         per_reducer_seconds.end(), 0.0);
+}
+
+int64_t RunStats::UserCounter(const std::string& name) const {
+  int64_t total = 0;
+  for (const JobStats& j : jobs) {
+    auto it = j.user_counters.find(name);
+    if (it != j.user_counters.end()) total += it->second;
+  }
+  return total;
+}
+
+int64_t RunStats::TotalIntermediateRecords() const {
+  int64_t total = 0;
+  for (const JobStats& j : jobs) total += j.intermediate_records;
+  return total;
+}
+
+int64_t RunStats::TotalIntermediateBytes() const {
+  int64_t total = 0;
+  for (const JobStats& j : jobs) total += j.intermediate_bytes;
+  return total;
+}
+
+void RunStats::Add(JobStats stats) {
+  total_wall_seconds += stats.wall_seconds;
+  jobs.push_back(std::move(stats));
+}
+
+}  // namespace mwsj

@@ -1,0 +1,61 @@
+#ifndef MWSJ_MAPREDUCE_COUNTERS_H_
+#define MWSJ_MAPREDUCE_COUNTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mwsj {
+
+/// Statistics of one executed map-reduce job. Every quantity the paper's
+/// evaluation reports (intermediate key-value pairs = "rectangles after
+/// replication", reducer load, read/write volume) is captured here; the
+/// cost model converts them into modeled cluster time.
+struct JobStats {
+  std::string job_name;
+
+  int64_t map_input_records = 0;
+  int64_t map_input_bytes = 0;
+  /// Intermediate key-value pairs produced by the map phase — the paper's
+  /// primary communication-cost metric (§1).
+  int64_t intermediate_records = 0;
+  int64_t intermediate_bytes = 0;
+  int64_t reduce_output_records = 0;
+  int64_t reduce_output_bytes = 0;
+
+  int num_reducers = 0;
+  /// Records routed to each reducer; skew drives the modeled reduce time.
+  std::vector<int64_t> per_reducer_records;
+  /// Measured CPU seconds spent inside each reduce task.
+  std::vector<double> per_reducer_seconds;
+
+  /// End-to-end in-process wall time of the job.
+  double wall_seconds = 0;
+
+  /// User-defined counters (e.g. "rectangles_marked" in C-Rep round 1).
+  std::map<std::string, int64_t> user_counters;
+
+  int64_t MaxReducerRecords() const;
+  double MaxReducerSeconds() const;
+  double SumReducerSeconds() const;
+};
+
+/// Aggregated statistics of a whole algorithm run (one or more MR jobs).
+struct RunStats {
+  std::vector<JobStats> jobs;
+
+  /// Measured in-process wall time across all jobs.
+  double total_wall_seconds = 0;
+
+  /// Sum of user counter `name` across jobs.
+  int64_t UserCounter(const std::string& name) const;
+  int64_t TotalIntermediateRecords() const;
+  int64_t TotalIntermediateBytes() const;
+
+  void Add(JobStats stats);
+};
+
+}  // namespace mwsj
+
+#endif  // MWSJ_MAPREDUCE_COUNTERS_H_

@@ -1,0 +1,115 @@
+#ifndef MWSJ_MAPREDUCE_DFS_H_
+#define MWSJ_MAPREDUCE_DFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <typeindex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mwsj {
+
+/// A simulated distributed file system.
+///
+/// The paper's 2-way Cascade baseline pays a "huge reading and writing
+/// cost" (§6.4) because every intermediate join result round-trips through
+/// HDFS. This class stands in for HDFS: datasets are named, immutable,
+/// type-erased record vectors, and every store/load is charged to byte
+/// counters that the cost model converts into I/O time. Record payloads are
+/// shared, not copied — the accounting, not the data movement, is what the
+/// experiments need.
+class Dfs {
+ public:
+  Dfs() = default;
+  Dfs(const Dfs&) = delete;
+  Dfs& operator=(const Dfs&) = delete;
+
+  /// Stores `records` under `name`, charging `records->size() *
+  /// record_bytes` to the write counter. Overwrites any previous dataset of
+  /// the same name.
+  template <typename T>
+  void Write(const std::string& name,
+             std::shared_ptr<const std::vector<T>> records,
+             int64_t record_bytes = sizeof(T)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry e;
+    e.data = std::static_pointer_cast<const void>(records);
+    e.type = std::type_index(typeid(T));
+    e.records = static_cast<int64_t>(records->size());
+    e.bytes = e.records * record_bytes;
+    bytes_written_ += e.bytes;
+    records_written_ += e.records;
+    datasets_[name] = std::move(e);
+  }
+
+  /// Loads the dataset `name`, charging its size to the read counter.
+  /// Returns NotFound / FailedPrecondition on missing name or type
+  /// mismatch.
+  template <typename T>
+  StatusOr<std::shared_ptr<const std::vector<T>>> Read(
+      const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = datasets_.find(name);
+    if (it == datasets_.end()) {
+      return Status::NotFound("no dataset named '" + name + "'");
+    }
+    if (it->second.type != std::type_index(typeid(T))) {
+      return Status::FailedPrecondition("dataset '" + name +
+                                        "' has a different record type");
+    }
+    bytes_read_ += it->second.bytes;
+    records_read_ += it->second.records;
+    return std::static_pointer_cast<const std::vector<T>>(it->second.data);
+  }
+
+  bool Exists(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return datasets_.count(name) > 0;
+  }
+
+  /// Removes a dataset; missing names are a no-op (idempotent cleanup).
+  void Remove(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    datasets_.erase(name);
+  }
+
+  int64_t bytes_written() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_written_;
+  }
+  int64_t bytes_read() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_read_;
+  }
+  int64_t records_written() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_written_;
+  }
+  int64_t records_read() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_read_;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const void> data;
+    std::type_index type = std::type_index(typeid(void));
+    int64_t records = 0;
+    int64_t bytes = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> datasets_;
+  int64_t bytes_written_ = 0;
+  int64_t bytes_read_ = 0;
+  int64_t records_written_ = 0;
+  int64_t records_read_ = 0;
+};
+
+}  // namespace mwsj
+
+#endif  // MWSJ_MAPREDUCE_DFS_H_

@@ -1,0 +1,241 @@
+#ifndef MWSJ_MAPREDUCE_ENGINE_H_
+#define MWSJ_MAPREDUCE_ENGINE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "mapreduce/counters.h"
+
+namespace mwsj {
+
+/// In-process map-reduce engine.
+///
+/// This substrate plays the role Hadoop 0.20.2 plays in the paper (§2,
+/// §7.8.1): user code supplies a map function that turns input records into
+/// intermediate key-value pairs, the engine shuffles pairs to reducers by a
+/// partition function, and a reduce function processes each key group. The
+/// engine is deliberately faithful to the paper's cost structure rather than
+/// to Hadoop's implementation details:
+///
+///   * every intermediate pair is counted (and sized) — that is the
+///     communication cost the algorithms are designed to minimize;
+///   * reducers execute as independent tasks with per-task timing, so
+///     reducer skew is observable;
+///   * execution is deterministic: mapper outputs are concatenated in input
+///     order regardless of thread scheduling, and reducers iterate key
+///     groups in key order.
+///
+/// Keys must be totally ordered (operator<) and equality-comparable.
+template <typename In, typename K, typename V, typename Out>
+class MapReduceJob {
+ public:
+  /// Collects intermediate pairs from one map invocation.
+  class Emitter {
+   public:
+    explicit Emitter(std::vector<std::pair<K, V>>* sink) : sink_(sink) {}
+    void Emit(K key, V value) {
+      sink_->emplace_back(std::move(key), std::move(value));
+    }
+
+   private:
+    std::vector<std::pair<K, V>>* sink_;
+  };
+
+  /// Collects output records from one reduce invocation.
+  class OutEmitter {
+   public:
+    explicit OutEmitter(std::vector<Out>* sink) : sink_(sink) {}
+    void Emit(Out record) { sink_->push_back(std::move(record)); }
+
+   private:
+    std::vector<Out>* sink_;
+  };
+
+  using MapFn = std::function<void(const In&, Emitter&)>;
+  using ReduceFn = std::function<void(const K&, std::span<const V>, OutEmitter&)>;
+  using PartitionFn = std::function<int(const K&)>;
+  using SizeFn = std::function<int64_t(const V&)>;
+
+  MapReduceJob(std::string name, int num_reducers)
+      : name_(std::move(name)), num_reducers_(num_reducers) {}
+
+  MapReduceJob& set_map(MapFn fn) {
+    map_ = std::move(fn);
+    return *this;
+  }
+  MapReduceJob& set_reduce(ReduceFn fn) {
+    reduce_ = std::move(fn);
+    return *this;
+  }
+  /// Defaults to `std::hash<K> % num_reducers`. The spatial algorithms use
+  /// the identity partitioner (key = cell id = reducer id).
+  MapReduceJob& set_partition(PartitionFn fn) {
+    partition_ = std::move(fn);
+    return *this;
+  }
+  /// Byte size of one intermediate value, for communication accounting.
+  /// Defaults to sizeof(V) + sizeof(K).
+  MapReduceJob& set_value_size(SizeFn fn) {
+    value_size_ = std::move(fn);
+    return *this;
+  }
+  /// Byte size of one input / output record for DFS accounting.
+  MapReduceJob& set_record_bytes(int64_t in_bytes, int64_t out_bytes) {
+    input_record_bytes_ = in_bytes;
+    output_record_bytes_ = out_bytes;
+    return *this;
+  }
+
+  /// Adds to a user counter visible in the resulting JobStats. Thread-safe.
+  void IncrementCounter(const std::string& name, int64_t delta) {
+    std::lock_guard<std::mutex> lock(counter_mu_);
+    user_counters_[name] += delta;
+  }
+
+  /// Executes the job over `input`, appending reducer output to `*output`.
+  /// `pool` may be null for synchronous single-threaded execution.
+  JobStats Run(std::span<const In> input, std::vector<Out>* output,
+               ThreadPool* pool = nullptr);
+
+ private:
+  std::string name_;
+  int num_reducers_;
+  MapFn map_;
+  ReduceFn reduce_;
+  PartitionFn partition_;
+  SizeFn value_size_;
+  int64_t input_record_bytes_ = static_cast<int64_t>(sizeof(In));
+  int64_t output_record_bytes_ = static_cast<int64_t>(sizeof(Out));
+
+  std::mutex counter_mu_;
+  std::map<std::string, int64_t> user_counters_;
+};
+
+template <typename In, typename K, typename V, typename Out>
+JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
+                                          std::vector<Out>* output,
+                                          ThreadPool* pool) {
+  Stopwatch job_watch;
+  JobStats stats;
+  stats.job_name = name_;
+  stats.num_reducers = num_reducers_;
+  stats.map_input_records = static_cast<int64_t>(input.size());
+  stats.map_input_bytes = stats.map_input_records * input_record_bytes_;
+
+  PartitionFn partition = partition_;
+  if (!partition) {
+    partition = [this](const K& k) {
+      return static_cast<int>(std::hash<K>{}(k) % num_reducers_);
+    };
+  }
+  SizeFn value_size = value_size_;
+  if (!value_size) {
+    value_size = [](const V&) {
+      return static_cast<int64_t>(sizeof(V) + sizeof(K));
+    };
+  }
+
+  // ---- Map phase. Input is split into fixed chunks; each chunk's pairs
+  // land in a dedicated buffer so the merge below is deterministic.
+  const size_t chunk_size =
+      std::max<size_t>(1, (input.size() + 63) / 64);
+  const size_t num_chunks =
+      input.empty() ? 0 : (input.size() + chunk_size - 1) / chunk_size;
+  std::vector<std::vector<std::pair<K, V>>> chunk_pairs(num_chunks);
+
+  auto run_chunk = [&](size_t c) {
+    Emitter emitter(&chunk_pairs[c]);
+    const size_t lo = c * chunk_size;
+    const size_t hi = std::min(input.size(), lo + chunk_size);
+    for (size_t i = lo; i < hi; ++i) map_(input[i], emitter);
+  };
+  if (pool != nullptr && num_chunks > 1) {
+    ParallelFor(pool, num_chunks, run_chunk);
+  } else {
+    for (size_t c = 0; c < num_chunks; ++c) run_chunk(c);
+  }
+
+  // ---- Shuffle: route pairs to reducer inboxes, in chunk order.
+  std::vector<std::vector<std::pair<K, V>>> inbox(num_reducers_);
+  for (auto& pairs : chunk_pairs) {
+    for (auto& kv : pairs) {
+      const int r = partition(kv.first);
+      stats.intermediate_bytes += value_size(kv.second);
+      inbox[static_cast<size_t>(r)].push_back(std::move(kv));
+    }
+    stats.intermediate_records += static_cast<int64_t>(pairs.size());
+    pairs.clear();
+    pairs.shrink_to_fit();
+  }
+  chunk_pairs.clear();
+
+  stats.per_reducer_records.resize(static_cast<size_t>(num_reducers_));
+  for (int r = 0; r < num_reducers_; ++r) {
+    stats.per_reducer_records[static_cast<size_t>(r)] =
+        static_cast<int64_t>(inbox[static_cast<size_t>(r)].size());
+  }
+
+  // ---- Reduce phase: group by key within each reducer, in key order.
+  std::vector<std::vector<Out>> reducer_out(static_cast<size_t>(num_reducers_));
+  stats.per_reducer_seconds.assign(static_cast<size_t>(num_reducers_), 0.0);
+
+  auto run_reducer = [&](size_t r) {
+    Stopwatch reducer_watch;
+    auto& pairs = inbox[r];
+    // Stable sort keeps same-key values in arrival (chunk) order, matching
+    // Hadoop's merge of mapper spills.
+    std::stable_sort(pairs.begin(), pairs.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    OutEmitter out_emitter(&reducer_out[r]);
+    size_t i = 0;
+    std::vector<V> values;
+    while (i < pairs.size()) {
+      size_t j = i;
+      values.clear();
+      while (j < pairs.size() && !(pairs[i].first < pairs[j].first) &&
+             !(pairs[j].first < pairs[i].first)) {
+        values.push_back(std::move(pairs[j].second));
+        ++j;
+      }
+      reduce_(pairs[i].first, std::span<const V>(values), out_emitter);
+      i = j;
+    }
+    pairs.clear();
+    pairs.shrink_to_fit();
+    stats.per_reducer_seconds[r] = reducer_watch.ElapsedSeconds();
+  };
+  if (pool != nullptr && num_reducers_ > 1) {
+    ParallelFor(pool, static_cast<size_t>(num_reducers_), run_reducer);
+  } else {
+    for (int r = 0; r < num_reducers_; ++r) run_reducer(static_cast<size_t>(r));
+  }
+
+  for (auto& out : reducer_out) {
+    stats.reduce_output_records += static_cast<int64_t>(out.size());
+    output->insert(output->end(), std::make_move_iterator(out.begin()),
+                   std::make_move_iterator(out.end()));
+  }
+  stats.reduce_output_bytes = stats.reduce_output_records * output_record_bytes_;
+
+  {
+    std::lock_guard<std::mutex> lock(counter_mu_);
+    stats.user_counters = user_counters_;
+  }
+  stats.wall_seconds = job_watch.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace mwsj
+
+#endif  // MWSJ_MAPREDUCE_ENGINE_H_

@@ -1,0 +1,85 @@
+#include "mapreduce/stats_json.h"
+
+#include "common/str_format.h"
+
+namespace mwsj {
+
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RunStatsToJson(const RunStats& stats) {
+  std::string out = "{";
+  out += StrFormat("\"total_wall_seconds\": %.6f, \"jobs\": [",
+                   stats.total_wall_seconds);
+  for (size_t j = 0; j < stats.jobs.size(); ++j) {
+    const JobStats& job = stats.jobs[j];
+    if (j > 0) out += ", ";
+    out += "{";
+    out += StrFormat("\"name\": \"%s\"", EscapeJson(job.job_name).c_str());
+    out += StrFormat(", \"map_input_records\": %lld",
+                     static_cast<long long>(job.map_input_records));
+    out += StrFormat(", \"map_input_bytes\": %lld",
+                     static_cast<long long>(job.map_input_bytes));
+    out += StrFormat(", \"intermediate_records\": %lld",
+                     static_cast<long long>(job.intermediate_records));
+    out += StrFormat(", \"intermediate_bytes\": %lld",
+                     static_cast<long long>(job.intermediate_bytes));
+    out += StrFormat(", \"reduce_output_records\": %lld",
+                     static_cast<long long>(job.reduce_output_records));
+    out += StrFormat(", \"reduce_output_bytes\": %lld",
+                     static_cast<long long>(job.reduce_output_bytes));
+    out += StrFormat(", \"num_reducers\": %d", job.num_reducers);
+    out += StrFormat(", \"max_reducer_records\": %lld",
+                     static_cast<long long>(job.MaxReducerRecords()));
+    out += StrFormat(", \"reduce_seconds_total\": %.6f",
+                     job.SumReducerSeconds());
+    out += StrFormat(", \"reduce_seconds_max\": %.6f",
+                     job.MaxReducerSeconds());
+    out += StrFormat(", \"wall_seconds\": %.6f", job.wall_seconds);
+    out += ", \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : job.user_counters) {  // std::map: sorted.
+      if (!first) out += ", ";
+      first = false;
+      out += StrFormat("\"%s\": %lld", EscapeJson(name).c_str(),
+                       static_cast<long long>(value));
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mwsj

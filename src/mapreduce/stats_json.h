@@ -1,0 +1,36 @@
+#ifndef MWSJ_MAPREDUCE_STATS_JSON_H_
+#define MWSJ_MAPREDUCE_STATS_JSON_H_
+
+#include <string>
+
+#include "mapreduce/counters.h"
+
+namespace mwsj {
+
+/// Serializes run statistics as a JSON document for machine consumption
+/// (dashboards, regression tracking of the bench outputs). The schema:
+///
+/// {
+///   "total_wall_seconds": 1.23,
+///   "jobs": [
+///     {
+///       "name": "crep_round1_mark",
+///       "map_input_records": 100, "map_input_bytes": 4800,
+///       "intermediate_records": 130, "intermediate_bytes": 6240,
+///       "reduce_output_records": 100, "reduce_output_bytes": 4800,
+///       "num_reducers": 64,
+///       "max_reducer_records": 9,
+///       "reduce_seconds_total": 0.01, "reduce_seconds_max": 0.002,
+///       "wall_seconds": 0.05,
+///       "counters": {"rectangles_replicated": 12}
+///     }, ...
+///   ]
+/// }
+///
+/// Strings are escaped per RFC 8259; the output is deterministic (counters
+/// in lexicographic order).
+std::string RunStatsToJson(const RunStats& stats);
+
+}  // namespace mwsj
+
+#endif  // MWSJ_MAPREDUCE_STATS_JSON_H_

@@ -1,0 +1,38 @@
+#ifndef MWSJ_QUERIES_CONTAINMENT_H_
+#define MWSJ_QUERIES_CONTAINMENT_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "geometry/rect.h"
+#include "grid/grid_partition.h"
+#include "mapreduce/counters.h"
+
+namespace mwsj {
+
+/// Result of a containment join.
+struct ContainmentResult {
+  /// (point id, rectangle id) pairs with the rectangle containing the
+  /// point, sorted, duplicate-free.
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  RunStats stats;
+};
+
+/// The containment query the paper lists as future work (§10, and §3's
+/// survey of 2-way systems): find every (point, rectangle) pair where the
+/// rectangle contains the point. One map-reduce job over the same grid
+/// substrate: points are Projected (each reaches exactly one reducer — no
+/// duplicate avoidance needed), rectangles are Split, and each reducer
+/// probes an R-tree of its rectangles with its points.
+StatusOr<ContainmentResult> ContainmentJoin(const GridPartition& grid,
+                                            std::span<const Point> points,
+                                            std::span<const Rect> rects,
+                                            ThreadPool* pool = nullptr);
+
+}  // namespace mwsj
+
+#endif  // MWSJ_QUERIES_CONTAINMENT_H_

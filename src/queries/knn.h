@@ -1,0 +1,58 @@
+#ifndef MWSJ_QUERIES_KNN_H_
+#define MWSJ_QUERIES_KNN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "geometry/rect.h"
+#include "grid/grid_partition.h"
+#include "mapreduce/counters.h"
+
+namespace mwsj {
+
+/// One k-nearest-neighbor answer entry.
+struct KnnNeighbor {
+  int64_t rect_id = 0;
+  double distance = 0;
+
+  friend bool operator==(const KnnNeighbor& a, const KnnNeighbor& b) {
+    return a.rect_id == b.rect_id && a.distance == b.distance;
+  }
+};
+
+/// Result of an all-points kNN query.
+struct KnnResult {
+  /// neighbors[p] lists the k rectangles nearest to point p, ordered by
+  /// (distance, rect id); fewer than k entries when the dataset is small.
+  std::vector<std::vector<KnnNeighbor>> neighbors;
+  RunStats stats;
+};
+
+/// The kNN query the paper lists as future work (§10): for every query
+/// point, find the k rectangles with the smallest Euclidean MBR distance.
+/// Exact, as three map-reduce rounds over the grid substrate:
+///
+///  1. *bound*: points are Projected, rectangles Split; each reducer
+///     computes, per point, the k-th smallest distance among its local
+///     rectangles — an upper bound on the true k-th neighbor distance
+///     (infinite when fewer than k rectangles are local);
+///  2. *probe*: each point is routed to every cell within its bound (all
+///     cells when unbounded), rectangles are Split again; reducers emit
+///     (point, rect, distance) candidates within the bound, deduplicated
+///     with the §5.3 enlarged-intersection owner rule;
+///  3. *merge*: candidates are grouped by point id and the k smallest
+///     (distance, id) pairs survive.
+///
+/// Ties beyond position k are cut by rectangle id, making the result
+/// deterministic.
+StatusOr<KnnResult> KnnJoin(const GridPartition& grid,
+                            std::span<const Point> points,
+                            std::span<const Rect> rects, int k,
+                            ThreadPool* pool = nullptr);
+
+}  // namespace mwsj
+
+#endif  // MWSJ_QUERIES_KNN_H_

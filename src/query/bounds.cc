@@ -1,0 +1,59 @@
+#include "query/bounds.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace mwsj {
+
+std::vector<double> ComputeReplicationBounds(
+    const Query& query, const std::vector<double>& diagonal_bounds) {
+  const int n = query.num_relations();
+  std::vector<double> bounds(static_cast<size_t>(n), 0.0);
+
+  // Dijkstra from every source. Edge i→k costs w_e + d_max[k]; the final
+  // hop's d_max[j] is subtracted because the destination rectangle is not
+  // an intermediate.
+  for (int src = 0; src < n; ++src) {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<double> dist(static_cast<size_t>(n), kInf);
+    dist[static_cast<size_t>(src)] = 0;
+    using Item = std::pair<double, int>;  // (distance, relation)
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+    heap.emplace(0.0, src);
+    while (!heap.empty()) {
+      const auto [d, r] = heap.top();
+      heap.pop();
+      if (d > dist[static_cast<size_t>(r)]) continue;
+      for (int ci : query.ConditionsOf(r)) {
+        const JoinCondition& c = query.conditions()[static_cast<size_t>(ci)];
+        const int other = (c.left == r) ? c.right : c.left;
+        const double cost = c.predicate.distance() +
+                            diagonal_bounds[static_cast<size_t>(other)];
+        if (dist[static_cast<size_t>(r)] + cost <
+            dist[static_cast<size_t>(other)]) {
+          dist[static_cast<size_t>(other)] =
+              dist[static_cast<size_t>(r)] + cost;
+          heap.emplace(dist[static_cast<size_t>(other)], other);
+        }
+      }
+    }
+    double worst = 0;
+    for (int j = 0; j < n; ++j) {
+      if (j == src) continue;
+      worst = std::max(worst, dist[static_cast<size_t>(j)] -
+                                  diagonal_bounds[static_cast<size_t>(j)]);
+    }
+    bounds[static_cast<size_t>(src)] = worst;
+  }
+  return bounds;
+}
+
+std::vector<double> ComputeReplicationBounds(const Query& query,
+                                             double global_diagonal_bound) {
+  return ComputeReplicationBounds(
+      query, std::vector<double>(static_cast<size_t>(query.num_relations()),
+                                 global_diagonal_bound));
+}
+
+}  // namespace mwsj

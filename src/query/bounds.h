@@ -1,0 +1,49 @@
+#ifndef MWSJ_QUERY_BOUNDS_H_
+#define MWSJ_QUERY_BOUNDS_H_
+
+#include <vector>
+
+#include "query/query.h"
+
+namespace mwsj {
+
+/// Per-relation replication-distance bounds for Controlled-Replicate in
+/// Limit (§7.9 for overlap, §8 for range, footnote 3 for general graphs).
+///
+/// For an output tuple, the rectangle of relation j reachable from relation
+/// i along a join-graph path contributes, per axis, at most
+///
+///     sum over path edges of  w_e  +  sum over intermediate relations of
+///     their diagonal upper bound d_max
+///
+/// to the offset between rectangle i and rectangle j's start point; the
+/// duplicate-avoidance point of the tuple is composed of member start
+/// coordinates, so a rectangle marked for replication only needs to reach
+/// fourth-quadrant cells within
+///
+///     L_i = max_j  min over i→j paths [ Σ_e (w_e + d_max[target(e)]) ]
+///                  − d_max[j]
+///
+/// of itself. For the paper's chain of m relations with one global d_max
+/// this reduces to the published bounds: (m−2)·d_max for endpoint relations
+/// of an overlap chain, (m−2)·d_max + (m−1)·d for a range chain.
+///
+/// The bound constrains each axis separately, so the *Chebyshev* cell
+/// distance test is the provably safe companion metric (see
+/// grid/transform.h); with the Euclidean test of the paper's §4 f2
+/// definition, corner cells at per-axis distance ≤ L_i but Euclidean
+/// distance > L_i would be skipped.
+///
+/// `diagonal_bounds[r]` is an upper bound on the diagonal of the rectangles
+/// of relation r (the paper's d_max, per relation). Returns one bound per
+/// relation. Requires a valid (connected) query.
+std::vector<double> ComputeReplicationBounds(
+    const Query& query, const std::vector<double>& diagonal_bounds);
+
+/// Convenience overload with a single global d_max for every relation.
+std::vector<double> ComputeReplicationBounds(const Query& query,
+                                             double global_diagonal_bound);
+
+}  // namespace mwsj
+
+#endif  // MWSJ_QUERY_BOUNDS_H_

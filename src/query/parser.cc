@@ -1,0 +1,142 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "common/str_format.h"
+
+namespace mwsj {
+
+namespace {
+
+// A minimal hand-rolled tokenizer/parser; the grammar is three tokens deep,
+// so recursive descent with explicit positions keeps error messages exact.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<Query> Parse() {
+    MWSJ_RETURN_IF_ERROR(ParseCondition());
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size()) break;
+      MWSJ_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      MWSJ_RETURN_IF_ERROR(ParseCondition());
+    }
+    return builder_.Build();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status ErrorAt(size_t pos, const std::string& what) {
+    return Status::InvalidArgument(
+        StrFormat("query parse error at offset %zu: %s", pos, what.c_str()));
+  }
+
+  // Reads an identifier ([A-Za-z_][A-Za-z0-9_]*).
+  StatusOr<std::string> ReadIdent() {
+    SkipSpace();
+    const size_t start = pos_;
+    if (pos_ >= text_.size() ||
+        (!std::isalpha(static_cast<unsigned char>(text_[pos_])) &&
+         text_[pos_] != '_')) {
+      return ErrorAt(pos_, "expected a relation name");
+    }
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  static std::string ToUpper(std::string s) {
+    for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return s;
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    const size_t at = pos_;
+    StatusOr<std::string> word = ReadIdent();
+    if (!word.ok()) return ErrorAt(at, "expected keyword " + keyword);
+    if (ToUpper(word.value()) != keyword) {
+      return ErrorAt(at, "expected keyword " + keyword + ", got '" +
+                             word.value() + "'");
+    }
+    return Status::OK();
+  }
+
+  StatusOr<Predicate> ReadPredicate() {
+    const size_t at = pos_;
+    StatusOr<std::string> word = ReadIdent();
+    if (!word.ok()) return ErrorAt(at, "expected a predicate (OV or RA(d))");
+    const std::string upper = ToUpper(word.value());
+    if (upper == "OV" || upper == "OVERLAPS") return Predicate::Overlap();
+    if (upper == "RA" || upper == "RANGE") {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '(') {
+        return ErrorAt(pos_, "expected '(' after " + upper);
+      }
+      ++pos_;
+      SkipSpace();
+      char* end = nullptr;
+      const std::string rest(text_.substr(pos_));
+      const double d = std::strtod(rest.c_str(), &end);
+      if (end == rest.c_str()) {
+        return ErrorAt(pos_, "expected a distance number");
+      }
+      pos_ += static_cast<size_t>(end - rest.c_str());
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        return ErrorAt(pos_, "expected ')' after range distance");
+      }
+      ++pos_;
+      if (d < 0) return ErrorAt(at, "range distance must be non-negative");
+      return Predicate::Range(d);
+    }
+    return ErrorAt(at, "unknown predicate '" + word.value() + "'");
+  }
+
+  int RelationIndex(const std::string& name) {
+    auto it = relation_index_.find(name);
+    if (it != relation_index_.end()) return it->second;
+    const int idx = builder_.AddRelation(name);
+    relation_index_[name] = idx;
+    return idx;
+  }
+
+  Status ParseCondition() {
+    StatusOr<std::string> left = ReadIdent();
+    if (!left.ok()) return left.status();
+    StatusOr<Predicate> pred = ReadPredicate();
+    if (!pred.ok()) return pred.status();
+    StatusOr<std::string> right = ReadIdent();
+    if (!right.ok()) return right.status();
+    // Register relations in appearance order (function-argument evaluation
+    // order would be unspecified).
+    const int left_index = RelationIndex(left.value());
+    const int right_index = RelationIndex(right.value());
+    builder_.AddCondition(left_index, right_index, pred.value());
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  QueryBuilder builder_;
+  std::map<std::string, int> relation_index_;
+};
+
+}  // namespace
+
+StatusOr<Query> ParseQuery(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace mwsj

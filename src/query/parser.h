@@ -1,0 +1,32 @@
+#ifndef MWSJ_QUERY_PARSER_H_
+#define MWSJ_QUERY_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "query/query.h"
+
+namespace mwsj {
+
+/// Parses the textual query notation used in the paper's prose, e.g.
+///
+///   "R1 OV R2 AND R2 OV R3"            (the paper's Q2)
+///   "R1 RA(100) R2 AND R2 RA(100) R3"  (the paper's Q3, d=100)
+///   "R1 OV R2 AND R2 RA(200) R3"       (the paper's Q4)
+///
+/// Grammar (case-insensitive keywords):
+///   query     := condition ( "AND" condition )*
+///   condition := ident predicate ident
+///   predicate := "OV" | "OVERLAPS" | "RA" "(" number ")" |
+///                "RANGE" "(" number ")"
+///
+/// Relations are created in first-appearance order; repeating a name reuses
+/// the same relation. Returns InvalidArgument with a position-annotated
+/// message on syntax errors, and propagates QueryBuilder validation errors
+/// (e.g. disconnected graphs).
+StatusOr<Query> ParseQuery(std::string_view text);
+
+}  // namespace mwsj
+
+#endif  // MWSJ_QUERY_PARSER_H_

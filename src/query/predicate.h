@@ -1,0 +1,55 @@
+#ifndef MWSJ_QUERY_PREDICATE_H_
+#define MWSJ_QUERY_PREDICATE_H_
+
+#include <string>
+
+#include "geometry/rect.h"
+
+namespace mwsj {
+
+/// The two spatial predicates of the paper's query model (§1.2).
+enum class PredicateKind {
+  kOverlap,  // Ov: rectangles share at least one point.
+  kRange,    // Ra(d): rectangles within Euclidean distance d.
+};
+
+/// A spatial join predicate. Overlap is represented as distance 0 in the
+/// join graph (§1.2: edge weight 0 for overlap, d for range), but keeps its
+/// own kind so conditions C2 pick the right crossing test (§9).
+class Predicate {
+ public:
+  static Predicate Overlap() { return Predicate(PredicateKind::kOverlap, 0); }
+  static Predicate Range(double d) {
+    return Predicate(PredicateKind::kRange, d);
+  }
+
+  PredicateKind kind() const { return kind_; }
+  bool is_overlap() const { return kind_ == PredicateKind::kOverlap; }
+  bool is_range() const { return kind_ == PredicateKind::kRange; }
+
+  /// The join-graph edge weight: 0 for overlap, d for range.
+  double distance() const { return distance_; }
+
+  /// Evaluates the predicate on two MBRs (the filter-step test).
+  bool Evaluate(const Rect& a, const Rect& b) const {
+    if (kind_ == PredicateKind::kOverlap) return Overlaps(a, b);
+    return WithinDistance(a, b, distance_);
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Predicate& a, const Predicate& b) {
+    return a.kind_ == b.kind_ && a.distance_ == b.distance_;
+  }
+
+ private:
+  Predicate(PredicateKind kind, double distance)
+      : kind_(kind), distance_(distance) {}
+
+  PredicateKind kind_;
+  double distance_;
+};
+
+}  // namespace mwsj
+
+#endif  // MWSJ_QUERY_PREDICATE_H_

@@ -1,0 +1,155 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/str_format.h"
+
+namespace mwsj {
+
+std::string Predicate::ToString() const {
+  if (is_overlap()) return "Ov";
+  return StrFormat("Ra(%g)", distance_);
+}
+
+bool Query::IsOverlapOnly() const {
+  return std::all_of(conditions_.begin(), conditions_.end(),
+                     [](const JoinCondition& c) {
+                       return c.predicate.is_overlap();
+                     });
+}
+
+bool Query::IsRangeOnly() const {
+  return std::all_of(conditions_.begin(), conditions_.end(),
+                     [](const JoinCondition& c) {
+                       return c.predicate.is_range();
+                     });
+}
+
+double Query::MaxRangeDistance() const {
+  double d = 0;
+  for (const JoinCondition& c : conditions_) {
+    d = std::max(d, c.predicate.distance());
+  }
+  return d;
+}
+
+bool Query::Matches(const std::vector<Rect>& assignment) const {
+  for (const JoinCondition& c : conditions_) {
+    if (!c.predicate.Evaluate(assignment[static_cast<size_t>(c.left)],
+                              assignment[static_cast<size_t>(c.right)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Query::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < conditions_.size(); ++i) {
+    const JoinCondition& c = conditions_[i];
+    if (i > 0) out += " AND ";
+    out += relation_names_[static_cast<size_t>(c.left)];
+    out += " ";
+    out += c.predicate.ToString();
+    out += " ";
+    out += relation_names_[static_cast<size_t>(c.right)];
+  }
+  return out;
+}
+
+int QueryBuilder::AddRelation(std::string name) {
+  relation_names_.push_back(std::move(name));
+  return static_cast<int>(relation_names_.size()) - 1;
+}
+
+QueryBuilder& QueryBuilder::AddOverlap(int left, int right) {
+  return AddCondition(left, right, Predicate::Overlap());
+}
+
+QueryBuilder& QueryBuilder::AddRange(int left, int right, double distance) {
+  return AddCondition(left, right, Predicate::Range(distance));
+}
+
+QueryBuilder& QueryBuilder::AddCondition(int left, int right,
+                                         Predicate predicate) {
+  conditions_.push_back(JoinCondition{left, right, predicate});
+  return *this;
+}
+
+StatusOr<Query> QueryBuilder::Build() const {
+  const int n = static_cast<int>(relation_names_.size());
+  if (n < 2) {
+    return Status::InvalidArgument("a join query needs at least 2 relations");
+  }
+  if (conditions_.empty()) {
+    return Status::InvalidArgument("a join query needs at least 1 condition");
+  }
+  for (const JoinCondition& c : conditions_) {
+    if (c.left < 0 || c.left >= n || c.right < 0 || c.right >= n) {
+      return Status::InvalidArgument(
+          StrFormat("condition references relation index out of range "
+                    "[0, %d): (%d, %d)",
+                    n, c.left, c.right));
+    }
+    if (c.left == c.right) {
+      return Status::InvalidArgument(
+          "a condition cannot join a relation with itself; register the "
+          "dataset twice for self-joins");
+    }
+    if (c.predicate.is_range() && c.predicate.distance() < 0) {
+      return Status::InvalidArgument("range distance must be non-negative");
+    }
+  }
+
+  // Connectivity check (BFS). A disconnected join graph is a cross
+  // product of independent joins, which the framework does not support.
+  std::vector<std::vector<int>> adjacency(static_cast<size_t>(n));
+  for (size_t i = 0; i < conditions_.size(); ++i) {
+    adjacency[static_cast<size_t>(conditions_[i].left)].push_back(
+        static_cast<int>(i));
+    adjacency[static_cast<size_t>(conditions_[i].right)].push_back(
+        static_cast<int>(i));
+  }
+  std::vector<bool> seen(static_cast<size_t>(n), false);
+  std::deque<int> frontier = {0};
+  seen[0] = true;
+  int visited = 0;
+  while (!frontier.empty()) {
+    const int r = frontier.front();
+    frontier.pop_front();
+    ++visited;
+    for (int ci : adjacency[static_cast<size_t>(r)]) {
+      const JoinCondition& c = conditions_[static_cast<size_t>(ci)];
+      const int other = (c.left == r) ? c.right : c.left;
+      if (!seen[static_cast<size_t>(other)]) {
+        seen[static_cast<size_t>(other)] = true;
+        frontier.push_back(other);
+      }
+    }
+  }
+  if (visited != n) {
+    return Status::InvalidArgument(
+        "the join graph must be connected; split disconnected queries into "
+        "independent joins");
+  }
+
+  Query q;
+  q.relation_names_ = relation_names_;
+  q.conditions_ = conditions_;
+  q.adjacency_ = std::move(adjacency);
+  return q;
+}
+
+StatusOr<Query> MakeChainQuery(int num_relations, Predicate predicate) {
+  QueryBuilder b;
+  for (int i = 0; i < num_relations; ++i) {
+    b.AddRelation(StrFormat("R%d", i + 1));
+  }
+  for (int i = 0; i + 1 < num_relations; ++i) {
+    b.AddCondition(i, i + 1, predicate);
+  }
+  return b.Build();
+}
+
+}  // namespace mwsj

@@ -1,0 +1,38 @@
+// String formatting helper tests, including the paper's table formats.
+
+#include <gtest/gtest.h>
+
+#include "common/str_format.h"
+
+namespace mwsj {
+namespace {
+
+TEST(StrFormatTest, BasicSubstitution) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(StrFormatTest, LongOutputAllocatesCorrectly) {
+  const std::string long_arg(1000, 'a');
+  const std::string out = StrFormat("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 1002u);
+}
+
+TEST(FormatHhMmTest, PaperTimeColumnFormat) {
+  EXPECT_EQ(FormatHhMm(0), "00:00");
+  EXPECT_EQ(FormatHhMm(5 * 60), "00:05");        // Table 2's "00:05".
+  EXPECT_EQ(FormatHhMm(5 * 3600 + 14 * 60), "05:14");  // Table 3's "05:14".
+  EXPECT_EQ(FormatHhMm(89), "00:01");            // Rounded to nearest minute.
+  EXPECT_EQ(FormatHhMm(-5), "00:00");            // Clamped.
+}
+
+TEST(FormatMillionsTest, PaperCountColumnFormat) {
+  EXPECT_EQ(FormatMillions(64'300'000), "64.3m");
+  EXPECT_EQ(FormatMillions(3'900'000), "3.9m");
+  EXPECT_EQ(FormatMillions(50'000), "0.05m");
+  EXPECT_EQ(FormatMillions(150'000'000), "150m");
+}
+
+}  // namespace
+}  // namespace mwsj

@@ -1,0 +1,125 @@
+// Duplicate-avoidance rules, including a replay of the paper's Figure 3 /
+// §6.2 example: on an 4x8 grid, the tuple (u1, v1, w1, x1) must be emitted
+// by reducer 19 (1-based) — the cell containing the point (x1.x, u1.y).
+
+#include <gtest/gtest.h>
+
+#include "core/dedup.h"
+#include "grid/grid_partition.h"
+
+namespace mwsj {
+namespace {
+
+class Figure3Test : public ::testing::Test {
+ protected:
+  Figure3Test() {
+    // 4 rows x 8 cols over [0,8]x[0,4]; paper ids are ours + 1.
+    grid_ = GridPartition::Create(Rect(0, 0, 8, 4), 4, 8).value();
+    u1_ = Rect::FromXYLB(1.3, 1.8, 0.3, 0.3);  // split: cell 18 only.
+    v1_ = Rect::FromXYLB(1.55, 2.7, 0.25, 1.2);  // cells 10, 18.
+    w1_ = Rect::FromXYLB(1.7, 3.5, 0.8, 1.0);    // cells 2, 3, 10, 11.
+    x1_ = Rect::FromXYLB(2.2, 3.2, 0.3, 1.0);    // cells 3, 11.
+  }
+
+  StatusOr<GridPartition> grid_ = Status::Internal("uninitialized");
+  Rect u1_, v1_, w1_, x1_;
+};
+
+TEST_F(Figure3Test, StartCells) {
+  const GridPartition& g = grid_.value();
+  EXPECT_EQ(g.CellOfRect(u1_) + 1, 18);
+  EXPECT_EQ(g.CellOfRect(v1_) + 1, 10);
+  EXPECT_EQ(g.CellOfRect(w1_) + 1, 2);
+  EXPECT_EQ(g.CellOfRect(x1_) + 1, 3);
+}
+
+TEST_F(Figure3Test, ReferencePointIsX1xU1y) {
+  const Rect* members[] = {&u1_, &v1_, &w1_, &x1_};
+  const Point ref = MultiwayReferencePoint(members);
+  EXPECT_DOUBLE_EQ(ref.x, 2.2);  // x1 is the rightmost start point.
+  EXPECT_DOUBLE_EQ(ref.y, 1.8);  // u1 is the lowermost start point.
+}
+
+TEST_F(Figure3Test, OnlyReducer19EmitsTheTuple) {
+  const GridPartition& g = grid_.value();
+  const Rect* members[] = {&u1_, &v1_, &w1_, &x1_};
+  int owners = 0;
+  for (CellId cell = 0; cell < g.num_cells(); ++cell) {
+    if (OwnsTuple(g, cell, members)) {
+      ++owners;
+      EXPECT_EQ(cell + 1, 19);  // The paper's reducer 19.
+    }
+  }
+  EXPECT_EQ(owners, 1);
+}
+
+TEST(DedupPairTest, OverlapPairOwnerIsStartOfIntersection) {
+  // Figure 2(a)'s r3/r4: the overlap area starts in cell 14 of a 4x4 grid.
+  const GridPartition g =
+      GridPartition::Create(Rect(0, 0, 4, 4), 4, 4).value();
+  const Rect r3 = Rect::FromXYLB(0.6, 1.4, 1.2, 0.9);   // rows 2-3, cols 0-1.
+  const Rect r4 = Rect::FromXYLB(1.2, 0.8, 1.1, 0.5);   // row 3, cols 1-2.
+  int owners = 0;
+  for (CellId cell = 0; cell < g.num_cells(); ++cell) {
+    if (OwnsOverlapPair(g, cell, r3, r4)) {
+      ++owners;
+      EXPECT_EQ(cell + 1, 14);
+    }
+  }
+  EXPECT_EQ(owners, 1);
+}
+
+TEST(DedupPairTest, NonOverlappingPairHasNoOwner) {
+  const GridPartition g =
+      GridPartition::Create(Rect(0, 0, 4, 4), 4, 4).value();
+  const Rect a = Rect::FromXYLB(0.2, 3.8, 0.5, 0.5);
+  const Rect b = Rect::FromXYLB(2.0, 1.0, 0.5, 0.5);
+  for (CellId cell = 0; cell < g.num_cells(); ++cell) {
+    EXPECT_FALSE(OwnsOverlapPair(g, cell, a, b));
+  }
+}
+
+TEST(DedupPairTest, RangePairOwnedOnceWithinEnlargedIntersection) {
+  const GridPartition g =
+      GridPartition::Create(Rect(0, 0, 4, 4), 4, 4).value();
+  const Rect a = Rect::FromXYLB(0.5, 3.5, 0.4, 0.4);
+  const Rect b = Rect::FromXYLB(1.2, 3.4, 0.4, 0.4);  // 0.3 to the right.
+  const double d = 0.5;
+  ASSERT_TRUE(WithinDistance(a, b, d));
+  int owners = 0;
+  for (CellId cell = 0; cell < g.num_cells(); ++cell) {
+    if (OwnsRangePair(g, cell, a, b, d)) ++owners;
+  }
+  EXPECT_EQ(owners, 1);
+}
+
+TEST(DedupPairTest, TouchingRectanglesStillOwnedExactlyOnce) {
+  // Degenerate (zero-area) intersection from edge-touching rectangles.
+  const GridPartition g =
+      GridPartition::Create(Rect(0, 0, 4, 4), 2, 2).value();
+  const Rect a = Rect::FromXYLB(0.5, 3.0, 1.0, 1.0);   // right edge x=1.5.
+  const Rect b = Rect::FromXYLB(1.5, 3.25, 0.8, 0.5);  // left edge x=1.5.
+  ASSERT_TRUE(Overlaps(a, b));
+  int owners = 0;
+  for (CellId cell = 0; cell < g.num_cells(); ++cell) {
+    if (OwnsOverlapPair(g, cell, a, b)) ++owners;
+  }
+  EXPECT_EQ(owners, 1);
+}
+
+TEST(DedupPairTest, IntersectionStartOnGridLineOwnedByLeftUpperCell) {
+  // The left/above boundary ownership convention in action: intersection
+  // start exactly on the vertical grid line x=2 of a 2x2 grid over [0,4]².
+  const GridPartition g =
+      GridPartition::Create(Rect(0, 0, 4, 4), 2, 2).value();
+  const Rect a = Rect::FromXYLB(1.0, 3.0, 2.0, 1.0);  // x in [1,3].
+  const Rect b = Rect::FromXYLB(2.0, 3.5, 1.5, 1.0);  // x in [2,3.5].
+  // Intersection starts at (2.0, 3.0): owned by the left cell (cell 0).
+  EXPECT_TRUE(OwnsOverlapPair(g, 0, a, b));
+  for (CellId cell = 1; cell < g.num_cells(); ++cell) {
+    EXPECT_FALSE(OwnsOverlapPair(g, cell, a, b));
+  }
+}
+
+}  // namespace
+}  // namespace mwsj

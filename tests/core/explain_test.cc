@@ -1,0 +1,43 @@
+// EXPLAIN report rendering tests.
+
+#include <gtest/gtest.h>
+
+#include "core/explain.h"
+#include "core/runner.h"
+#include "testing/world.h"
+
+namespace mwsj {
+namespace {
+
+TEST(ExplainTest, ReportsJobsCountersAndLoads) {
+  testing::WorldConfig config;
+  config.seed = 88;
+  config.max_rects_per_relation = 40;
+  const Query query = testing::MakeWorldQuery(config);
+  const auto data = testing::MakeWorldData(config, query.num_relations());
+  RunnerOptions options;
+  options.algorithm = Algorithm::kControlledReplicate;
+  options.grid_rows = 4;
+  options.grid_cols = 4;
+  options.space = Rect(0, 0, 100, 100);
+  const auto result = RunSpatialJoin(query, data, options);
+  ASSERT_TRUE(result.ok());
+
+  const std::string report = ExplainRun(query, result.value());
+  EXPECT_NE(report.find("query: R1 Ov R2 AND R2 Ov R3"), std::string::npos);
+  EXPECT_NE(report.find("crep_round1_mark"), std::string::npos);
+  EXPECT_NE(report.find("crep_round2_join"), std::string::npos);
+  EXPECT_NE(report.find("rectangles_replicated"), std::string::npos);
+  EXPECT_NE(report.find("reducer load"), std::string::npos);
+  EXPECT_NE(report.find("modeled cluster time"), std::string::npos);
+}
+
+TEST(ExplainTest, HandlesEmptyRun) {
+  const Query query = MakeChainQuery(2, Predicate::Overlap()).value();
+  JoinRunResult result;
+  const std::string report = ExplainRun(query, result);
+  EXPECT_NE(report.find("output tuples: 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mwsj

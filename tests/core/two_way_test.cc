@@ -1,0 +1,113 @@
+// 2-way spatial joins (§5) against nested-loop references.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/two_way.h"
+
+namespace mwsj {
+namespace {
+
+using Pair = std::pair<int64_t, int64_t>;
+
+std::vector<LocalRect> RandomLocalRects(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LocalRect> out;
+  for (int i = 0; i < n; ++i) {
+    const double l = rng.Uniform(0, 15);
+    const double b = rng.Uniform(0, 15);
+    out.push_back(LocalRect{
+        Rect::FromXYLB(rng.Uniform(0, 100 - l), rng.Uniform(b, 100), l, b),
+        static_cast<int64_t>(i)});
+  }
+  return out;
+}
+
+std::vector<Pair> Reference(const std::vector<LocalRect>& left,
+                            const std::vector<LocalRect>& right,
+                            const Predicate& pred) {
+  std::vector<Pair> out;
+  for (const LocalRect& l : left) {
+    for (const LocalRect& r : right) {
+      if (pred.Evaluate(l.rect, r.rect)) out.emplace_back(l.id, r.id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class TwoWayJoinTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TwoWayJoinTest, OverlapJoinIsExactAndDuplicateFree) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  const auto left = RandomLocalRects(150, seed * 5 + 1);
+  const auto right = RandomLocalRects(130, seed * 5 + 2);
+  const GridPartition grid =
+      GridPartition::Create(Rect(0, 0, 100, 100), 4, 4).value();
+  const auto outcome =
+      TwoWaySpatialJoin(grid, Predicate::Overlap(), left, right);
+  EXPECT_EQ(outcome.pairs, Reference(left, right, Predicate::Overlap()));
+  // Duplicate-free by construction (§5.2 rule).
+  auto pairs = outcome.pairs;
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  EXPECT_EQ(pairs.size(), outcome.pairs.size());
+}
+
+TEST_P(TwoWayJoinTest, RangeJoinIsExactAndDuplicateFree) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  const auto left = RandomLocalRects(120, seed * 7 + 1);
+  const auto right = RandomLocalRects(120, seed * 7 + 2);
+  const GridPartition grid =
+      GridPartition::Create(Rect(0, 0, 100, 100), 5, 3).value();
+  const Predicate pred = Predicate::Range(9.0);
+  const auto outcome = TwoWaySpatialJoin(grid, pred, left, right);
+  EXPECT_EQ(outcome.pairs, Reference(left, right, pred));
+  auto pairs = outcome.pairs;
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  EXPECT_EQ(pairs.size(), outcome.pairs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoWayJoinTest, ::testing::Range(0, 8));
+
+TEST(TwoWayJoinStatsTest, SplitSplitCommunicationIsCounted) {
+  const std::vector<LocalRect> left = {
+      LocalRect{Rect::FromXYLB(10, 90, 30, 5), 0}};  // Spans 2 columns.
+  const std::vector<LocalRect> right = {
+      LocalRect{Rect::FromXYLB(12, 88, 2, 2), 0}};  // Inside one cell.
+  const GridPartition grid =
+      GridPartition::Create(Rect(0, 0, 100, 100), 4, 4).value();
+  const auto outcome =
+      TwoWaySpatialJoin(grid, Predicate::Overlap(), left, right);
+  EXPECT_EQ(outcome.pairs.size(), 1u);
+  // left splits to cells (0,0) and (0,1); right to (0,0): 3 records.
+  EXPECT_EQ(outcome.stats.intermediate_records, 3);
+  EXPECT_EQ(outcome.stats.map_input_records, 2);
+}
+
+TEST(TwoWayJoinStatsTest, RangeRoutingEnlargesOnlyTheLeftSide) {
+  // A left rectangle near a cell corner is shipped to the neighbors within
+  // d, the right one is only split.
+  const std::vector<LocalRect> left = {
+      LocalRect{Rect::FromXYLB(20, 80, 2, 2), 0}};  // Near cell corner.
+  const std::vector<LocalRect> right = {
+      LocalRect{Rect::FromXYLB(30, 70, 2, 2), 0}};
+  const GridPartition grid =
+      GridPartition::Create(Rect(0, 0, 100, 100), 4, 4).value();
+  const auto outcome =
+      TwoWaySpatialJoin(grid, Predicate::Range(5.0), left, right);
+  // left^e(5) = [15,27]x[73,85] overlaps 4 cells; right 1 cell.
+  EXPECT_EQ(outcome.stats.intermediate_records, 5);
+  EXPECT_TRUE(outcome.pairs.empty());  // Distance ~ 10.6 > 5.
+}
+
+TEST(TwoWayJoinTest, EmptyInputs) {
+  const GridPartition grid =
+      GridPartition::Create(Rect(0, 0, 100, 100), 2, 2).value();
+  const auto outcome = TwoWaySpatialJoin(grid, Predicate::Overlap(), {}, {});
+  EXPECT_TRUE(outcome.pairs.empty());
+}
+
+}  // namespace
+}  // namespace mwsj

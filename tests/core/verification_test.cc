@@ -1,0 +1,79 @@
+// Result verification utility tests.
+
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "core/verification.h"
+#include "testing/world.h"
+
+namespace mwsj {
+namespace {
+
+class VerificationTest : public ::testing::Test {
+ protected:
+  VerificationTest() {
+    query_ = MakeChainQuery(3, Predicate::Overlap()).value();
+    data_ = {
+        {Rect::FromXYLB(0, 2, 2, 2)},
+        {Rect::FromXYLB(1, 2, 2, 2), Rect::FromXYLB(50, 50, 1, 1)},
+        {Rect::FromXYLB(2.5, 2, 2, 2)},
+    };
+  }
+
+  StatusOr<Query> query_ = Status::Internal("uninitialized");
+  std::vector<std::vector<Rect>> data_;
+};
+
+TEST_F(VerificationTest, AcceptsCorrectResult) {
+  EXPECT_TRUE(VerifyJoinResult(query_.value(), data_, {{0, 0, 0}}).ok());
+  EXPECT_TRUE(VerifyJoinResult(query_.value(), data_, {}).ok());
+}
+
+TEST_F(VerificationTest, RejectsWrongArity) {
+  const Status s = VerifyJoinResult(query_.value(), data_, {{0, 0}});
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(VerificationTest, RejectsOutOfRangeIds) {
+  EXPECT_FALSE(VerifyJoinResult(query_.value(), data_, {{0, 5, 0}}).ok());
+  EXPECT_FALSE(VerifyJoinResult(query_.value(), data_, {{-1, 0, 0}}).ok());
+}
+
+TEST_F(VerificationTest, RejectsPredicateViolations) {
+  // B id 1 is far away: A-B overlap fails.
+  const Status s = VerifyJoinResult(query_.value(), data_, {{0, 1, 0}});
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("condition"), std::string::npos);
+}
+
+TEST_F(VerificationTest, RejectsDuplicates) {
+  const Status s =
+      VerifyJoinResult(query_.value(), data_, {{0, 0, 0}, {0, 0, 0}});
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("duplicate"), std::string::npos);
+}
+
+TEST_F(VerificationTest, AcceptsEveryAlgorithmOutputOnRandomWorlds) {
+  testing::WorldConfig config;
+  config.mix = testing::PredicateMix::kHybrid;
+  config.seed = 5150;
+  config.max_rects_per_relation = 40;
+  const Query query = testing::MakeWorldQuery(config);
+  const auto data = testing::MakeWorldData(config, query.num_relations());
+  for (Algorithm algorithm :
+       {Algorithm::kTwoWayCascade, Algorithm::kAllReplicate,
+        Algorithm::kControlledReplicate,
+        Algorithm::kControlledReplicateInLimit}) {
+    RunnerOptions options;
+    options.algorithm = algorithm;
+    options.space = Rect(0, 0, 100, 100);
+    const auto result = RunSpatialJoin(query, data, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(
+        VerifyJoinResult(query, data, result.value().tuples).ok())
+        << AlgorithmName(algorithm);
+  }
+}
+
+}  // namespace
+}  // namespace mwsj

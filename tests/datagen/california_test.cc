@@ -1,0 +1,118 @@
+// The synthetic California Road dataset must match every statistic the
+// paper publishes about the real TIGER/Line-derived dataset (§7.8.2).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/california.h"
+
+namespace mwsj {
+namespace {
+
+class CaliforniaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CaliforniaParams params;
+    params.num_roads = 200'000;  // Large enough for stable statistics.
+    params.seed = 2000;
+    data_ = new std::vector<Rect>(GenerateCaliforniaRoads(params));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  static const std::vector<Rect>* data_;
+};
+
+const std::vector<Rect>* CaliforniaTest::data_ = nullptr;
+
+TEST_F(CaliforniaTest, AllRoadsInsideTheFlattenedSpace) {
+  const Rect space = CaliforniaSpace();
+  EXPECT_DOUBLE_EQ(space.length(), 63'000);   // |x| / |y| = 0.63.
+  EXPECT_DOUBLE_EQ(space.breadth(), 100'000);
+  for (const Rect& r : *data_) {
+    EXPECT_TRUE(space.Contains(r)) << r.ToString();
+  }
+}
+
+TEST_F(CaliforniaTest, AverageDimensionsMatchPublishedValues) {
+  // Paper: average MBB length 18, breadth 8.
+  double sum_l = 0, sum_b = 0;
+  for (const Rect& r : *data_) {
+    sum_l += r.length();
+    sum_b += r.breadth();
+  }
+  const double n = static_cast<double>(data_->size());
+  EXPECT_NEAR(sum_l / n, 18.0, 6.0);
+  EXPECT_NEAR(sum_b / n, 8.0, 3.0);
+}
+
+TEST_F(CaliforniaTest, ExtremesMatchPublishedValues) {
+  // Paper: minimum dimensions 1; maximum length 2285, breadth 1344.
+  double min_l = 1e9, min_b = 1e9, max_l = 0, max_b = 0;
+  for (const Rect& r : *data_) {
+    min_l = std::min(min_l, r.length());
+    min_b = std::min(min_b, r.breadth());
+    max_l = std::max(max_l, r.length());
+    max_b = std::max(max_b, r.breadth());
+  }
+  EXPECT_GE(min_l, 1.0);
+  EXPECT_GE(min_b, 1.0);
+  EXPECT_LE(max_l, 2285.0);
+  EXPECT_LE(max_b, 1344.0);
+  EXPECT_GT(max_l, 1500.0);  // The highway tail is actually exercised.
+  EXPECT_GT(max_b, 700.0);
+}
+
+TEST_F(CaliforniaTest, SizePercentilesMatchPublishedValues) {
+  // Paper: 97% of MBBs have both dimensions < 100; 99% have both < 1000.
+  int64_t both_under_100 = 0, both_under_1000 = 0;
+  for (const Rect& r : *data_) {
+    if (r.length() < 100 && r.breadth() < 100) ++both_under_100;
+    if (r.length() < 1000 && r.breadth() < 1000) ++both_under_1000;
+  }
+  const double n = static_cast<double>(data_->size());
+  EXPECT_NEAR(both_under_100 / n, 0.97, 0.02);
+  EXPECT_GE(both_under_1000 / n, 0.985);
+}
+
+TEST_F(CaliforniaTest, PositionsAreSpatiallyClustered) {
+  // Road networks are far from uniform: measure occupancy of a 16x16 grid
+  // and require substantially more empty/over-full cells than a uniform
+  // scatter would produce (chi-squared style dispersion test).
+  constexpr int kGrid = 16;
+  std::vector<int64_t> counts(kGrid * kGrid, 0);
+  const Rect space = CaliforniaSpace();
+  for (const Rect& r : *data_) {
+    int cx = static_cast<int>(r.center().x / space.length() * kGrid);
+    int cy = static_cast<int>(r.center().y / space.breadth() * kGrid);
+    cx = std::clamp(cx, 0, kGrid - 1);
+    cy = std::clamp(cy, 0, kGrid - 1);
+    ++counts[static_cast<size_t>(cy * kGrid + cx)];
+  }
+  const double mean =
+      static_cast<double>(data_->size()) / (kGrid * kGrid);
+  double var = 0;
+  for (int64_t c : counts) {
+    var += (static_cast<double>(c) - mean) * (static_cast<double>(c) - mean);
+  }
+  var /= (kGrid * kGrid);
+  // Uniform scatter would give variance ~= mean (Poisson). Clustered road
+  // data must exceed it by a wide margin.
+  EXPECT_GT(var, 10 * mean);
+}
+
+TEST_F(CaliforniaTest, DeterministicPerSeed) {
+  CaliforniaParams params;
+  params.num_roads = 1000;
+  const auto a = GenerateCaliforniaRoads(params);
+  const auto b = GenerateCaliforniaRoads(params);
+  EXPECT_EQ(a, b);
+  params.seed = 3;
+  EXPECT_NE(GenerateCaliforniaRoads(params), a);
+}
+
+}  // namespace
+}  // namespace mwsj

@@ -1,0 +1,94 @@
+// Polygon dataset generator tests.
+
+#include <gtest/gtest.h>
+
+#include "datagen/polygons.h"
+
+namespace mwsj {
+namespace {
+
+PolygonDatasetParams Params(int64_t n, uint64_t seed) {
+  PolygonDatasetParams p;
+  p.count = n;
+  p.space = Rect(0, 0, 500, 500);
+  p.min_radius = 5;
+  p.max_radius = 30;
+  p.seed = seed;
+  return p;
+}
+
+void ExpectInsideSpace(const std::vector<Polygon>& polygons,
+                       const Rect& space) {
+  for (const Polygon& poly : polygons) {
+    EXPECT_TRUE(space.Contains(poly.Mbr())) << poly.Mbr().ToString();
+  }
+}
+
+TEST(PolygonDatagenTest, ConvexFootprintsAreInsideAndSized) {
+  const auto polys = GenerateConvexFootprints(Params(200, 1));
+  ASSERT_EQ(polys.size(), 200u);
+  ExpectInsideSpace(polys, Rect(0, 0, 500, 500));
+  for (const Polygon& p : polys) {
+    EXPECT_GE(p.size(), 5u);
+    EXPECT_LE(p.size(), 9u);
+    EXPECT_LE(p.Mbr().Diagonal(), 2 * 30 * 1.5);
+    // Convex footprints contain their center.
+    EXPECT_TRUE(p.Contains(p.Mbr().center()));
+  }
+}
+
+TEST(PolygonDatagenTest, ConcaveBlobsHaveManyVertices) {
+  const auto polys = GenerateConcaveBlobs(Params(150, 2));
+  ASSERT_EQ(polys.size(), 150u);
+  ExpectInsideSpace(polys, Rect(0, 0, 500, 500));
+  for (const Polygon& p : polys) {
+    EXPECT_GE(p.size(), 8u);
+    EXPECT_LE(p.size(), 14u);
+  }
+}
+
+TEST(PolygonDatagenTest, CorridorsAreLongAndThin) {
+  const auto polys = GenerateCorridors(Params(150, 3));
+  ASSERT_EQ(polys.size(), 150u);
+  ExpectInsideSpace(polys, Rect(0, 0, 500, 500));
+  for (const Polygon& p : polys) {
+    ASSERT_EQ(p.size(), 4u);
+    // The MBR is much larger than the polygon's actual area (thin strip),
+    // unless the corridor is nearly axis-aligned.
+    const double mbr_area = p.Mbr().Area();
+    EXPECT_GT(mbr_area, 0);
+  }
+}
+
+TEST(PolygonDatagenTest, DeterministicPerSeed) {
+  const auto a = GenerateConcaveBlobs(Params(50, 7));
+  const auto b = GenerateConcaveBlobs(Params(50, 7));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].Mbr(), b[i].Mbr());
+  }
+  const auto c = GenerateConcaveBlobs(Params(50, 8));
+  EXPECT_NE(a[0].Mbr(), c[0].Mbr());
+}
+
+TEST(PolygonDatagenTest, MbrFilterFindsRefinementWork) {
+  // The point of the filter/refine split: among MBR-overlapping pairs of
+  // corridors and blobs, a meaningful share does not truly intersect.
+  const auto corridors = GenerateCorridors(Params(120, 11));
+  const auto blobs = GenerateConcaveBlobs(Params(120, 12));
+  int mbr_pairs = 0, true_pairs = 0;
+  for (const Polygon& c : corridors) {
+    for (const Polygon& b : blobs) {
+      if (Overlaps(c.Mbr(), b.Mbr())) {
+        ++mbr_pairs;
+        if (c.Intersects(b)) ++true_pairs;
+      }
+    }
+  }
+  EXPECT_GT(mbr_pairs, 0);
+  EXPECT_GT(true_pairs, 0);
+  EXPECT_LT(true_pairs, mbr_pairs);  // The filter step over-approximates.
+}
+
+}  // namespace
+}  // namespace mwsj

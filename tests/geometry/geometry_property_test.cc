@@ -1,0 +1,97 @@
+// Randomized geometry invariants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "geometry/rect.h"
+
+namespace mwsj {
+namespace {
+
+Rect RandomRect(Rng& rng) {
+  const double l = rng.Uniform(0, 30);
+  const double b = rng.Uniform(0, 30);
+  return Rect::FromXYLB(rng.Uniform(-50, 50), rng.Uniform(-50, 50), l, b);
+}
+
+class GeometryPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeometryPropertyTest, DistanceIsSymmetricAndConsistentWithOverlap) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 100);
+  for (int i = 0; i < 300; ++i) {
+    const Rect a = RandomRect(rng);
+    const Rect b = RandomRect(rng);
+    const double dab = MinDistance(a, b);
+    EXPECT_DOUBLE_EQ(dab, MinDistance(b, a));
+    EXPECT_GE(dab, 0);
+    EXPECT_EQ(Overlaps(a, b), dab == 0);
+    EXPECT_EQ(Overlaps(a, b), Overlaps(b, a));
+  }
+}
+
+TEST_P(GeometryPropertyTest, EnlargementMonotoneAndConsistentWithDistance) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 200);
+  for (int i = 0; i < 200; ++i) {
+    const Rect a = RandomRect(rng);
+    const Rect b = RandomRect(rng);
+    const double d = rng.Uniform(0, 40);
+    // Enlarged-overlap is implied by being within distance d (the §5.3
+    // routing guarantee), though not conversely.
+    if (WithinDistance(a, b, d)) {
+      EXPECT_TRUE(Overlaps(a.EnlargeByDistance(d), b));
+    }
+    // Monotonicity of enlargement.
+    EXPECT_TRUE(a.EnlargeByDistance(d).Contains(a));
+    EXPECT_TRUE(
+        a.EnlargeByDistance(d + 1).Contains(a.EnlargeByDistance(d)));
+  }
+}
+
+TEST_P(GeometryPropertyTest, IntersectionIsTheLargestCommonRectangle) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 300);
+  for (int i = 0; i < 200; ++i) {
+    const Rect a = RandomRect(rng);
+    const Rect b = RandomRect(rng);
+    const auto inter = Intersection(a, b);
+    ASSERT_EQ(inter.has_value(), Overlaps(a, b));
+    if (!inter.has_value()) continue;
+    EXPECT_TRUE(a.Contains(*inter));
+    EXPECT_TRUE(b.Contains(*inter));
+    EXPECT_TRUE(inter->IsValid());
+    // Center of the intersection lies in both rectangles.
+    EXPECT_TRUE(a.Contains(inter->center()));
+    EXPECT_TRUE(b.Contains(inter->center()));
+  }
+}
+
+TEST_P(GeometryPropertyTest, UnionContainsAndIsMinimalOnCorners) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 400);
+  for (int i = 0; i < 200; ++i) {
+    const Rect a = RandomRect(rng);
+    const Rect b = RandomRect(rng);
+    const Rect u = Rect::Union(a, b);
+    EXPECT_TRUE(u.Contains(a));
+    EXPECT_TRUE(u.Contains(b));
+    EXPECT_EQ(u.min_x(), std::min(a.min_x(), b.min_x()));
+    EXPECT_EQ(u.max_y(), std::max(a.max_y(), b.max_y()));
+  }
+}
+
+TEST_P(GeometryPropertyTest, TriangleLikeInequalityThroughAPoint) {
+  // dist(a, b) <= dist(a, p) + dist(p, b) for any point p.
+  Rng rng(static_cast<uint64_t>(GetParam()) + 500);
+  for (int i = 0; i < 200; ++i) {
+    const Rect a = RandomRect(rng);
+    const Rect b = RandomRect(rng);
+    const Point p{rng.Uniform(-60, 60), rng.Uniform(-60, 60)};
+    EXPECT_LE(MinDistance(a, b),
+              MinDistance(a, p) + MinDistance(b, p) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeometryPropertyTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace mwsj

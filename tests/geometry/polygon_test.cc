@@ -1,0 +1,94 @@
+// Polygon refinement-step geometry tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/polygon.h"
+
+namespace mwsj {
+namespace {
+
+Polygon UnitSquare(double x0, double y0) {
+  return Polygon({{x0, y0}, {x0 + 1, y0}, {x0 + 1, y0 + 1}, {x0, y0 + 1}});
+}
+
+TEST(SegmentTest, ProperCrossing) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 1}, {2, 2}, {3, 3}));
+}
+
+TEST(SegmentTest, EndpointTouchAndCollinearOverlap) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+}
+
+TEST(SegmentTest, PointDistance) {
+  EXPECT_DOUBLE_EQ(SegmentPointDistance({0, 0}, {2, 0}, {1, 1}), 1);
+  EXPECT_DOUBLE_EQ(SegmentPointDistance({0, 0}, {2, 0}, {3, 0}), 1);
+  EXPECT_DOUBLE_EQ(SegmentPointDistance({1, 1}, {1, 1}, {4, 5}), 5);
+}
+
+TEST(SegmentTest, SegmentSegmentDistance) {
+  EXPECT_DOUBLE_EQ(SegmentSegmentDistance({0, 0}, {1, 0}, {0, 2}, {1, 2}), 2);
+  EXPECT_DOUBLE_EQ(SegmentSegmentDistance({0, 0}, {2, 2}, {0, 2}, {2, 0}), 0);
+}
+
+TEST(PolygonTest, MbrOfTriangle) {
+  const Polygon tri({{0, 0}, {4, 0}, {2, 3}});
+  EXPECT_EQ(tri.Mbr(), Rect(0, 0, 4, 3));
+}
+
+TEST(PolygonTest, ContainsWithConcaveShape) {
+  // An L-shape: the notch at the top-right is outside.
+  const Polygon l_shape(
+      {{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}});
+  EXPECT_TRUE(l_shape.Contains({0.5, 0.5}));
+  EXPECT_TRUE(l_shape.Contains({0.5, 1.5}));
+  EXPECT_FALSE(l_shape.Contains({1.5, 1.5}));  // In the notch.
+  EXPECT_TRUE(l_shape.Contains({1, 1}));       // Boundary vertex.
+}
+
+TEST(PolygonTest, IntersectsByEdgeCrossing) {
+  EXPECT_TRUE(UnitSquare(0, 0).Intersects(UnitSquare(0.5, 0.5)));
+  EXPECT_FALSE(UnitSquare(0, 0).Intersects(UnitSquare(3, 3)));
+}
+
+TEST(PolygonTest, IntersectsByContainment) {
+  const Polygon outer = UnitSquare(0, 0);
+  const Polygon inner(
+      {{0.4, 0.4}, {0.6, 0.4}, {0.6, 0.6}, {0.4, 0.6}});
+  EXPECT_TRUE(outer.Intersects(inner));
+  EXPECT_TRUE(inner.Intersects(outer));
+}
+
+TEST(PolygonTest, MinDistance) {
+  EXPECT_DOUBLE_EQ(UnitSquare(0, 0).MinDistanceTo(UnitSquare(3, 0)), 2);
+  EXPECT_DOUBLE_EQ(UnitSquare(0, 0).MinDistanceTo(UnitSquare(0.5, 0.5)), 0);
+  // Diagonal gap: corners (1,1) and (4,5) -> 3-4-5.
+  EXPECT_DOUBLE_EQ(UnitSquare(0, 0).MinDistanceTo(UnitSquare(4, 5)), 5);
+}
+
+TEST(PolygonTest, MbrOverlapIsNecessaryButNotSufficient) {
+  // Triangles on opposite sides of the square's diagonal: their MBRs
+  // overlap but the shapes do not — the filter/refine motivation of §1.1.
+  const Polygon a({{0, 0}, {4, 0}, {4, 4}});
+  const Polygon b({{0, 0.5}, {0, 4.5}, {3.5, 4.5}});
+  EXPECT_TRUE(Overlaps(a.Mbr(), b.Mbr()));
+  EXPECT_FALSE(a.Intersects(b));
+}
+
+TEST(PolygonTest, RegularNGonGeometry) {
+  const Polygon hex = Polygon::RegularNGon({0, 0}, 2.0, 6);
+  EXPECT_EQ(hex.size(), 6u);
+  for (const Point& v : hex.vertices()) {
+    EXPECT_NEAR(Distance(v, {0, 0}), 2.0, 1e-12);
+  }
+  EXPECT_TRUE(hex.Contains({0, 0}));
+  const Rect mbr = hex.Mbr();
+  EXPECT_NEAR(mbr.length(), 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mwsj

@@ -1,0 +1,145 @@
+// Randomized invariants of the grid substrate, on uniform and non-uniform
+// (equi-depth) partitions alike:
+//  * cells tile the space exactly (disjoint closed interiors, full cover);
+//  * every point has exactly one owner, and the owner's closed cell
+//    contains it;
+//  * Split returns exactly the cells geometrically touching a rectangle;
+//  * f1 equals the 4th-quadrant filter; f2(metric) equals the distance
+//    filter over f1.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "grid/transform.h"
+
+namespace mwsj {
+namespace {
+
+GridPartition RandomGrid(Rng& rng, const Rect& space) {
+  const int rows = static_cast<int>(rng.UniformInt(1, 6));
+  const int cols = static_cast<int>(rng.UniformInt(1, 6));
+  if (rng.Bernoulli(0.5)) {
+    return GridPartition::Create(space, rows, cols).value();
+  }
+  // Random strictly-increasing interior boundaries.
+  auto bounds = [&rng](double lo, double hi, int n) {
+    std::vector<double> b = {lo};
+    for (int i = 1; i < n; ++i) b.push_back(rng.Uniform(lo, hi));
+    b.push_back(hi);
+    std::sort(b.begin(), b.end());
+    // Collisions are vanishingly unlikely with doubles; repair anyway.
+    for (size_t i = 1; i < b.size(); ++i) {
+      if (b[i] <= b[i - 1]) b[i] = b[i - 1] + 1e-9;
+    }
+    b.back() = hi;
+    return b;
+  };
+  return GridPartition::CreateRectilinear(
+             bounds(space.min_x(), space.max_x(), cols),
+             bounds(space.min_y(), space.max_y(), rows))
+      .value();
+}
+
+Rect RandomRect(Rng& rng, const Rect& space, bool integers) {
+  double l = rng.Uniform(0, space.length() / 2);
+  double b = rng.Uniform(0, space.breadth() / 2);
+  double x = rng.Uniform(space.min_x(), space.max_x() - l);
+  double y = rng.Uniform(space.min_y() + b, space.max_y());
+  if (integers) {
+    l = std::floor(l);
+    b = std::floor(b);
+    x = std::floor(x);
+    y = std::ceil(y);
+  }
+  return Rect::FromXYLB(x, y, l, b);
+}
+
+class GridPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridPropertyTest, CellsTileTheSpace) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 17 + 1);
+  const Rect space(0, 0, 64, 32);
+  const GridPartition g = RandomGrid(rng, space);
+  double area = 0;
+  for (CellId c = 0; c < g.num_cells(); ++c) {
+    const Rect cell = g.CellRect(c);
+    EXPECT_TRUE(space.Contains(cell));
+    area += cell.Area();
+  }
+  EXPECT_NEAR(area, space.Area(), 1e-6);
+}
+
+TEST_P(GridPropertyTest, EveryPointHasExactlyOneOwnerContainingIt) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 17 + 2);
+  const Rect space(0, 0, 64, 32);
+  const GridPartition g = RandomGrid(rng, space);
+  for (int i = 0; i < 200; ++i) {
+    Point p{rng.Uniform(0, 64), rng.Uniform(0, 32)};
+    if (i % 4 == 0) {  // Snap onto grid lines to stress ties.
+      const CellId c = g.CellOfPoint(p);
+      p.x = g.CellRect(c).max_x();
+    }
+    const CellId owner = g.CellOfPoint(p);
+    EXPECT_TRUE(g.CellRect(owner).Contains(p))
+        << "point (" << p.x << "," << p.y << ")";
+  }
+}
+
+TEST_P(GridPropertyTest, SplitEqualsGeometricTouchSet) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 17 + 3);
+  const Rect space(0, 0, 64, 32);
+  const GridPartition g = RandomGrid(rng, space);
+  for (int i = 0; i < 100; ++i) {
+    const Rect r = RandomRect(rng, space, i % 3 == 0);
+    std::vector<CellId> split;
+    SplitCells(g, r, &split);
+    std::vector<CellId> expected;
+    for (CellId c = 0; c < g.num_cells(); ++c) {
+      if (Overlaps(g.CellRect(c), r)) expected.push_back(c);
+    }
+    std::sort(split.begin(), split.end());
+    EXPECT_EQ(split, expected) << r.ToString();
+    // The start cell is always in the split set.
+    EXPECT_TRUE(std::binary_search(split.begin(), split.end(),
+                                   g.CellOfRect(r)));
+  }
+}
+
+TEST_P(GridPropertyTest, ReplicateFunctionsMatchTheirDefinitions) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 17 + 4);
+  const Rect space(0, 0, 64, 32);
+  const GridPartition g = RandomGrid(rng, space);
+  for (int i = 0; i < 60; ++i) {
+    const Rect r = RandomRect(rng, space, false);
+    const CellId anchor = g.CellOfRect(r);
+
+    std::vector<CellId> f1;
+    ReplicateF1Cells(g, r, &f1);
+    std::vector<CellId> f1_expected;
+    for (CellId c = 0; c < g.num_cells(); ++c) {
+      if (g.InFourthQuadrant(c, anchor)) f1_expected.push_back(c);
+    }
+    std::sort(f1.begin(), f1.end());
+    EXPECT_EQ(f1, f1_expected);
+
+    const double d = rng.Uniform(0, 30);
+    for (DistanceMetric metric :
+         {DistanceMetric::kEuclidean, DistanceMetric::kChebyshev}) {
+      std::vector<CellId> f2;
+      ReplicateF2Cells(g, r, d, metric, &f2);
+      std::vector<CellId> f2_expected;
+      for (CellId c : f1_expected) {
+        if (CellRectDistance(g, c, r, metric) <= d) f2_expected.push_back(c);
+      }
+      std::sort(f2.begin(), f2.end());
+      EXPECT_EQ(f2, f2_expected) << "d=" << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridPropertyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace mwsj

@@ -1,0 +1,155 @@
+// Dataset I/O: CSV/binary round trips and malformed-input handling.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/random.h"
+#include "io/dataset_io.h"
+
+namespace mwsj {
+namespace {
+
+class DatasetIoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "mwsj_io_" + name;
+  }
+
+  void TearDown() override {
+    for (const std::string& p : created_) std::remove(p.c_str());
+  }
+
+  std::string Track(std::string path) {
+    created_.push_back(path);
+    return path;
+  }
+
+  std::vector<Rect> RandomRects(int n) {
+    Rng rng(3);
+    std::vector<Rect> out;
+    for (int i = 0; i < n; ++i) {
+      out.push_back(Rect::FromXYLB(rng.Uniform(-50, 50), rng.Uniform(-50, 50),
+                                   rng.Uniform(0, 10), rng.Uniform(0, 10)));
+    }
+    return out;
+  }
+
+  std::vector<std::string> created_;
+};
+
+TEST_F(DatasetIoTest, CsvRoundTrip) {
+  const std::string path = Track(TempPath("roundtrip.csv"));
+  const std::vector<Rect> rects = RandomRects(200);
+  ASSERT_TRUE(WriteRectsCsv(path, rects).ok());
+  const auto loaded = ReadRectsCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value(), rects);  // %.17g is lossless for doubles.
+}
+
+TEST_F(DatasetIoTest, BinaryRoundTrip) {
+  const std::string path = Track(TempPath("roundtrip.bin"));
+  const std::vector<Rect> rects = RandomRects(500);
+  ASSERT_TRUE(WriteRectsBinary(path, rects).ok());
+  const auto loaded = ReadRectsBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), rects);
+}
+
+TEST_F(DatasetIoTest, EmptyDatasetsRoundTrip) {
+  const std::string csv = Track(TempPath("empty.csv"));
+  const std::string bin = Track(TempPath("empty.bin"));
+  ASSERT_TRUE(WriteRectsCsv(csv, {}).ok());
+  ASSERT_TRUE(WriteRectsBinary(bin, {}).ok());
+  EXPECT_TRUE(ReadRectsCsv(csv).value().empty());
+  EXPECT_TRUE(ReadRectsBinary(bin).value().empty());
+}
+
+TEST_F(DatasetIoTest, ExtensionDispatch) {
+  const std::string csv = Track(TempPath("dispatch.csv"));
+  const std::string bin = Track(TempPath("dispatch.bin"));
+  const std::vector<Rect> rects = RandomRects(50);
+  ASSERT_TRUE(WriteRects(csv, rects).ok());
+  ASSERT_TRUE(WriteRects(bin, rects).ok());
+  EXPECT_EQ(ReadRects(csv).value(), rects);
+  EXPECT_EQ(ReadRects(bin).value(), rects);
+}
+
+TEST_F(DatasetIoTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadRectsCsv("/nonexistent/x.csv").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ReadRectsBinary("/nonexistent/x.bin").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(DatasetIoTest, CsvRejectsBadHeaderAndRows) {
+  const std::string path = Track(TempPath("bad.csv"));
+  {
+    std::ofstream out(path);
+    out << "a,b,c\n1,2,3,4\n";
+  }
+  EXPECT_EQ(ReadRectsCsv(path).status().code(), StatusCode::kInvalidArgument);
+  {
+    std::ofstream out(path);
+    out << "x,y,l,b\n1,2,three,4\n";
+  }
+  EXPECT_EQ(ReadRectsCsv(path).status().code(), StatusCode::kInvalidArgument);
+  {
+    std::ofstream out(path);
+    out << "x,y,l,b\n1,2,-3,4\n";  // Negative length.
+  }
+  EXPECT_EQ(ReadRectsCsv(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatasetIoTest, CsvToleratesCrlfAndBlankLines) {
+  const std::string path = Track(TempPath("crlf.csv"));
+  {
+    std::ofstream out(path);
+    out << "x,y,l,b\r\n1,2,3,1\r\n\r\n5,6,1,2\r\n";
+  }
+  const auto loaded = ReadRectsCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[0], Rect::FromXYLB(1, 2, 3, 1));
+}
+
+TEST_F(DatasetIoTest, BinaryRejectsWrongMagicAndTruncation) {
+  const std::string path = Track(TempPath("bad.bin"));
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTMWSJ";
+  }
+  EXPECT_EQ(ReadRectsBinary(path).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Valid file, then truncate the payload.
+  ASSERT_TRUE(WriteRectsBinary(path, RandomRects(10)).ok());
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() - 16));
+  }
+  EXPECT_EQ(ReadRectsBinary(path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatasetIoTest, TuplesCsv) {
+  const std::string path = Track(TempPath("tuples.csv"));
+  ASSERT_TRUE(
+      WriteTuplesCsv(path, {"city", "river"}, {{1, 2}, {3, 4}}).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "city,river");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,4");
+}
+
+}  // namespace
+}  // namespace mwsj

@@ -1,0 +1,88 @@
+// WKT polygon (de)serialization tests.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "io/wkt.h"
+
+namespace mwsj {
+namespace {
+
+TEST(WktParseTest, BasicTriangle) {
+  const auto p = ParseWktPolygon("POLYGON ((0 0, 4 0, 2 3, 0 0))");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ASSERT_EQ(p.value().size(), 3u);  // Closing vertex dropped.
+  EXPECT_EQ(p.value().vertices()[2], (Point{2, 3}));
+}
+
+TEST(WktParseTest, UnclosedRingIsAccepted) {
+  const auto p = ParseWktPolygon("POLYGON((0 0, 4 0, 2 3))");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().size(), 3u);
+}
+
+TEST(WktParseTest, CaseAndWhitespaceFlexibility) {
+  EXPECT_TRUE(ParseWktPolygon("polygon ( ( 0 0 , 1 0 , 1 1 ) )").ok());
+  EXPECT_TRUE(
+      ParseWktPolygon("Polygon((-1.5 -2.25, 3e2 0, 0 4.5))").ok());
+}
+
+TEST(WktParseTest, Rejections) {
+  EXPECT_FALSE(ParseWktPolygon("LINESTRING (0 0, 1 1)").ok());
+  EXPECT_FALSE(ParseWktPolygon("POLYGON (0 0, 1 0, 1 1)").ok());   // One paren.
+  EXPECT_FALSE(ParseWktPolygon("POLYGON ((0 0, 1 0))").ok());      // 2 points.
+  EXPECT_FALSE(ParseWktPolygon("POLYGON ((0 0, 1 x, 1 1))").ok()); // Bad num.
+  EXPECT_FALSE(ParseWktPolygon("POLYGON ((0 0, 1 0, 1 1)) junk").ok());
+  EXPECT_FALSE(ParseWktPolygon("").ok());
+}
+
+TEST(WktTest, RoundTripThroughText) {
+  const Polygon original({{0.5, 0.25}, {4, 0}, {2.125, 3.75}});
+  const auto parsed = ParseWktPolygon(ToWkt(original));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed.value().vertices()[i], original.vertices()[i]);
+  }
+}
+
+TEST(WktFileTest, FileRoundTripWithCommentsAndBlanks) {
+  const std::string path = ::testing::TempDir() + "mwsj_wkt_test.wkt";
+  const std::vector<Polygon> polygons = {
+      Polygon({{0, 0}, {1, 0}, {1, 1}}),
+      Polygon::RegularNGon({5, 5}, 2, 6),
+  };
+  ASSERT_TRUE(WritePolygonsWkt(path, polygons).ok());
+  // Inject a comment and a blank line.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "\n# a comment\n";
+  }
+  const auto loaded = ReadPolygonsWkt(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[1].size(), 6u);
+  std::remove(path.c_str());
+}
+
+TEST(WktFileTest, ErrorsCarryLineNumbers) {
+  const std::string path = ::testing::TempDir() + "mwsj_wkt_bad.wkt";
+  {
+    std::ofstream out(path);
+    out << "POLYGON ((0 0, 1 0, 1 1))\nPOLYGON ((broken\n";
+  }
+  const auto loaded = ReadPolygonsWkt(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WktFileTest, MissingFile) {
+  EXPECT_EQ(ReadPolygonsWkt("/nonexistent/p.wkt").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mwsj

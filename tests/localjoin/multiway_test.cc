@@ -1,0 +1,97 @@
+// Multiway local join (the reducer-side kernel) vs. brute force.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "localjoin/brute_force.h"
+#include "localjoin/multiway.h"
+#include "testing/world.h"
+
+namespace mwsj {
+namespace {
+
+std::vector<IdTuple> RunLocalJoin(const Query& query,
+                                  const std::vector<std::vector<Rect>>& data) {
+  std::vector<std::vector<LocalRect>> local(data.size());
+  for (size_t r = 0; r < data.size(); ++r) {
+    for (size_t i = 0; i < data[r].size(); ++i) {
+      local[r].push_back(LocalRect{data[r][i], static_cast<int64_t>(i)});
+    }
+  }
+  std::vector<std::span<const LocalRect>> spans;
+  for (const auto& rel : local) spans.emplace_back(rel.data(), rel.size());
+  MultiwayLocalJoin join(query, std::move(spans));
+  std::vector<IdTuple> out;
+  join.Execute([&out](const std::vector<const LocalRect*>& members) {
+    IdTuple ids;
+    ids.reserve(members.size());
+    for (const LocalRect* m : members) ids.push_back(m->id);
+    out.push_back(std::move(ids));
+  });
+  SortTuples(&out);
+  return out;
+}
+
+class MultiwayLocalJoinTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+// Params: (shape index, seed).
+
+TEST_P(MultiwayLocalJoinTest, MatchesBruteForce) {
+  using testing::QueryShape;
+  const QueryShape shapes[] = {QueryShape::kChain3, QueryShape::kChain4,
+                               QueryShape::kStar4, QueryShape::kCycle3};
+  testing::WorldConfig config;
+  config.shape = shapes[std::get<0>(GetParam())];
+  config.mix = (std::get<1>(GetParam()) % 2 == 0)
+                   ? testing::PredicateMix::kOverlapOnly
+                   : testing::PredicateMix::kHybrid;
+  config.seed = static_cast<uint64_t>(std::get<1>(GetParam())) * 31 + 5;
+  const Query query = testing::MakeWorldQuery(config);
+  const auto data = testing::MakeWorldData(config, query.num_relations());
+
+  EXPECT_EQ(RunLocalJoin(query, data), BruteForceJoin(query, data));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MultiwayLocalJoinTest,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Range(0, 6)));
+
+TEST(MultiwayLocalJoinEdge, EmptyRelationShortCircuits) {
+  testing::WorldConfig config;
+  const Query query = testing::MakeWorldQuery(config);
+  auto data = testing::MakeWorldData(config, query.num_relations());
+  data[2].clear();
+  EXPECT_TRUE(RunLocalJoin(query, data).empty());
+}
+
+TEST(MultiwayLocalJoinEdge, ChainBindsThroughSmallestRelationFirst) {
+  // Functional check that planning from a tiny relation does not change
+  // results: one relation has a single rectangle.
+  testing::WorldConfig config;
+  config.seed = 77;
+  const Query query = testing::MakeWorldQuery(config);
+  auto data = testing::MakeWorldData(config, query.num_relations());
+  data[1].resize(std::min<size_t>(data[1].size(), 1));
+  EXPECT_EQ(RunLocalJoin(query, data), BruteForceJoin(query, data));
+}
+
+TEST(BruteForceTest, TinyHandComputedCase) {
+  const Query q = MakeChainQuery(3, Predicate::Overlap()).value();
+  const std::vector<std::vector<Rect>> data = {
+      {Rect::FromXYLB(0, 2, 2, 2)},                           // a0
+      {Rect::FromXYLB(1, 2, 2, 2), Rect::FromXYLB(9, 2, 1, 1)},  // b0, b1
+      {Rect::FromXYLB(2.5, 2, 2, 2)},                         // c0
+  };
+  // a0-b0 overlap; b0-c0 overlap; b1 matches nothing.
+  EXPECT_EQ(BruteForceJoin(q, data), (std::vector<IdTuple>{{0, 0, 0}}));
+}
+
+TEST(SortTuplesTest, LexicographicOrder) {
+  std::vector<IdTuple> tuples = {{2, 1}, {1, 5}, {1, 2}};
+  SortTuples(&tuples);
+  EXPECT_EQ(tuples, (std::vector<IdTuple>{{1, 2}, {1, 5}, {2, 1}}));
+}
+
+}  // namespace
+}  // namespace mwsj

@@ -1,0 +1,92 @@
+// Plane-sweep pairwise join vs. nested-loop reference.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "localjoin/plane_sweep.h"
+
+namespace mwsj {
+namespace {
+
+using Pair = std::pair<int32_t, int32_t>;
+
+std::vector<Rect> RandomRects(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Rect> out;
+  for (int i = 0; i < n; ++i) {
+    const double l = rng.Uniform(0, 12);
+    const double b = rng.Uniform(0, 12);
+    out.push_back(
+        Rect::FromXYLB(rng.Uniform(0, 100 - l), rng.Uniform(b, 100), l, b));
+  }
+  return out;
+}
+
+std::vector<Pair> Reference(const std::vector<Rect>& a,
+                            const std::vector<Rect>& b,
+                            const Predicate& pred) {
+  std::vector<Pair> out;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      if (pred.Evaluate(a[i], b[j])) {
+        out.emplace_back(static_cast<int32_t>(i), static_cast<int32_t>(j));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Pair> Sweep(const std::vector<Rect>& a, const std::vector<Rect>& b,
+                        const Predicate& pred) {
+  std::vector<Pair> out;
+  PlaneSweepJoin(a, b, pred,
+                 [&out](int32_t i, int32_t j) { out.emplace_back(i, j); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class PlaneSweepRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlaneSweepRandomTest, OverlapMatchesReference) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  const auto a = RandomRects(120, seed * 2 + 1);
+  const auto b = RandomRects(150, seed * 2 + 2);
+  const Predicate p = Predicate::Overlap();
+  EXPECT_EQ(Sweep(a, b, p), Reference(a, b, p));
+}
+
+TEST_P(PlaneSweepRandomTest, RangeMatchesReference) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  const auto a = RandomRects(100, seed * 3 + 1);
+  const auto b = RandomRects(100, seed * 3 + 2);
+  const Predicate p = Predicate::Range(6.5);
+  EXPECT_EQ(Sweep(a, b, p), Reference(a, b, p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlaneSweepRandomTest, ::testing::Range(0, 8));
+
+TEST(PlaneSweepTest, EmptySidesProduceNothing) {
+  const auto a = RandomRects(10, 1);
+  EXPECT_TRUE(Sweep(a, {}, Predicate::Overlap()).empty());
+  EXPECT_TRUE(Sweep({}, a, Predicate::Overlap()).empty());
+  EXPECT_TRUE(Sweep({}, {}, Predicate::Overlap()).empty());
+}
+
+TEST(PlaneSweepTest, TouchingRectanglesAreReported) {
+  const std::vector<Rect> a = {Rect::FromXYLB(0, 1, 1, 1)};
+  const std::vector<Rect> b = {Rect::FromXYLB(1, 1, 1, 1)};  // Shares edge.
+  EXPECT_EQ(Sweep(a, b, Predicate::Overlap()), (std::vector<Pair>{{0, 0}}));
+}
+
+TEST(PlaneSweepTest, RangeZeroEqualsOverlap) {
+  const auto a = RandomRects(80, 5);
+  const auto b = RandomRects(80, 6);
+  EXPECT_EQ(Sweep(a, b, Predicate::Range(0)),
+            Sweep(a, b, Predicate::Overlap()));
+}
+
+}  // namespace
+}  // namespace mwsj

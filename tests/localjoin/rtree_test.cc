@@ -1,0 +1,114 @@
+// STR R-tree: probe results must exactly match linear scans.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "localjoin/rtree.h"
+
+namespace mwsj {
+namespace {
+
+std::vector<Rect> RandomRects(int n, uint64_t seed, double space = 100,
+                              double max_dim = 10) {
+  Rng rng(seed);
+  std::vector<Rect> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double l = rng.Uniform(0, max_dim);
+    const double b = rng.Uniform(0, max_dim);
+    out.push_back(Rect::FromXYLB(rng.Uniform(0, space - l),
+                                 rng.Uniform(b, space), l, b));
+  }
+  return out;
+}
+
+std::vector<int32_t> Sorted(std::vector<int32_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(RTreeTest, EmptyTreeReturnsNothing) {
+  const RTree tree(std::vector<Rect>{});
+  std::vector<int32_t> out;
+  tree.CollectOverlapping(Rect(0, 0, 100, 100), &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(RTreeTest, SingleEntry) {
+  const std::vector<Rect> rects = {Rect::FromXYLB(5, 10, 2, 2)};
+  const RTree tree(rects);
+  std::vector<int32_t> out;
+  tree.CollectOverlapping(Rect::FromXYLB(6, 9, 2, 2), &out);
+  EXPECT_EQ(out, (std::vector<int32_t>{0}));
+  out.clear();
+  tree.CollectOverlapping(Rect::FromXYLB(50, 50, 1, 1), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+class RTreeRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RTreeRandomTest, OverlapProbesMatchLinearScan) {
+  const int seed = GetParam();
+  const std::vector<Rect> rects =
+      RandomRects(400, static_cast<uint64_t>(seed) + 1);
+  const RTree tree(rects, /*leaf_capacity=*/8);
+  Rng rng(static_cast<uint64_t>(seed) + 1000);
+  for (int probe = 0; probe < 50; ++probe) {
+    const Rect q = Rect::FromXYLB(rng.Uniform(0, 90), rng.Uniform(10, 100),
+                                  rng.Uniform(0, 20), rng.Uniform(0, 20));
+    std::vector<int32_t> got;
+    tree.CollectOverlapping(q, &got);
+    std::vector<int32_t> want;
+    for (size_t i = 0; i < rects.size(); ++i) {
+      if (Overlaps(rects[i], q)) want.push_back(static_cast<int32_t>(i));
+    }
+    EXPECT_EQ(Sorted(got), want) << "probe " << probe;
+  }
+}
+
+TEST_P(RTreeRandomTest, DistanceProbesMatchLinearScan) {
+  const int seed = GetParam();
+  const std::vector<Rect> rects =
+      RandomRects(300, static_cast<uint64_t>(seed) + 7);
+  const RTree tree(rects, /*leaf_capacity=*/4);
+  Rng rng(static_cast<uint64_t>(seed) + 2000);
+  for (int probe = 0; probe < 30; ++probe) {
+    const Rect q = Rect::FromXYLB(rng.Uniform(0, 95), rng.Uniform(5, 100),
+                                  rng.Uniform(0, 5), rng.Uniform(0, 5));
+    const double d = rng.Uniform(0, 15);
+    std::vector<int32_t> got;
+    tree.CollectWithinDistance(q, d, &got);
+    std::vector<int32_t> want;
+    for (size_t i = 0; i < rects.size(); ++i) {
+      if (WithinDistance(rects[i], q, d)) want.push_back(static_cast<int32_t>(i));
+    }
+    EXPECT_EQ(Sorted(got), want) << "probe " << probe << " d=" << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RTreeRandomTest, ::testing::Range(0, 6));
+
+TEST(RTreeTest, HandlesManyIdenticalRectangles) {
+  const std::vector<Rect> rects(100, Rect::FromXYLB(5, 5, 1, 1));
+  const RTree tree(rects);
+  std::vector<int32_t> out;
+  tree.CollectOverlapping(Rect::FromXYLB(5.5, 5, 1, 1), &out);
+  EXPECT_EQ(out.size(), 100u);
+}
+
+TEST(RTreeTest, DegeneratePointEntriesAreFound) {
+  std::vector<Rect> rects;
+  for (int i = 0; i < 20; ++i) {
+    rects.push_back(Rect::FromPoint(Point{static_cast<double>(i), 1.0}));
+  }
+  const RTree tree(rects, 4);
+  std::vector<int32_t> out;
+  tree.CollectOverlapping(Rect(4.5, 0, 9.5, 2), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<int32_t>{5, 6, 7, 8, 9}));
+}
+
+}  // namespace
+}  // namespace mwsj

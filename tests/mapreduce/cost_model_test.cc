@@ -1,0 +1,83 @@
+// Cost model: the counter-to-cluster-seconds conversion.
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/cost_model.h"
+
+namespace mwsj {
+namespace {
+
+JobStats MakeJob(int64_t in_bytes, int64_t shuffle_bytes, int64_t out_bytes,
+                 std::vector<double> reducer_seconds) {
+  JobStats j;
+  j.map_input_bytes = in_bytes;
+  j.intermediate_bytes = shuffle_bytes;
+  j.reduce_output_bytes = out_bytes;
+  j.per_reducer_seconds = std::move(reducer_seconds);
+  return j;
+}
+
+TEST(CostModelTest, StartupDominatesEmptyJob) {
+  CostModel model;
+  const double t = model.JobSeconds(MakeJob(0, 0, 0, {}));
+  EXPECT_DOUBLE_EQ(t, model.job_startup_seconds);
+}
+
+TEST(CostModelTest, ShuffleBytesScaleLinearly) {
+  CostModel model;
+  const double base = model.JobSeconds(MakeJob(0, 0, 0, {}));
+  const double one = model.JobSeconds(
+      MakeJob(0, static_cast<int64_t>(model.shuffle_bytes_per_sec), 0, {}));
+  EXPECT_NEAR(one - base, 1.0, 1e-9);
+  const double ten = model.JobSeconds(MakeJob(
+      0, static_cast<int64_t>(model.shuffle_bytes_per_sec) * 10, 0, {}));
+  EXPECT_NEAR(ten - base, 10.0, 1e-9);
+}
+
+TEST(CostModelTest, ReduceCpuPacksOntoSlots) {
+  CostModel model;
+  model.reduce_slots = 4;
+  model.cpu_scale = 1.0;
+  // 8 reducers of 1s each on 4 slots -> 2s.
+  const double t =
+      model.JobSeconds(MakeJob(0, 0, 0, std::vector<double>(8, 1.0)));
+  EXPECT_NEAR(t - model.job_startup_seconds, 2.0, 1e-9);
+}
+
+TEST(CostModelTest, SlowestReducerLowerBoundsThePhase) {
+  CostModel model;
+  model.reduce_slots = 16;
+  // One straggler of 5s among tiny tasks: the phase cannot beat 5s.
+  std::vector<double> reducers(16, 0.01);
+  reducers[7] = 5.0;
+  const double t = model.JobSeconds(MakeJob(0, 0, 0, reducers));
+  EXPECT_GE(t - model.job_startup_seconds, 5.0);
+}
+
+TEST(CostModelTest, CpuScaleAppliesToMeasuredSeconds) {
+  CostModel model;
+  model.reduce_slots = 1;
+  model.cpu_scale = 2.0;
+  const double t = model.JobSeconds(MakeJob(0, 0, 0, {1.0}));
+  EXPECT_NEAR(t - model.job_startup_seconds, 2.0, 1e-9);
+}
+
+TEST(CostModelTest, RunSecondsSumsJobs) {
+  CostModel model;
+  RunStats run;
+  run.Add(MakeJob(0, 0, 0, {}));
+  run.Add(MakeJob(0, 0, 0, {}));
+  EXPECT_DOUBLE_EQ(model.RunSeconds(run), 2 * model.job_startup_seconds);
+}
+
+TEST(CostModelTest, MoreCommunicationCostsMore) {
+  // The property the paper's comparison rests on: with identical inputs, a
+  // plan that shuffles more bytes is modeled as slower.
+  CostModel model;
+  const double cheap = model.JobSeconds(MakeJob(1000, 1 << 20, 1000, {0.1}));
+  const double heavy = model.JobSeconds(MakeJob(1000, 64 << 20, 1000, {0.1}));
+  EXPECT_LT(cheap, heavy);
+}
+
+}  // namespace
+}  // namespace mwsj

@@ -1,0 +1,76 @@
+// Simulated DFS: dataset lifecycle and byte accounting.
+
+#include <gtest/gtest.h>
+
+#include "geometry/rect.h"
+#include "mapreduce/dfs.h"
+
+namespace mwsj {
+namespace {
+
+TEST(DfsTest, WriteThenReadRoundTrips) {
+  Dfs dfs;
+  auto data = std::make_shared<const std::vector<int>>(
+      std::vector<int>{1, 2, 3});
+  dfs.Write("numbers", data, /*record_bytes=*/8);
+  ASSERT_TRUE(dfs.Exists("numbers"));
+
+  auto loaded = dfs.Read<int>("numbers");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded.value(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(DfsTest, AccountingChargesWritesAndReads) {
+  Dfs dfs;
+  auto data = std::make_shared<const std::vector<int>>(
+      std::vector<int>{1, 2, 3, 4});
+  dfs.Write("a", data, 10);
+  EXPECT_EQ(dfs.bytes_written(), 40);
+  EXPECT_EQ(dfs.records_written(), 4);
+  EXPECT_EQ(dfs.bytes_read(), 0);
+
+  ASSERT_TRUE(dfs.Read<int>("a").ok());
+  ASSERT_TRUE(dfs.Read<int>("a").ok());  // Every read is charged.
+  EXPECT_EQ(dfs.bytes_read(), 80);
+  EXPECT_EQ(dfs.records_read(), 8);
+}
+
+TEST(DfsTest, MissingDatasetIsNotFound) {
+  Dfs dfs;
+  const auto result = dfs.Read<int>("nope");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DfsTest, TypeMismatchIsFailedPrecondition) {
+  Dfs dfs;
+  auto data = std::make_shared<const std::vector<int>>(std::vector<int>{1});
+  dfs.Write("a", data);
+  const auto result = dfs.Read<Rect>("a");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DfsTest, OverwriteReplacesDataset) {
+  Dfs dfs;
+  dfs.Write("a",
+            std::make_shared<const std::vector<int>>(std::vector<int>{1}));
+  dfs.Write("a", std::make_shared<const std::vector<int>>(
+                     std::vector<int>{2, 3}));
+  const auto result = dfs.Read<int>("a");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result.value(), (std::vector<int>{2, 3}));
+}
+
+TEST(DfsTest, RemoveIsIdempotent) {
+  Dfs dfs;
+  dfs.Write("a",
+            std::make_shared<const std::vector<int>>(std::vector<int>{1}));
+  dfs.Remove("a");
+  EXPECT_FALSE(dfs.Exists("a"));
+  dfs.Remove("a");  // No-op.
+  EXPECT_FALSE(dfs.Exists("a"));
+}
+
+}  // namespace
+}  // namespace mwsj

@@ -1,0 +1,184 @@
+// Map-reduce engine semantics: shuffle routing, grouping, determinism,
+// counters.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mapreduce/engine.h"
+
+namespace mwsj {
+namespace {
+
+using WordCountJob = MapReduceJob<std::string, std::string, int,
+                                  std::pair<std::string, int>>;
+
+TEST(EngineTest, WordCount) {
+  const std::vector<std::string> input = {"a b", "b c", "c c"};
+  WordCountJob job("wordcount", 4);
+  job.set_map([](const std::string& line, WordCountJob::Emitter& emit) {
+    size_t pos = 0;
+    while (pos < line.size()) {
+      size_t end = line.find(' ', pos);
+      if (end == std::string::npos) end = line.size();
+      emit.Emit(line.substr(pos, end - pos), 1);
+      pos = end + 1;
+    }
+  });
+  job.set_reduce([](const std::string& word, std::span<const int> counts,
+                    WordCountJob::OutEmitter& out) {
+    int total = 0;
+    for (int c : counts) total += c;
+    out.Emit({word, total});
+  });
+
+  std::vector<std::pair<std::string, int>> output;
+  const JobStats stats = job.Run(std::span<const std::string>(input), &output);
+
+  std::map<std::string, int> result(output.begin(), output.end());
+  EXPECT_EQ(result, (std::map<std::string, int>{{"a", 1}, {"b", 2}, {"c", 3}}));
+  EXPECT_EQ(stats.map_input_records, 3);
+  EXPECT_EQ(stats.intermediate_records, 6);
+  EXPECT_EQ(stats.reduce_output_records, 3);
+  EXPECT_EQ(stats.num_reducers, 4);
+}
+
+using IntJob = MapReduceJob<int, int, int, std::pair<int, int>>;
+
+TEST(EngineTest, IdentityPartitionRoutesKeyToReducer) {
+  const std::vector<int> input = {0, 1, 2, 3, 0, 1};
+  IntJob job("identity", 4);
+  job.set_partition([](const int& k) { return k; });
+  job.set_map([](const int& v, IntJob::Emitter& emit) { emit.Emit(v, v); });
+  job.set_reduce([](const int& k, std::span<const int> vals,
+                    IntJob::OutEmitter& out) {
+    out.Emit({k, static_cast<int>(vals.size())});
+  });
+  std::vector<std::pair<int, int>> output;
+  const JobStats stats = job.Run(std::span<const int>(input), &output);
+
+  ASSERT_EQ(stats.per_reducer_records.size(), 4u);
+  EXPECT_EQ(stats.per_reducer_records[0], 2);
+  EXPECT_EQ(stats.per_reducer_records[1], 2);
+  EXPECT_EQ(stats.per_reducer_records[2], 1);
+  EXPECT_EQ(stats.per_reducer_records[3], 1);
+  EXPECT_EQ(stats.MaxReducerRecords(), 2);
+}
+
+TEST(EngineTest, ValuesArriveGroupedAndInArrivalOrder) {
+  // All values of one key reach a single reduce call, ordered by original
+  // input position (Hadoop-like merge of mapper outputs).
+  std::vector<int> input;
+  for (int i = 0; i < 500; ++i) input.push_back(i);
+  using SeqJob = MapReduceJob<int, int, int, int>;
+  SeqJob job("grouping", 3);
+  job.set_map([](const int& v, SeqJob::Emitter& emit) {
+    emit.Emit(v % 7, v);
+  });
+  job.set_partition([](const int& k) { return k % 3; });
+  int reduce_calls = 0;
+  job.set_reduce([&reduce_calls](const int& k, std::span<const int> vals,
+                                 SeqJob::OutEmitter& out) {
+    ++reduce_calls;
+    int prev = -1;
+    for (int v : vals) {
+      EXPECT_EQ(v % 7, k);
+      EXPECT_GT(v, prev);  // Arrival order = input order.
+      prev = v;
+      out.Emit(v);
+    }
+  });
+  std::vector<int> output;
+  job.Run(std::span<const int>(input), &output);
+  EXPECT_EQ(reduce_calls, 7);
+  EXPECT_EQ(output.size(), 500u);
+}
+
+TEST(EngineTest, DeterministicAcrossThreadCounts) {
+  std::vector<int> input;
+  for (int i = 0; i < 2000; ++i) input.push_back(i * 37 % 1000);
+
+  auto run = [&input](ThreadPool* pool) {
+    using SeqJob = MapReduceJob<int, int, int, int>;
+    SeqJob job("determinism", 8);
+    job.set_map([](const int& v, SeqJob::Emitter& emit) {
+      emit.Emit(v % 31, v);
+    });
+    job.set_reduce([](const int&, std::span<const int> vals,
+                      SeqJob::OutEmitter& out) {
+      for (int v : vals) out.Emit(v);
+    });
+    std::vector<int> output;
+    job.Run(std::span<const int>(input), &output, pool);
+    return output;
+  };
+
+  const std::vector<int> serial = run(nullptr);
+  ThreadPool pool(4);
+  const std::vector<int> parallel = run(&pool);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(EngineTest, EmptyInputProducesEmptyOutputAndZeroCounters) {
+  IntJob job("empty", 2);
+  job.set_map([](const int& v, IntJob::Emitter& emit) { emit.Emit(v, v); });
+  job.set_reduce([](const int&, std::span<const int>,
+                    IntJob::OutEmitter&) { FAIL() << "no reduce expected"; });
+  std::vector<std::pair<int, int>> output;
+  const JobStats stats = job.Run(std::span<const int>(), &output);
+  EXPECT_TRUE(output.empty());
+  EXPECT_EQ(stats.map_input_records, 0);
+  EXPECT_EQ(stats.intermediate_records, 0);
+}
+
+TEST(EngineTest, UserCountersAreCollected) {
+  IntJob job("counters", 2);
+  job.set_partition([](const int& k) { return k % 2; });
+  job.set_map([&job](const int& v, IntJob::Emitter& emit) {
+    if (v % 2 == 0) job.IncrementCounter("evens", 1);
+    emit.Emit(v, v);
+  });
+  job.set_reduce([](const int&, std::span<const int>,
+                    IntJob::OutEmitter&) {});
+  const std::vector<int> input = {1, 2, 3, 4, 5, 6};
+  std::vector<std::pair<int, int>> output;
+  const JobStats stats = job.Run(std::span<const int>(input), &output);
+  EXPECT_EQ(stats.user_counters.at("evens"), 3);
+}
+
+TEST(EngineTest, ValueSizeDrivesIntermediateBytes) {
+  IntJob job("bytes", 2);
+  job.set_partition([](const int& k) { return k % 2; });
+  job.set_value_size([](const int&) { return int64_t{100}; });
+  job.set_map([](const int& v, IntJob::Emitter& emit) { emit.Emit(v, v); });
+  job.set_reduce([](const int&, std::span<const int>,
+                    IntJob::OutEmitter&) {});
+  const std::vector<int> input = {1, 2, 3};
+  std::vector<std::pair<int, int>> output;
+  const JobStats stats = job.Run(std::span<const int>(input), &output);
+  EXPECT_EQ(stats.intermediate_bytes, 300);
+}
+
+TEST(RunStatsTest, AggregationAcrossJobs) {
+  RunStats run;
+  JobStats a;
+  a.intermediate_records = 10;
+  a.intermediate_bytes = 100;
+  a.wall_seconds = 1.5;
+  a.user_counters["marked"] = 4;
+  JobStats b;
+  b.intermediate_records = 5;
+  b.intermediate_bytes = 50;
+  b.wall_seconds = 0.5;
+  b.user_counters["marked"] = 2;
+  run.Add(a);
+  run.Add(b);
+  EXPECT_EQ(run.TotalIntermediateRecords(), 15);
+  EXPECT_EQ(run.TotalIntermediateBytes(), 150);
+  EXPECT_DOUBLE_EQ(run.total_wall_seconds, 2.0);
+  EXPECT_EQ(run.UserCounter("marked"), 6);
+  EXPECT_EQ(run.UserCounter("absent"), 0);
+}
+
+}  // namespace
+}  // namespace mwsj

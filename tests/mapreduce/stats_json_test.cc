@@ -1,0 +1,62 @@
+// JSON stats export tests.
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/stats_json.h"
+
+namespace mwsj {
+namespace {
+
+TEST(StatsJsonTest, EmptyRun) {
+  RunStats stats;
+  EXPECT_EQ(RunStatsToJson(stats),
+            "{\"total_wall_seconds\": 0.000000, \"jobs\": []}");
+}
+
+TEST(StatsJsonTest, FullJobFieldsAppear) {
+  RunStats stats;
+  JobStats job;
+  job.job_name = "crep_round1_mark";
+  job.map_input_records = 100;
+  job.map_input_bytes = 4800;
+  job.intermediate_records = 130;
+  job.intermediate_bytes = 6240;
+  job.reduce_output_records = 100;
+  job.reduce_output_bytes = 4800;
+  job.num_reducers = 4;
+  job.per_reducer_records = {10, 50, 30, 40};
+  job.per_reducer_seconds = {0.001, 0.004, 0.002, 0.003};
+  job.wall_seconds = 0.05;
+  job.user_counters["rectangles_replicated"] = 12;
+  stats.Add(job);
+
+  const std::string json = RunStatsToJson(stats);
+  EXPECT_NE(json.find("\"name\": \"crep_round1_mark\""), std::string::npos);
+  EXPECT_NE(json.find("\"intermediate_records\": 130"), std::string::npos);
+  EXPECT_NE(json.find("\"max_reducer_records\": 50"), std::string::npos);
+  EXPECT_NE(json.find("\"rectangles_replicated\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"num_reducers\": 4"), std::string::npos);
+}
+
+TEST(StatsJsonTest, EscapesSpecialCharacters) {
+  RunStats stats;
+  JobStats job;
+  job.job_name = "weird \"name\"\nwith\\stuff";
+  stats.Add(job);
+  const std::string json = RunStatsToJson(stats);
+  EXPECT_NE(json.find("weird \\\"name\\\"\\nwith\\\\stuff"),
+            std::string::npos);
+}
+
+TEST(StatsJsonTest, CountersAreSortedDeterministically) {
+  RunStats stats;
+  JobStats job;
+  job.user_counters["zeta"] = 1;
+  job.user_counters["alpha"] = 2;
+  stats.Add(job);
+  const std::string json = RunStatsToJson(stats);
+  EXPECT_LT(json.find("alpha"), json.find("zeta"));
+}
+
+}  // namespace
+}  // namespace mwsj

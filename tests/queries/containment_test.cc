@@ -1,0 +1,97 @@
+// Containment query vs. nested-loop reference.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "queries/containment.h"
+
+namespace mwsj {
+namespace {
+
+using Pair = std::pair<int64_t, int64_t>;
+
+std::vector<Point> RandomPoints(int n, uint64_t seed, double space = 100) {
+  Rng rng(seed);
+  std::vector<Point> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(Point{rng.Uniform(0, space), rng.Uniform(0, space)});
+  }
+  return out;
+}
+
+std::vector<Rect> RandomRects(int n, uint64_t seed, double space = 100) {
+  Rng rng(seed);
+  std::vector<Rect> out;
+  for (int i = 0; i < n; ++i) {
+    const double l = rng.Uniform(0, 20);
+    const double b = rng.Uniform(0, 20);
+    out.push_back(
+        Rect::FromXYLB(rng.Uniform(0, space - l), rng.Uniform(b, space), l, b));
+  }
+  return out;
+}
+
+std::vector<Pair> Reference(const std::vector<Point>& points,
+                            const std::vector<Rect>& rects) {
+  std::vector<Pair> out;
+  for (size_t p = 0; p < points.size(); ++p) {
+    for (size_t r = 0; r < rects.size(); ++r) {
+      if (rects[r].Contains(points[p])) {
+        out.emplace_back(static_cast<int64_t>(p), static_cast<int64_t>(r));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class ContainmentTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContainmentTest, MatchesReference) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  const auto points = RandomPoints(300, seed * 3 + 1);
+  const auto rects = RandomRects(200, seed * 3 + 2);
+  const GridPartition grid =
+      GridPartition::Create(Rect(0, 0, 100, 100), 4, 4).value();
+  const auto result = ContainmentJoin(grid, points, rects);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().pairs, Reference(points, rects));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainmentTest, ::testing::Range(0, 6));
+
+TEST(ContainmentEdgeTest, PointOnRectangleBoundaryCounts) {
+  const GridPartition grid =
+      GridPartition::Create(Rect(0, 0, 10, 10), 2, 2).value();
+  const std::vector<Point> points = {{3, 7}};
+  const std::vector<Rect> rects = {Rect::FromXYLB(3, 7, 2, 2)};  // Corner.
+  const auto result = ContainmentJoin(grid, points, rects);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().pairs, (std::vector<Pair>{{0, 0}}));
+}
+
+TEST(ContainmentEdgeTest, PointOnGridLineFindsRectAcrossTheLine) {
+  // Point exactly on the vertical grid line x=5; its owner is the left
+  // cell, and the containing rectangle starts right of the line but is
+  // split to both cells.
+  const GridPartition grid =
+      GridPartition::Create(Rect(0, 0, 10, 10), 2, 2).value();
+  const std::vector<Point> points = {{5, 7}};
+  const std::vector<Rect> rects = {Rect::FromXYLB(4.5, 8, 2, 2)};
+  const auto result = ContainmentJoin(grid, points, rects);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().pairs, (std::vector<Pair>{{0, 0}}));
+}
+
+TEST(ContainmentEdgeTest, EmptyInputs) {
+  const GridPartition grid =
+      GridPartition::Create(Rect(0, 0, 10, 10), 2, 2).value();
+  EXPECT_TRUE(ContainmentJoin(grid, {}, {}).value().pairs.empty());
+  const auto points = RandomPoints(10, 1, 10);
+  EXPECT_TRUE(ContainmentJoin(grid, points, {}).value().pairs.empty());
+}
+
+}  // namespace
+}  // namespace mwsj

@@ -1,0 +1,104 @@
+// C-Rep-L replication bounds: must reproduce the paper's §7.9 and §8
+// chain formulas and generalize to arbitrary graphs.
+
+#include <gtest/gtest.h>
+
+#include "query/bounds.h"
+
+namespace mwsj {
+namespace {
+
+TEST(BoundsTest, OverlapChainOfFourMatchesSection79) {
+  // Q1: endpoints replicate within 2*d_max, middle relations within d_max.
+  const Query q = MakeChainQuery(4, Predicate::Overlap()).value();
+  const double dmax = 10;
+  const auto bounds = ComputeReplicationBounds(q, dmax);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 2 * dmax);
+  EXPECT_DOUBLE_EQ(bounds[1], dmax);
+  EXPECT_DOUBLE_EQ(bounds[2], dmax);
+  EXPECT_DOUBLE_EQ(bounds[3], 2 * dmax);
+}
+
+TEST(BoundsTest, RangeChainOfFourMatchesSection8) {
+  // Figure 8: R1/R4 within 2*d_max + 3*d; R2/R3 within d_max + 2*d.
+  const double d = 7;
+  const double dmax = 10;
+  const Query q = MakeChainQuery(4, Predicate::Range(d)).value();
+  const auto bounds = ComputeReplicationBounds(q, dmax);
+  EXPECT_DOUBLE_EQ(bounds[0], 2 * dmax + 3 * d);
+  EXPECT_DOUBLE_EQ(bounds[1], dmax + 2 * d);
+  EXPECT_DOUBLE_EQ(bounds[2], dmax + 2 * d);
+  EXPECT_DOUBLE_EQ(bounds[3], 2 * dmax + 3 * d);
+}
+
+TEST(BoundsTest, TwoWayOverlapNeedsNoExtent) {
+  const Query q = MakeChainQuery(2, Predicate::Overlap()).value();
+  const auto bounds = ComputeReplicationBounds(q, 10.0);
+  EXPECT_DOUBLE_EQ(bounds[0], 0);
+  EXPECT_DOUBLE_EQ(bounds[1], 0);
+}
+
+TEST(BoundsTest, TwoWayRangeNeedsExactlyD) {
+  const Query q = MakeChainQuery(2, Predicate::Range(42)).value();
+  const auto bounds = ComputeReplicationBounds(q, 10.0);
+  EXPECT_DOUBLE_EQ(bounds[0], 42);
+  EXPECT_DOUBLE_EQ(bounds[1], 42);
+}
+
+TEST(BoundsTest, StarCenterIsCheaperThanLeaves) {
+  QueryBuilder b;
+  const int center = b.AddRelation("C");
+  const int l1 = b.AddRelation("L1");
+  const int l2 = b.AddRelation("L2");
+  const int l3 = b.AddRelation("L3");
+  b.AddOverlap(center, l1).AddOverlap(center, l2).AddOverlap(center, l3);
+  const Query q = b.Build().value();
+  const double dmax = 10;
+  const auto bounds = ComputeReplicationBounds(q, dmax);
+  // Center reaches any leaf in one hop: no intermediate rectangle.
+  EXPECT_DOUBLE_EQ(bounds[static_cast<size_t>(center)], 0);
+  // Leaves reach each other through the center: one intermediate.
+  EXPECT_DOUBLE_EQ(bounds[static_cast<size_t>(l1)], dmax);
+}
+
+TEST(BoundsTest, CycleUsesShortestPath) {
+  QueryBuilder b;
+  const int r1 = b.AddRelation("R1");
+  const int r2 = b.AddRelation("R2");
+  const int r3 = b.AddRelation("R3");
+  b.AddRange(r1, r2, 5).AddRange(r2, r3, 5).AddRange(r3, r1, 5);
+  const Query q = b.Build().value();
+  const auto bounds = ComputeReplicationBounds(q, 10.0);
+  // Every pair is adjacent: one hop, no intermediates.
+  for (double bound : bounds) EXPECT_DOUBLE_EQ(bound, 5);
+}
+
+TEST(BoundsTest, PerRelationDiagonalsTightenTheBound) {
+  // Chain R1 - R2 - R3 where R2's rectangles are tiny: the endpoint bound
+  // uses R2's diagonal, not the global maximum.
+  const Query q = MakeChainQuery(3, Predicate::Overlap()).value();
+  const std::vector<double> diagonals = {100, 1, 100};
+  const auto bounds = ComputeReplicationBounds(q, diagonals);
+  EXPECT_DOUBLE_EQ(bounds[0], 1);  // Through tiny R2 only.
+  EXPECT_DOUBLE_EQ(bounds[2], 1);
+  EXPECT_DOUBLE_EQ(bounds[1], 0);  // R2 touches both neighbors directly.
+}
+
+TEST(BoundsTest, HybridChainAddsOnlyRangeWeights) {
+  // R1 Ov R2 ∧ R2 Ra(d) R3 (the paper's Q4 shape).
+  QueryBuilder b;
+  const int r1 = b.AddRelation("R1");
+  const int r2 = b.AddRelation("R2");
+  const int r3 = b.AddRelation("R3");
+  b.AddOverlap(r1, r2).AddRange(r2, r3, 200);
+  const Query q = b.Build().value();
+  const double dmax = 10;
+  const auto bounds = ComputeReplicationBounds(q, dmax);
+  EXPECT_DOUBLE_EQ(bounds[0], dmax + 200);  // Through R2 to R3.
+  EXPECT_DOUBLE_EQ(bounds[1], 200);         // Direct Ra edge dominates.
+  EXPECT_DOUBLE_EQ(bounds[2], 200 + dmax);
+}
+
+}  // namespace
+}  // namespace mwsj

@@ -1,0 +1,134 @@
+// Query model: builder validation, predicates, join-graph structure.
+
+#include <gtest/gtest.h>
+
+#include "query/query.h"
+
+namespace mwsj {
+namespace {
+
+TEST(PredicateTest, OverlapEvaluation) {
+  const Predicate p = Predicate::Overlap();
+  EXPECT_TRUE(p.is_overlap());
+  EXPECT_DOUBLE_EQ(p.distance(), 0);
+  EXPECT_TRUE(p.Evaluate(Rect::FromXYLB(0, 1, 1, 1),
+                         Rect::FromXYLB(0.5, 1, 1, 1)));
+  EXPECT_FALSE(p.Evaluate(Rect::FromXYLB(0, 1, 1, 1),
+                          Rect::FromXYLB(5, 1, 1, 1)));
+  EXPECT_EQ(p.ToString(), "Ov");
+}
+
+TEST(PredicateTest, RangeEvaluation) {
+  const Predicate p = Predicate::Range(2.0);
+  EXPECT_TRUE(p.is_range());
+  EXPECT_DOUBLE_EQ(p.distance(), 2.0);
+  EXPECT_TRUE(p.Evaluate(Rect::FromXYLB(0, 1, 1, 1),
+                         Rect::FromXYLB(3, 1, 1, 1)));  // Exactly 2 apart.
+  EXPECT_FALSE(p.Evaluate(Rect::FromXYLB(0, 1, 1, 1),
+                          Rect::FromXYLB(3.5, 1, 1, 1)));
+  EXPECT_EQ(p.ToString(), "Ra(2)");
+}
+
+TEST(QueryBuilderTest, BuildsValidChain) {
+  QueryBuilder b;
+  const int r1 = b.AddRelation("city");
+  const int r2 = b.AddRelation("forest");
+  const int r3 = b.AddRelation("river");
+  b.AddOverlap(r1, r2).AddRange(r2, r3, 100);
+  const auto q = b.Build();
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().num_relations(), 3);
+  EXPECT_EQ(q.value().conditions().size(), 2u);
+  EXPECT_EQ(q.value().ToString(), "city Ov forest AND forest Ra(100) river");
+  EXPECT_FALSE(q.value().IsOverlapOnly());
+  EXPECT_FALSE(q.value().IsRangeOnly());
+  EXPECT_DOUBLE_EQ(q.value().MaxRangeDistance(), 100);
+}
+
+TEST(QueryBuilderTest, RejectsTooFewRelations) {
+  QueryBuilder b;
+  b.AddRelation("only");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(QueryBuilderTest, RejectsNoConditions) {
+  QueryBuilder b;
+  b.AddRelation("a");
+  b.AddRelation("b");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(QueryBuilderTest, RejectsSelfEdge) {
+  QueryBuilder b;
+  const int r1 = b.AddRelation("a");
+  b.AddRelation("b");
+  b.AddOverlap(r1, r1);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(QueryBuilderTest, RejectsOutOfRangeIndices) {
+  QueryBuilder b;
+  b.AddRelation("a");
+  b.AddRelation("b");
+  b.AddOverlap(0, 5);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(QueryBuilderTest, RejectsNegativeRangeDistance) {
+  QueryBuilder b;
+  const int r1 = b.AddRelation("a");
+  const int r2 = b.AddRelation("b");
+  b.AddRange(r1, r2, -1);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(QueryBuilderTest, RejectsDisconnectedGraph) {
+  QueryBuilder b;
+  const int r1 = b.AddRelation("a");
+  const int r2 = b.AddRelation("b");
+  const int r3 = b.AddRelation("c");
+  const int r4 = b.AddRelation("d");
+  b.AddOverlap(r1, r2).AddOverlap(r3, r4);  // Two components.
+  const auto q = b.Build();
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryTest, AdjacencyListsConditionIndices) {
+  QueryBuilder b;
+  const int r1 = b.AddRelation("a");
+  const int r2 = b.AddRelation("b");
+  const int r3 = b.AddRelation("c");
+  b.AddOverlap(r1, r2).AddOverlap(r2, r3);
+  const Query q = b.Build().value();
+  EXPECT_EQ(q.ConditionsOf(0), (std::vector<int>{0}));
+  EXPECT_EQ(q.ConditionsOf(1), (std::vector<int>{0, 1}));
+  EXPECT_EQ(q.ConditionsOf(2), (std::vector<int>{1}));
+  EXPECT_TRUE(q.conditions()[0].Connects(0, 1));
+  EXPECT_TRUE(q.conditions()[0].Connects(1, 0));
+  EXPECT_FALSE(q.conditions()[0].Connects(0, 2));
+}
+
+TEST(QueryTest, MatchesEvaluatesFullAssignments) {
+  const Query q = MakeChainQuery(3, Predicate::Overlap()).value();
+  const Rect a = Rect::FromXYLB(0, 1, 1, 1);
+  const Rect b = Rect::FromXYLB(0.5, 1, 1, 1);
+  const Rect c = Rect::FromXYLB(1.2, 1, 1, 1);
+  EXPECT_TRUE(q.Matches({a, b, c}));       // a-b and b-c overlap.
+  EXPECT_FALSE(q.Matches({a, c, b}));      // a and c do not overlap.
+  const Rect far = Rect::FromXYLB(50, 1, 1, 1);
+  EXPECT_FALSE(q.Matches({a, b, far}));
+}
+
+TEST(QueryTest, MakeChainQueryShapes) {
+  const Query q2 = MakeChainQuery(3, Predicate::Overlap()).value();
+  EXPECT_TRUE(q2.IsOverlapOnly());
+  EXPECT_EQ(q2.conditions().size(), 2u);
+  const Query q3 = MakeChainQuery(4, Predicate::Range(100)).value();
+  EXPECT_TRUE(q3.IsRangeOnly());
+  EXPECT_EQ(q3.conditions().size(), 3u);
+  EXPECT_FALSE(MakeChainQuery(1, Predicate::Overlap()).ok());
+}
+
+}  // namespace
+}  // namespace mwsj

@@ -1,0 +1,80 @@
+#include "testing/world.h"
+
+#include <cmath>
+
+namespace mwsj::testing {
+
+namespace {
+
+Predicate EdgePredicate(const WorldConfig& config, int edge_index) {
+  switch (config.mix) {
+    case PredicateMix::kOverlapOnly:
+      return Predicate::Overlap();
+    case PredicateMix::kRangeOnly:
+      return Predicate::Range(config.range_d);
+    case PredicateMix::kHybrid:
+      return (edge_index % 2 == 0) ? Predicate::Overlap()
+                                   : Predicate::Range(config.range_d);
+  }
+  return Predicate::Overlap();
+}
+
+}  // namespace
+
+Query MakeWorldQuery(const WorldConfig& config) {
+  QueryBuilder b;
+  int n = 0;
+  std::vector<std::pair<int, int>> edges;
+  switch (config.shape) {
+    case QueryShape::kChain3:
+      n = 3;
+      edges = {{0, 1}, {1, 2}};
+      break;
+    case QueryShape::kChain4:
+      n = 4;
+      edges = {{0, 1}, {1, 2}, {2, 3}};
+      break;
+    case QueryShape::kStar4:
+      n = 4;
+      edges = {{0, 1}, {0, 2}, {0, 3}};
+      break;
+    case QueryShape::kCycle3:
+      n = 3;
+      edges = {{0, 1}, {1, 2}, {2, 0}};
+      break;
+  }
+  for (int i = 0; i < n; ++i) b.AddRelation("R" + std::to_string(i + 1));
+  for (size_t e = 0; e < edges.size(); ++e) {
+    b.AddCondition(edges[e].first, edges[e].second,
+                   EdgePredicate(config, static_cast<int>(e)));
+  }
+  StatusOr<Query> q = b.Build();
+  return q.value();  // Shapes above are always valid.
+}
+
+std::vector<std::vector<Rect>> MakeWorldData(const WorldConfig& config,
+                                             int num_relations) {
+  Rng rng(config.seed);
+  std::vector<std::vector<Rect>> out(static_cast<size_t>(num_relations));
+  for (auto& relation : out) {
+    const int n = static_cast<int>(
+        rng.UniformInt(0, config.max_rects_per_relation));
+    relation.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      double l = rng.Uniform(0, config.max_dim);
+      double b = rng.Uniform(0, config.max_dim);
+      double x = rng.Uniform(0, config.space_size - l);
+      double y = rng.Uniform(b, config.space_size);
+      if (config.integer_coords) {
+        l = std::floor(l);
+        b = std::floor(b);
+        x = std::floor(x);
+        y = std::ceil(y);
+      }
+      relation.push_back(Rect::FromXYLB(x, y, l, b));
+    }
+  }
+  return out;
+}
+
+}  // namespace mwsj::testing

@@ -1,0 +1,47 @@
+#ifndef MWSJ_TESTS_TESTING_WORLD_H_
+#define MWSJ_TESTS_TESTING_WORLD_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "geometry/rect.h"
+#include "query/query.h"
+
+namespace mwsj::testing {
+
+/// Shape of the join graph used by randomized equivalence tests.
+enum class QueryShape {
+  kChain3,  // R1 - R2 - R3
+  kChain4,  // R1 - R2 - R3 - R4
+  kStar4,   // R1 at the center of R2, R3, R4
+  kCycle3,  // triangle R1 - R2 - R3 - R1
+};
+
+/// Kind of predicates on the edges.
+enum class PredicateMix {
+  kOverlapOnly,
+  kRangeOnly,   // all edges Ra(d)
+  kHybrid,      // alternating Ov / Ra(d)
+};
+
+struct WorldConfig {
+  QueryShape shape = QueryShape::kChain3;
+  PredicateMix mix = PredicateMix::kOverlapOnly;
+  double range_d = 8.0;
+  int max_rects_per_relation = 30;
+  double space_size = 100.0;
+  double max_dim = 35.0;      // Rectangles up to this size (big vs. cells).
+  bool integer_coords = false;  // Integer coordinates: boundary-tie stress.
+  uint64_t seed = 1;
+};
+
+/// Builds the query for a config (always valid).
+Query MakeWorldQuery(const WorldConfig& config);
+
+/// Generates one dataset per query relation.
+std::vector<std::vector<Rect>> MakeWorldData(const WorldConfig& config,
+                                             int num_relations);
+
+}  // namespace mwsj::testing
+
+#endif  // MWSJ_TESTS_TESTING_WORLD_H_

@@ -1,0 +1,61 @@
+# End-to-end smoke test of the CLI tools, run by ctest:
+#   mwsj_datagen (csv + binary) -> mwsj_join --verify --output -> tuple CSV.
+# Invoked with -DDATAGEN=<path> -DJOIN=<path> -DWORKDIR=<dir>.
+
+file(MAKE_DIRECTORY ${WORKDIR})
+
+function(run_checked)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE code OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "command failed (${code}): ${ARGN}\n${out}\n${err}")
+  endif()
+endfunction()
+
+run_checked(${DATAGEN} --kind synthetic --n 3000 --seed 1 --space 4000
+            --lmax 60 --bmax 60 --out ${WORKDIR}/a.csv)
+run_checked(${DATAGEN} --kind synthetic --n 3000 --seed 2 --space 4000
+            --lmax 60 --bmax 60 --out ${WORKDIR}/b.bin)
+run_checked(${DATAGEN} --kind california --n 2000 --out ${WORKDIR}/roads.csv)
+
+run_checked(${JOIN} --query "A OV B AND B RA(40) A2" --input A=${WORKDIR}/a.csv
+            --input B=${WORKDIR}/b.bin --input A2=${WORKDIR}/a.csv
+            --algorithm crepl --grid 4x4 --verify --explain
+            --output ${WORKDIR}/tuples.csv
+            --stats-json ${WORKDIR}/stats.json)
+
+# The output CSV must exist, have the right header, and more than one line.
+file(READ ${WORKDIR}/tuples.csv tuples)
+string(FIND "${tuples}" "A,B,A2" header_pos)
+if(NOT header_pos EQUAL 0)
+  message(FATAL_ERROR "tuples.csv missing relation header: ${tuples}")
+endif()
+
+# The stats JSON must mention both C-Rep rounds.
+file(READ ${WORKDIR}/stats.json stats)
+string(FIND "${stats}" "crep_round1_mark" r1)
+string(FIND "${stats}" "crepl_round2_join" r2)
+if(r1 EQUAL -1 OR r2 EQUAL -1)
+  message(FATAL_ERROR "stats.json missing job entries: ${stats}")
+endif()
+
+# Cross-check: brute force must report the same tuple count.
+execute_process(COMMAND ${JOIN} --query "A OV B AND B RA(40) A2"
+                --input A=${WORKDIR}/a.csv --input B=${WORKDIR}/b.bin
+                --input A2=${WORKDIR}/a.csv --algorithm brute --count-only
+                OUTPUT_VARIABLE brute_out RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "brute-force run failed")
+endif()
+string(REGEX MATCH "output tuples: ([0-9]+)" _ ${brute_out})
+set(brute_count ${CMAKE_MATCH_1})
+string(REGEX MATCHALL "[^\n]+" tuple_lines "${tuples}")
+list(LENGTH tuple_lines total_lines)
+math(EXPR tuple_count "${total_lines} - 1")  # Minus the header.
+if(NOT tuple_count EQUAL brute_count)
+  message(FATAL_ERROR
+          "C-Rep-L wrote ${tuple_count} tuples but brute force counted "
+          "${brute_count}")
+endif()
+
+message(STATUS "pipeline smoke OK: ${tuple_count} tuples, verified")
