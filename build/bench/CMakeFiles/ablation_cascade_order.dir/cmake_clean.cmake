@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cascade_order.dir/ablation_cascade_order.cc.o"
+  "CMakeFiles/ablation_cascade_order.dir/ablation_cascade_order.cc.o.d"
+  "ablation_cascade_order"
+  "ablation_cascade_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cascade_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

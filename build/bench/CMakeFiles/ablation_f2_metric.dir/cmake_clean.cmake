@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_f2_metric.dir/ablation_f2_metric.cc.o"
+  "CMakeFiles/ablation_f2_metric.dir/ablation_f2_metric.cc.o.d"
+  "ablation_f2_metric"
+  "ablation_f2_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_f2_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_localjoin.dir/micro_localjoin.cc.o"
+  "CMakeFiles/micro_localjoin.dir/micro_localjoin.cc.o.d"
+  "micro_localjoin"
+  "micro_localjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_localjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_marking.dir/micro_marking.cc.o"
+  "CMakeFiles/micro_marking.dir/micro_marking.cc.o.d"
+  "micro_marking"
+  "micro_marking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_marking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

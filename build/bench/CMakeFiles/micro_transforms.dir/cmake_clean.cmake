@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_transforms.dir/micro_transforms.cc.o"
+  "CMakeFiles/micro_transforms.dir/micro_transforms.cc.o.d"
+  "micro_transforms"
+  "micro_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_table_bench.dir/table_bench.cc.o"
+  "CMakeFiles/mwsj_table_bench.dir/table_bench.cc.o.d"
+  "libmwsj_table_bench.a"
+  "libmwsj_table_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_table_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

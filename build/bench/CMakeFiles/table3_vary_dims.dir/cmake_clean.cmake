@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_vary_dims.dir/table3_vary_dims.cc.o"
+  "CMakeFiles/table3_vary_dims.dir/table3_vary_dims.cc.o.d"
+  "table3_vary_dims"
+  "table3_vary_dims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_vary_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

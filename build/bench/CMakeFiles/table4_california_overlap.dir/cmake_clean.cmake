@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_california_overlap.dir/table4_california_overlap.cc.o"
+  "CMakeFiles/table4_california_overlap.dir/table4_california_overlap.cc.o.d"
+  "table4_california_overlap"
+  "table4_california_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_california_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

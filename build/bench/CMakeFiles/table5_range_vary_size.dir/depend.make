@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_range_vary_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_range_vary_d.dir/table6_range_vary_d.cc.o"
+  "CMakeFiles/table6_range_vary_d.dir/table6_range_vary_d.cc.o.d"
+  "table6_range_vary_d"
+  "table6_range_vary_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_range_vary_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_range_vary_d.
+# This may be replaced when dependencies are built.

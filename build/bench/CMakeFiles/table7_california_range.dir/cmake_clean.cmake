@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_california_range.dir/table7_california_range.cc.o"
+  "CMakeFiles/table7_california_range.dir/table7_california_range.cc.o.d"
+  "table7_california_range"
+  "table7_california_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_california_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_hybrid_vary_size.dir/table8_hybrid_vary_size.cc.o"
+  "CMakeFiles/table8_hybrid_vary_size.dir/table8_hybrid_vary_size.cc.o.d"
+  "table8_hybrid_vary_size"
+  "table8_hybrid_vary_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_hybrid_vary_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_california_hybrid.dir/table9_california_hybrid.cc.o"
+  "CMakeFiles/table9_california_hybrid.dir/table9_california_hybrid.cc.o.d"
+  "table9_california_hybrid"
+  "table9_california_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_california_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

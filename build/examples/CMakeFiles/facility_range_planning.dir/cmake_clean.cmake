@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facility_range_planning.dir/facility_range_planning.cpp.o"
+  "CMakeFiles/facility_range_planning.dir/facility_range_planning.cpp.o.d"
+  "facility_range_planning"
+  "facility_range_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facility_range_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

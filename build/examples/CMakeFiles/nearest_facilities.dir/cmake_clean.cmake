@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nearest_facilities.dir/nearest_facilities.cpp.o"
+  "CMakeFiles/nearest_facilities.dir/nearest_facilities.cpp.o.d"
+  "nearest_facilities"
+  "nearest_facilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nearest_facilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

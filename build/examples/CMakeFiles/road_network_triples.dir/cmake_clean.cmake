@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_network_triples.dir/road_network_triples.cpp.o"
+  "CMakeFiles/road_network_triples.dir/road_network_triples.cpp.o.d"
+  "road_network_triples"
+  "road_network_triples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_network_triples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

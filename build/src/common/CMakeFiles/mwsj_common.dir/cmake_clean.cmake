@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_common.dir/random.cc.o"
+  "CMakeFiles/mwsj_common.dir/random.cc.o.d"
+  "CMakeFiles/mwsj_common.dir/status.cc.o"
+  "CMakeFiles/mwsj_common.dir/status.cc.o.d"
+  "CMakeFiles/mwsj_common.dir/str_format.cc.o"
+  "CMakeFiles/mwsj_common.dir/str_format.cc.o.d"
+  "CMakeFiles/mwsj_common.dir/thread_pool.cc.o"
+  "CMakeFiles/mwsj_common.dir/thread_pool.cc.o.d"
+  "libmwsj_common.a"
+  "libmwsj_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

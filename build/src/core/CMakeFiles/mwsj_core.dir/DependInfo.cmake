@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/all_replicate.cc" "src/core/CMakeFiles/mwsj_core.dir/all_replicate.cc.o" "gcc" "src/core/CMakeFiles/mwsj_core.dir/all_replicate.cc.o.d"
+  "/root/repo/src/core/cascade.cc" "src/core/CMakeFiles/mwsj_core.dir/cascade.cc.o" "gcc" "src/core/CMakeFiles/mwsj_core.dir/cascade.cc.o.d"
+  "/root/repo/src/core/controlled_replicate.cc" "src/core/CMakeFiles/mwsj_core.dir/controlled_replicate.cc.o" "gcc" "src/core/CMakeFiles/mwsj_core.dir/controlled_replicate.cc.o.d"
+  "/root/repo/src/core/dedup.cc" "src/core/CMakeFiles/mwsj_core.dir/dedup.cc.o" "gcc" "src/core/CMakeFiles/mwsj_core.dir/dedup.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/mwsj_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/mwsj_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/core/CMakeFiles/mwsj_core.dir/optimizer.cc.o" "gcc" "src/core/CMakeFiles/mwsj_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/core/refinement.cc" "src/core/CMakeFiles/mwsj_core.dir/refinement.cc.o" "gcc" "src/core/CMakeFiles/mwsj_core.dir/refinement.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/core/CMakeFiles/mwsj_core.dir/runner.cc.o" "gcc" "src/core/CMakeFiles/mwsj_core.dir/runner.cc.o.d"
+  "/root/repo/src/core/two_way.cc" "src/core/CMakeFiles/mwsj_core.dir/two_way.cc.o" "gcc" "src/core/CMakeFiles/mwsj_core.dir/two_way.cc.o.d"
+  "/root/repo/src/core/verification.cc" "src/core/CMakeFiles/mwsj_core.dir/verification.cc.o" "gcc" "src/core/CMakeFiles/mwsj_core.dir/verification.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mwsj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mwsj_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/mwsj_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/localjoin/CMakeFiles/mwsj_localjoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/mwsj_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mwsj_query.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

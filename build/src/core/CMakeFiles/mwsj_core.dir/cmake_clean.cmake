@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_core.dir/all_replicate.cc.o"
+  "CMakeFiles/mwsj_core.dir/all_replicate.cc.o.d"
+  "CMakeFiles/mwsj_core.dir/cascade.cc.o"
+  "CMakeFiles/mwsj_core.dir/cascade.cc.o.d"
+  "CMakeFiles/mwsj_core.dir/controlled_replicate.cc.o"
+  "CMakeFiles/mwsj_core.dir/controlled_replicate.cc.o.d"
+  "CMakeFiles/mwsj_core.dir/dedup.cc.o"
+  "CMakeFiles/mwsj_core.dir/dedup.cc.o.d"
+  "CMakeFiles/mwsj_core.dir/explain.cc.o"
+  "CMakeFiles/mwsj_core.dir/explain.cc.o.d"
+  "CMakeFiles/mwsj_core.dir/optimizer.cc.o"
+  "CMakeFiles/mwsj_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/mwsj_core.dir/refinement.cc.o"
+  "CMakeFiles/mwsj_core.dir/refinement.cc.o.d"
+  "CMakeFiles/mwsj_core.dir/runner.cc.o"
+  "CMakeFiles/mwsj_core.dir/runner.cc.o.d"
+  "CMakeFiles/mwsj_core.dir/two_way.cc.o"
+  "CMakeFiles/mwsj_core.dir/two_way.cc.o.d"
+  "CMakeFiles/mwsj_core.dir/verification.cc.o"
+  "CMakeFiles/mwsj_core.dir/verification.cc.o.d"
+  "libmwsj_core.a"
+  "libmwsj_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/california.cc" "src/datagen/CMakeFiles/mwsj_datagen.dir/california.cc.o" "gcc" "src/datagen/CMakeFiles/mwsj_datagen.dir/california.cc.o.d"
+  "/root/repo/src/datagen/distributions.cc" "src/datagen/CMakeFiles/mwsj_datagen.dir/distributions.cc.o" "gcc" "src/datagen/CMakeFiles/mwsj_datagen.dir/distributions.cc.o.d"
+  "/root/repo/src/datagen/polygons.cc" "src/datagen/CMakeFiles/mwsj_datagen.dir/polygons.cc.o" "gcc" "src/datagen/CMakeFiles/mwsj_datagen.dir/polygons.cc.o.d"
+  "/root/repo/src/datagen/synthetic.cc" "src/datagen/CMakeFiles/mwsj_datagen.dir/synthetic.cc.o" "gcc" "src/datagen/CMakeFiles/mwsj_datagen.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mwsj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mwsj_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

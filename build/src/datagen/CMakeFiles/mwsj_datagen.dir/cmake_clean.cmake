@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_datagen.dir/california.cc.o"
+  "CMakeFiles/mwsj_datagen.dir/california.cc.o.d"
+  "CMakeFiles/mwsj_datagen.dir/distributions.cc.o"
+  "CMakeFiles/mwsj_datagen.dir/distributions.cc.o.d"
+  "CMakeFiles/mwsj_datagen.dir/polygons.cc.o"
+  "CMakeFiles/mwsj_datagen.dir/polygons.cc.o.d"
+  "CMakeFiles/mwsj_datagen.dir/synthetic.cc.o"
+  "CMakeFiles/mwsj_datagen.dir/synthetic.cc.o.d"
+  "libmwsj_datagen.a"
+  "libmwsj_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_geometry.dir/polygon.cc.o"
+  "CMakeFiles/mwsj_geometry.dir/polygon.cc.o.d"
+  "CMakeFiles/mwsj_geometry.dir/rect.cc.o"
+  "CMakeFiles/mwsj_geometry.dir/rect.cc.o.d"
+  "libmwsj_geometry.a"
+  "libmwsj_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/grid_partition.cc" "src/grid/CMakeFiles/mwsj_grid.dir/grid_partition.cc.o" "gcc" "src/grid/CMakeFiles/mwsj_grid.dir/grid_partition.cc.o.d"
+  "/root/repo/src/grid/transform.cc" "src/grid/CMakeFiles/mwsj_grid.dir/transform.cc.o" "gcc" "src/grid/CMakeFiles/mwsj_grid.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mwsj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mwsj_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

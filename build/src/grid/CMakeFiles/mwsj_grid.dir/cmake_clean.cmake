@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_grid.dir/grid_partition.cc.o"
+  "CMakeFiles/mwsj_grid.dir/grid_partition.cc.o.d"
+  "CMakeFiles/mwsj_grid.dir/transform.cc.o"
+  "CMakeFiles/mwsj_grid.dir/transform.cc.o.d"
+  "libmwsj_grid.a"
+  "libmwsj_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/dataset_io.cc" "src/io/CMakeFiles/mwsj_io.dir/dataset_io.cc.o" "gcc" "src/io/CMakeFiles/mwsj_io.dir/dataset_io.cc.o.d"
+  "/root/repo/src/io/wkt.cc" "src/io/CMakeFiles/mwsj_io.dir/wkt.cc.o" "gcc" "src/io/CMakeFiles/mwsj_io.dir/wkt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mwsj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mwsj_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/localjoin/CMakeFiles/mwsj_localjoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mwsj_query.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

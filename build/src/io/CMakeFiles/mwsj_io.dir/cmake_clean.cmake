@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_io.dir/dataset_io.cc.o"
+  "CMakeFiles/mwsj_io.dir/dataset_io.cc.o.d"
+  "CMakeFiles/mwsj_io.dir/wkt.cc.o"
+  "CMakeFiles/mwsj_io.dir/wkt.cc.o.d"
+  "libmwsj_io.a"
+  "libmwsj_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/localjoin/brute_force.cc" "src/localjoin/CMakeFiles/mwsj_localjoin.dir/brute_force.cc.o" "gcc" "src/localjoin/CMakeFiles/mwsj_localjoin.dir/brute_force.cc.o.d"
+  "/root/repo/src/localjoin/multiway.cc" "src/localjoin/CMakeFiles/mwsj_localjoin.dir/multiway.cc.o" "gcc" "src/localjoin/CMakeFiles/mwsj_localjoin.dir/multiway.cc.o.d"
+  "/root/repo/src/localjoin/plane_sweep.cc" "src/localjoin/CMakeFiles/mwsj_localjoin.dir/plane_sweep.cc.o" "gcc" "src/localjoin/CMakeFiles/mwsj_localjoin.dir/plane_sweep.cc.o.d"
+  "/root/repo/src/localjoin/rtree.cc" "src/localjoin/CMakeFiles/mwsj_localjoin.dir/rtree.cc.o" "gcc" "src/localjoin/CMakeFiles/mwsj_localjoin.dir/rtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mwsj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mwsj_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mwsj_query.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_localjoin.dir/brute_force.cc.o"
+  "CMakeFiles/mwsj_localjoin.dir/brute_force.cc.o.d"
+  "CMakeFiles/mwsj_localjoin.dir/multiway.cc.o"
+  "CMakeFiles/mwsj_localjoin.dir/multiway.cc.o.d"
+  "CMakeFiles/mwsj_localjoin.dir/plane_sweep.cc.o"
+  "CMakeFiles/mwsj_localjoin.dir/plane_sweep.cc.o.d"
+  "CMakeFiles/mwsj_localjoin.dir/rtree.cc.o"
+  "CMakeFiles/mwsj_localjoin.dir/rtree.cc.o.d"
+  "libmwsj_localjoin.a"
+  "libmwsj_localjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_localjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

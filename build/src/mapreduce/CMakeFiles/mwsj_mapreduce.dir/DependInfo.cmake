@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/cost_model.cc" "src/mapreduce/CMakeFiles/mwsj_mapreduce.dir/cost_model.cc.o" "gcc" "src/mapreduce/CMakeFiles/mwsj_mapreduce.dir/cost_model.cc.o.d"
+  "/root/repo/src/mapreduce/counters.cc" "src/mapreduce/CMakeFiles/mwsj_mapreduce.dir/counters.cc.o" "gcc" "src/mapreduce/CMakeFiles/mwsj_mapreduce.dir/counters.cc.o.d"
+  "/root/repo/src/mapreduce/stats_json.cc" "src/mapreduce/CMakeFiles/mwsj_mapreduce.dir/stats_json.cc.o" "gcc" "src/mapreduce/CMakeFiles/mwsj_mapreduce.dir/stats_json.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mwsj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_mapreduce.dir/cost_model.cc.o"
+  "CMakeFiles/mwsj_mapreduce.dir/cost_model.cc.o.d"
+  "CMakeFiles/mwsj_mapreduce.dir/counters.cc.o"
+  "CMakeFiles/mwsj_mapreduce.dir/counters.cc.o.d"
+  "CMakeFiles/mwsj_mapreduce.dir/stats_json.cc.o"
+  "CMakeFiles/mwsj_mapreduce.dir/stats_json.cc.o.d"
+  "libmwsj_mapreduce.a"
+  "libmwsj_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmwsj_mapreduce.a"
+)

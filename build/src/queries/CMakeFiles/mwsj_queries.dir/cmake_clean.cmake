@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_queries.dir/containment.cc.o"
+  "CMakeFiles/mwsj_queries.dir/containment.cc.o.d"
+  "CMakeFiles/mwsj_queries.dir/knn.cc.o"
+  "CMakeFiles/mwsj_queries.dir/knn.cc.o.d"
+  "libmwsj_queries.a"
+  "libmwsj_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

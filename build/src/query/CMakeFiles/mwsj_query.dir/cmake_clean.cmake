@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_query.dir/bounds.cc.o"
+  "CMakeFiles/mwsj_query.dir/bounds.cc.o.d"
+  "CMakeFiles/mwsj_query.dir/parser.cc.o"
+  "CMakeFiles/mwsj_query.dir/parser.cc.o.d"
+  "CMakeFiles/mwsj_query.dir/query.cc.o"
+  "CMakeFiles/mwsj_query.dir/query.cc.o.d"
+  "libmwsj_query.a"
+  "libmwsj_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

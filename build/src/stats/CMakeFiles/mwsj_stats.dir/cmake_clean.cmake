@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_stats.dir/grid_histogram.cc.o"
+  "CMakeFiles/mwsj_stats.dir/grid_histogram.cc.o.d"
+  "libmwsj_stats.a"
+  "libmwsj_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

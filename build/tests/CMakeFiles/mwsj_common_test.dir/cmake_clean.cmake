@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_common_test.dir/common/random_test.cc.o"
+  "CMakeFiles/mwsj_common_test.dir/common/random_test.cc.o.d"
+  "CMakeFiles/mwsj_common_test.dir/common/status_test.cc.o"
+  "CMakeFiles/mwsj_common_test.dir/common/status_test.cc.o.d"
+  "CMakeFiles/mwsj_common_test.dir/common/str_format_test.cc.o"
+  "CMakeFiles/mwsj_common_test.dir/common/str_format_test.cc.o.d"
+  "CMakeFiles/mwsj_common_test.dir/common/thread_pool_test.cc.o"
+  "CMakeFiles/mwsj_common_test.dir/common/thread_pool_test.cc.o.d"
+  "mwsj_common_test"
+  "mwsj_common_test.pdb"
+  "mwsj_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/crep_marking_test.cc" "tests/CMakeFiles/mwsj_core_test.dir/core/crep_marking_test.cc.o" "gcc" "tests/CMakeFiles/mwsj_core_test.dir/core/crep_marking_test.cc.o.d"
+  "/root/repo/tests/core/crepl_metric_test.cc" "tests/CMakeFiles/mwsj_core_test.dir/core/crepl_metric_test.cc.o" "gcc" "tests/CMakeFiles/mwsj_core_test.dir/core/crepl_metric_test.cc.o.d"
+  "/root/repo/tests/core/dedup_test.cc" "tests/CMakeFiles/mwsj_core_test.dir/core/dedup_test.cc.o" "gcc" "tests/CMakeFiles/mwsj_core_test.dir/core/dedup_test.cc.o.d"
+  "/root/repo/tests/core/equivalence_test.cc" "tests/CMakeFiles/mwsj_core_test.dir/core/equivalence_test.cc.o" "gcc" "tests/CMakeFiles/mwsj_core_test.dir/core/equivalence_test.cc.o.d"
+  "/root/repo/tests/core/explain_test.cc" "tests/CMakeFiles/mwsj_core_test.dir/core/explain_test.cc.o" "gcc" "tests/CMakeFiles/mwsj_core_test.dir/core/explain_test.cc.o.d"
+  "/root/repo/tests/core/marking_oracle_property_test.cc" "tests/CMakeFiles/mwsj_core_test.dir/core/marking_oracle_property_test.cc.o" "gcc" "tests/CMakeFiles/mwsj_core_test.dir/core/marking_oracle_property_test.cc.o.d"
+  "/root/repo/tests/core/optimizer_test.cc" "tests/CMakeFiles/mwsj_core_test.dir/core/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/mwsj_core_test.dir/core/optimizer_test.cc.o.d"
+  "/root/repo/tests/core/refinement_test.cc" "tests/CMakeFiles/mwsj_core_test.dir/core/refinement_test.cc.o" "gcc" "tests/CMakeFiles/mwsj_core_test.dir/core/refinement_test.cc.o.d"
+  "/root/repo/tests/core/runner_test.cc" "tests/CMakeFiles/mwsj_core_test.dir/core/runner_test.cc.o" "gcc" "tests/CMakeFiles/mwsj_core_test.dir/core/runner_test.cc.o.d"
+  "/root/repo/tests/core/two_way_test.cc" "tests/CMakeFiles/mwsj_core_test.dir/core/two_way_test.cc.o" "gcc" "tests/CMakeFiles/mwsj_core_test.dir/core/two_way_test.cc.o.d"
+  "/root/repo/tests/core/verification_test.cc" "tests/CMakeFiles/mwsj_core_test.dir/core/verification_test.cc.o" "gcc" "tests/CMakeFiles/mwsj_core_test.dir/core/verification_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mwsj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/mwsj_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mwsj_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/queries/CMakeFiles/mwsj_queries.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mwsj_stats.dir/DependInfo.cmake"
+  "/root/repo/build/tests/CMakeFiles/mwsj_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/localjoin/CMakeFiles/mwsj_localjoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/mwsj_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/mwsj_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mwsj_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mwsj_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mwsj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

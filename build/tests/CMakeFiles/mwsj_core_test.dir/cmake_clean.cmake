@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_core_test.dir/core/crep_marking_test.cc.o"
+  "CMakeFiles/mwsj_core_test.dir/core/crep_marking_test.cc.o.d"
+  "CMakeFiles/mwsj_core_test.dir/core/crepl_metric_test.cc.o"
+  "CMakeFiles/mwsj_core_test.dir/core/crepl_metric_test.cc.o.d"
+  "CMakeFiles/mwsj_core_test.dir/core/dedup_test.cc.o"
+  "CMakeFiles/mwsj_core_test.dir/core/dedup_test.cc.o.d"
+  "CMakeFiles/mwsj_core_test.dir/core/equivalence_test.cc.o"
+  "CMakeFiles/mwsj_core_test.dir/core/equivalence_test.cc.o.d"
+  "CMakeFiles/mwsj_core_test.dir/core/explain_test.cc.o"
+  "CMakeFiles/mwsj_core_test.dir/core/explain_test.cc.o.d"
+  "CMakeFiles/mwsj_core_test.dir/core/marking_oracle_property_test.cc.o"
+  "CMakeFiles/mwsj_core_test.dir/core/marking_oracle_property_test.cc.o.d"
+  "CMakeFiles/mwsj_core_test.dir/core/optimizer_test.cc.o"
+  "CMakeFiles/mwsj_core_test.dir/core/optimizer_test.cc.o.d"
+  "CMakeFiles/mwsj_core_test.dir/core/refinement_test.cc.o"
+  "CMakeFiles/mwsj_core_test.dir/core/refinement_test.cc.o.d"
+  "CMakeFiles/mwsj_core_test.dir/core/runner_test.cc.o"
+  "CMakeFiles/mwsj_core_test.dir/core/runner_test.cc.o.d"
+  "CMakeFiles/mwsj_core_test.dir/core/two_way_test.cc.o"
+  "CMakeFiles/mwsj_core_test.dir/core/two_way_test.cc.o.d"
+  "CMakeFiles/mwsj_core_test.dir/core/verification_test.cc.o"
+  "CMakeFiles/mwsj_core_test.dir/core/verification_test.cc.o.d"
+  "mwsj_core_test"
+  "mwsj_core_test.pdb"
+  "mwsj_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/datagen/california_test.cc" "tests/CMakeFiles/mwsj_datagen_test.dir/datagen/california_test.cc.o" "gcc" "tests/CMakeFiles/mwsj_datagen_test.dir/datagen/california_test.cc.o.d"
+  "/root/repo/tests/datagen/distributions_test.cc" "tests/CMakeFiles/mwsj_datagen_test.dir/datagen/distributions_test.cc.o" "gcc" "tests/CMakeFiles/mwsj_datagen_test.dir/datagen/distributions_test.cc.o.d"
+  "/root/repo/tests/datagen/polygons_test.cc" "tests/CMakeFiles/mwsj_datagen_test.dir/datagen/polygons_test.cc.o" "gcc" "tests/CMakeFiles/mwsj_datagen_test.dir/datagen/polygons_test.cc.o.d"
+  "/root/repo/tests/datagen/synthetic_test.cc" "tests/CMakeFiles/mwsj_datagen_test.dir/datagen/synthetic_test.cc.o" "gcc" "tests/CMakeFiles/mwsj_datagen_test.dir/datagen/synthetic_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mwsj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/mwsj_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mwsj_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/queries/CMakeFiles/mwsj_queries.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mwsj_stats.dir/DependInfo.cmake"
+  "/root/repo/build/tests/CMakeFiles/mwsj_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/localjoin/CMakeFiles/mwsj_localjoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/mwsj_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/mwsj_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mwsj_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mwsj_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mwsj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_datagen_test.dir/datagen/california_test.cc.o"
+  "CMakeFiles/mwsj_datagen_test.dir/datagen/california_test.cc.o.d"
+  "CMakeFiles/mwsj_datagen_test.dir/datagen/distributions_test.cc.o"
+  "CMakeFiles/mwsj_datagen_test.dir/datagen/distributions_test.cc.o.d"
+  "CMakeFiles/mwsj_datagen_test.dir/datagen/polygons_test.cc.o"
+  "CMakeFiles/mwsj_datagen_test.dir/datagen/polygons_test.cc.o.d"
+  "CMakeFiles/mwsj_datagen_test.dir/datagen/synthetic_test.cc.o"
+  "CMakeFiles/mwsj_datagen_test.dir/datagen/synthetic_test.cc.o.d"
+  "mwsj_datagen_test"
+  "mwsj_datagen_test.pdb"
+  "mwsj_datagen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_datagen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_geometry_test.dir/geometry/geometry_property_test.cc.o"
+  "CMakeFiles/mwsj_geometry_test.dir/geometry/geometry_property_test.cc.o.d"
+  "CMakeFiles/mwsj_geometry_test.dir/geometry/polygon_test.cc.o"
+  "CMakeFiles/mwsj_geometry_test.dir/geometry/polygon_test.cc.o.d"
+  "CMakeFiles/mwsj_geometry_test.dir/geometry/rect_test.cc.o"
+  "CMakeFiles/mwsj_geometry_test.dir/geometry/rect_test.cc.o.d"
+  "mwsj_geometry_test"
+  "mwsj_geometry_test.pdb"
+  "mwsj_geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_grid_test.dir/grid/grid_partition_test.cc.o"
+  "CMakeFiles/mwsj_grid_test.dir/grid/grid_partition_test.cc.o.d"
+  "CMakeFiles/mwsj_grid_test.dir/grid/grid_property_test.cc.o"
+  "CMakeFiles/mwsj_grid_test.dir/grid/grid_property_test.cc.o.d"
+  "CMakeFiles/mwsj_grid_test.dir/grid/transform_test.cc.o"
+  "CMakeFiles/mwsj_grid_test.dir/grid/transform_test.cc.o.d"
+  "mwsj_grid_test"
+  "mwsj_grid_test.pdb"
+  "mwsj_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

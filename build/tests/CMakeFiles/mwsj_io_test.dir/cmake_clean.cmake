@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_io_test.dir/io/dataset_io_test.cc.o"
+  "CMakeFiles/mwsj_io_test.dir/io/dataset_io_test.cc.o.d"
+  "CMakeFiles/mwsj_io_test.dir/io/wkt_test.cc.o"
+  "CMakeFiles/mwsj_io_test.dir/io/wkt_test.cc.o.d"
+  "mwsj_io_test"
+  "mwsj_io_test.pdb"
+  "mwsj_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

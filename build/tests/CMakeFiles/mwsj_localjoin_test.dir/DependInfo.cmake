@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/localjoin/multiway_test.cc" "tests/CMakeFiles/mwsj_localjoin_test.dir/localjoin/multiway_test.cc.o" "gcc" "tests/CMakeFiles/mwsj_localjoin_test.dir/localjoin/multiway_test.cc.o.d"
+  "/root/repo/tests/localjoin/plane_sweep_test.cc" "tests/CMakeFiles/mwsj_localjoin_test.dir/localjoin/plane_sweep_test.cc.o" "gcc" "tests/CMakeFiles/mwsj_localjoin_test.dir/localjoin/plane_sweep_test.cc.o.d"
+  "/root/repo/tests/localjoin/rtree_test.cc" "tests/CMakeFiles/mwsj_localjoin_test.dir/localjoin/rtree_test.cc.o" "gcc" "tests/CMakeFiles/mwsj_localjoin_test.dir/localjoin/rtree_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mwsj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/mwsj_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mwsj_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/queries/CMakeFiles/mwsj_queries.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mwsj_stats.dir/DependInfo.cmake"
+  "/root/repo/build/tests/CMakeFiles/mwsj_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/localjoin/CMakeFiles/mwsj_localjoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/mwsj_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/mwsj_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mwsj_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mwsj_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mwsj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

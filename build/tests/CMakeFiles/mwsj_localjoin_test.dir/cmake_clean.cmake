@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_localjoin_test.dir/localjoin/multiway_test.cc.o"
+  "CMakeFiles/mwsj_localjoin_test.dir/localjoin/multiway_test.cc.o.d"
+  "CMakeFiles/mwsj_localjoin_test.dir/localjoin/plane_sweep_test.cc.o"
+  "CMakeFiles/mwsj_localjoin_test.dir/localjoin/plane_sweep_test.cc.o.d"
+  "CMakeFiles/mwsj_localjoin_test.dir/localjoin/rtree_test.cc.o"
+  "CMakeFiles/mwsj_localjoin_test.dir/localjoin/rtree_test.cc.o.d"
+  "mwsj_localjoin_test"
+  "mwsj_localjoin_test.pdb"
+  "mwsj_localjoin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_localjoin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

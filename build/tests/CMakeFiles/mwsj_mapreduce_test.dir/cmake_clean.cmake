@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_mapreduce_test.dir/mapreduce/cost_model_test.cc.o"
+  "CMakeFiles/mwsj_mapreduce_test.dir/mapreduce/cost_model_test.cc.o.d"
+  "CMakeFiles/mwsj_mapreduce_test.dir/mapreduce/dfs_test.cc.o"
+  "CMakeFiles/mwsj_mapreduce_test.dir/mapreduce/dfs_test.cc.o.d"
+  "CMakeFiles/mwsj_mapreduce_test.dir/mapreduce/engine_test.cc.o"
+  "CMakeFiles/mwsj_mapreduce_test.dir/mapreduce/engine_test.cc.o.d"
+  "CMakeFiles/mwsj_mapreduce_test.dir/mapreduce/stats_json_test.cc.o"
+  "CMakeFiles/mwsj_mapreduce_test.dir/mapreduce/stats_json_test.cc.o.d"
+  "mwsj_mapreduce_test"
+  "mwsj_mapreduce_test.pdb"
+  "mwsj_mapreduce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_mapreduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

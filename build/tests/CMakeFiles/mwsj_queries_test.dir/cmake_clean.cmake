@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_queries_test.dir/queries/containment_test.cc.o"
+  "CMakeFiles/mwsj_queries_test.dir/queries/containment_test.cc.o.d"
+  "CMakeFiles/mwsj_queries_test.dir/queries/knn_test.cc.o"
+  "CMakeFiles/mwsj_queries_test.dir/queries/knn_test.cc.o.d"
+  "mwsj_queries_test"
+  "mwsj_queries_test.pdb"
+  "mwsj_queries_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_queries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_query_test.dir/query/bounds_test.cc.o"
+  "CMakeFiles/mwsj_query_test.dir/query/bounds_test.cc.o.d"
+  "CMakeFiles/mwsj_query_test.dir/query/parser_test.cc.o"
+  "CMakeFiles/mwsj_query_test.dir/query/parser_test.cc.o.d"
+  "CMakeFiles/mwsj_query_test.dir/query/query_test.cc.o"
+  "CMakeFiles/mwsj_query_test.dir/query/query_test.cc.o.d"
+  "mwsj_query_test"
+  "mwsj_query_test.pdb"
+  "mwsj_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_stats_test.dir/stats/grid_histogram_test.cc.o"
+  "CMakeFiles/mwsj_stats_test.dir/stats/grid_histogram_test.cc.o.d"
+  "mwsj_stats_test"
+  "mwsj_stats_test.pdb"
+  "mwsj_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

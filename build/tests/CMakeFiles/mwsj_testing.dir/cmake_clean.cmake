@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_testing.dir/testing/world.cc.o"
+  "CMakeFiles/mwsj_testing.dir/testing/world.cc.o.d"
+  "libmwsj_testing.a"
+  "libmwsj_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mwsj_common_test[1]_include.cmake")
+include("/root/repo/build/tests/mwsj_geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/mwsj_grid_test[1]_include.cmake")
+include("/root/repo/build/tests/mwsj_mapreduce_test[1]_include.cmake")
+include("/root/repo/build/tests/mwsj_datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/mwsj_query_test[1]_include.cmake")
+include("/root/repo/build/tests/mwsj_localjoin_test[1]_include.cmake")
+include("/root/repo/build/tests/mwsj_io_test[1]_include.cmake")
+include("/root/repo/build/tests/mwsj_queries_test[1]_include.cmake")
+include("/root/repo/build/tests/mwsj_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/mwsj_core_test[1]_include.cmake")

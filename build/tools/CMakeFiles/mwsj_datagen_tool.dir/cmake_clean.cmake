@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_datagen_tool.dir/mwsj_datagen.cc.o"
+  "CMakeFiles/mwsj_datagen_tool.dir/mwsj_datagen.cc.o.d"
+  "mwsj_datagen"
+  "mwsj_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_datagen_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsj_join.dir/mwsj_join.cc.o"
+  "CMakeFiles/mwsj_join.dir/mwsj_join.cc.o.d"
+  "mwsj_join"
+  "mwsj_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsj_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

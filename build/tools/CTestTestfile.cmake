@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools_pipeline_smoke "/usr/bin/cmake" "-DDATAGEN=/root/repo/build/tools/mwsj_datagen" "-DJOIN=/root/repo/build/tools/mwsj_join" "-DWORKDIR=/root/repo/build/tools/smoke" "-P" "/root/repo/tools/pipeline_smoke.cmake")
+set_tests_properties(tools_pipeline_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
