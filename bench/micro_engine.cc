@@ -3,7 +3,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "mapreduce/engine.h"
 
 namespace mwsj {
@@ -64,6 +67,43 @@ void BM_FanOutAmplification(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 20'000 * fan);
 }
 BENCHMARK(BM_FanOutAmplification)->Arg(1)->Arg(4)->Arg(20);
+
+void BM_ShuffleHeavyFanout(benchmark::State& state) {
+  // Shuffle-dominated workload: a cheap map fans every record out to 16
+  // reducers and the reduce is a trivial count, so routing the ~1.6M
+  // intermediate pairs is nearly the entire job. Arg = pool threads
+  // (0 = serial engine path); the mapper-partitioned shuffle both removes
+  // the serial routing loop and lets the per-reducer merges run on the
+  // pool, so larger Args should track the machine's core count.
+  const int threads = static_cast<int>(state.range(0));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+
+  std::vector<int64_t> input(100'000);
+  for (size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<int64_t>(i);
+  }
+  for (auto _ : state) {
+    IntJob job("shuffle_heavy", 64);
+    job.set_partition([](const int32_t& k) { return k & 63; });
+    job.set_map([](const int64_t& v, IntJob::Emitter& emit) {
+      for (int f = 0; f < 16; ++f) {
+        emit.Emit(static_cast<int32_t>((v + f * 4) & 63), v);
+      }
+    });
+    job.set_reduce([](const int32_t&, std::span<const int64_t> vals,
+                      IntJob::OutEmitter& out) {
+      out.Emit(static_cast<int64_t>(vals.size()));
+    });
+    std::vector<int64_t> output;
+    const JobStats stats =
+        job.Run(std::span<const int64_t>(input), &output, pool.get());
+    benchmark::DoNotOptimize(stats.intermediate_records);
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000 * 16);
+}
+BENCHMARK(BM_ShuffleHeavyFanout)->Arg(0)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GroupingManyKeys(benchmark::State& state) {
   // Many distinct keys per reducer stress the sort-and-group phase.

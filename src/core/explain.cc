@@ -47,6 +47,11 @@ std::string ExplainRun(const Query& query, const JoinRunResult& result,
     out += StrFormat("  reduce: %lld records out across %d reducers\n",
                      static_cast<long long>(job.reduce_output_records),
                      job.num_reducers);
+    out += StrFormat(
+        "  phase time: map %.3fs (%zu chunks, slowest %.3fs) | "
+        "shuffle %.3fs | reduce %.3fs\n",
+        job.map_seconds, job.per_chunk_map_seconds.size(),
+        job.MaxMapChunkSeconds(), job.shuffle_seconds, job.reduce_seconds);
 
     if (!job.per_reducer_records.empty()) {
       std::vector<int64_t> loads = job.per_reducer_records;

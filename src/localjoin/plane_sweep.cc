@@ -27,8 +27,13 @@ void PlaneSweepJoin(const std::vector<Rect>& a, const std::vector<Rect>& b,
   for (size_t j = 0; j < b.size(); ++j) {
     events.push_back(Event{b[j].min_x(), static_cast<int32_t>(j), false});
   }
+  // Tie-break equal sweep positions (common on grid-aligned data) so the
+  // emit order is fully specified instead of platform-dependent: b-side
+  // events first, then by index within each side.
   std::sort(events.begin(), events.end(), [](const Event& x, const Event& y) {
-    return x.min_x < y.min_x;
+    if (x.min_x != y.min_x) return x.min_x < y.min_x;
+    if (x.from_a != y.from_a) return x.from_a < y.from_a;
+    return x.index < y.index;
   });
 
   // Active rectangles from each side, pruned lazily: an active rectangle

@@ -22,6 +22,21 @@ double JobStats::SumReducerSeconds() const {
                          per_reducer_seconds.end(), 0.0);
 }
 
+double JobStats::MaxMapChunkSeconds() const {
+  if (per_chunk_map_seconds.empty()) return 0;
+  return *std::max_element(per_chunk_map_seconds.begin(),
+                           per_chunk_map_seconds.end());
+}
+
+double JobStats::SumMapChunkSeconds() const {
+  return std::accumulate(per_chunk_map_seconds.begin(),
+                         per_chunk_map_seconds.end(), 0.0);
+}
+
+double JobStats::PhaseSeconds() const {
+  return map_seconds + shuffle_seconds + reduce_seconds;
+}
+
 int64_t RunStats::UserCounter(const std::string& name) const {
   int64_t total = 0;
   for (const JobStats& j : jobs) {

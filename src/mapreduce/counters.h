@@ -29,6 +29,16 @@ struct JobStats {
   std::vector<int64_t> per_reducer_records;
   /// Measured CPU seconds spent inside each reduce task.
   std::vector<double> per_reducer_seconds;
+  /// Measured seconds spent inside each map task (one entry per input
+  /// chunk); mapper skew is observable the same way reducer skew is.
+  std::vector<double> per_chunk_map_seconds;
+
+  /// Wall time of the three engine phases: map (chunked, parallel),
+  /// shuffle (per-reducer bucket merge, parallel), reduce (parallel).
+  /// Together they account for essentially all of wall_seconds.
+  double map_seconds = 0;
+  double shuffle_seconds = 0;
+  double reduce_seconds = 0;
 
   /// End-to-end in-process wall time of the job.
   double wall_seconds = 0;
@@ -39,6 +49,10 @@ struct JobStats {
   int64_t MaxReducerRecords() const;
   double MaxReducerSeconds() const;
   double SumReducerSeconds() const;
+  double MaxMapChunkSeconds() const;
+  double SumMapChunkSeconds() const;
+  /// map + shuffle + reduce — the accounted-for portion of wall_seconds.
+  double PhaseSeconds() const;
 };
 
 /// Aggregated statistics of a whole algorithm run (one or more MR jobs).

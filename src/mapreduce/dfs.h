@@ -30,11 +30,17 @@ class Dfs {
 
   /// Stores `records` under `name`, charging `records->size() *
   /// record_bytes` to the write counter. Overwrites any previous dataset of
-  /// the same name.
+  /// the same name (the overwrite is charged too — every write costs I/O).
+  /// Returns InvalidArgument on a null `records` pointer instead of
+  /// crashing the simulated DFS.
   template <typename T>
-  void Write(const std::string& name,
-             std::shared_ptr<const std::vector<T>> records,
-             int64_t record_bytes = sizeof(T)) {
+  Status Write(const std::string& name,
+               std::shared_ptr<const std::vector<T>> records,
+               int64_t record_bytes = sizeof(T)) {
+    if (records == nullptr) {
+      return Status::InvalidArgument("null record vector for dataset '" +
+                                     name + "'");
+    }
     std::lock_guard<std::mutex> lock(mu_);
     Entry e;
     e.data = std::static_pointer_cast<const void>(records);
@@ -44,6 +50,7 @@ class Dfs {
     bytes_written_ += e.bytes;
     records_written_ += e.records;
     datasets_[name] = std::move(e);
+    return Status::OK();
   }
 
   /// Loads the dataset `name`, charging its size to the read counter.

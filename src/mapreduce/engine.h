@@ -34,20 +34,42 @@ namespace mwsj {
 ///     order regardless of thread scheduling, and reducers iterate key
 ///     groups in key order.
 ///
-/// Keys must be totally ordered (operator<) and equality-comparable.
+/// Keys must be totally ordered (operator<) and equality-comparable; keys
+/// and values must be movable and default-constructible (the mapper-side
+/// scatter builds reducer-major shards in place). The partition and
+/// value-size functions run inside mapper tasks and must be thread-safe
+/// (in practice: pure functions of the key/value).
 template <typename In, typename K, typename V, typename Out>
 class MapReduceJob {
  public:
-  /// Collects intermediate pairs from one map invocation.
+  using PartitionFn = std::function<int(const K&)>;
+  using SizeFn = std::function<int64_t(const V&)>;
+
+  /// Collects intermediate pairs from one map invocation, computing each
+  /// pair's reducer at emit time. Each map chunk owns one emitter plus its
+  /// own byte/record tallies, so mappers never contend on shared state; the
+  /// tallies are summed after the map barrier.
   class Emitter {
    public:
-    explicit Emitter(std::vector<std::pair<K, V>>* sink) : sink_(sink) {}
+    Emitter(std::vector<std::pair<K, V>>* pairs, std::vector<uint32_t>* route,
+            const PartitionFn* partition, const SizeFn* value_size)
+        : pairs_(pairs), route_(route), partition_(partition),
+          value_size_(value_size) {}
     void Emit(K key, V value) {
-      sink_->emplace_back(std::move(key), std::move(value));
+      const auto r = static_cast<uint32_t>((*partition_)(key));
+      bytes_ += (*value_size_)(value);
+      route_->push_back(r);
+      pairs_->emplace_back(std::move(key), std::move(value));
     }
 
+    int64_t bytes() const { return bytes_; }
+
    private:
-    std::vector<std::pair<K, V>>* sink_;
+    std::vector<std::pair<K, V>>* pairs_;
+    std::vector<uint32_t>* route_;
+    const PartitionFn* partition_;
+    const SizeFn* value_size_;
+    int64_t bytes_ = 0;
   };
 
   /// Collects output records from one reduce invocation.
@@ -62,8 +84,6 @@ class MapReduceJob {
 
   using MapFn = std::function<void(const In&, Emitter&)>;
   using ReduceFn = std::function<void(const K&, std::span<const V>, OutEmitter&)>;
-  using PartitionFn = std::function<int(const K&)>;
-  using SizeFn = std::function<int64_t(const V&)>;
 
   MapReduceJob(std::string name, int num_reducers)
       : name_(std::move(name)), num_reducers_(num_reducers) {}
@@ -131,6 +151,12 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
   stats.map_input_records = static_cast<int64_t>(input.size());
   stats.map_input_bytes = stats.map_input_records * input_record_bytes_;
 
+  // A reused job object starts each run with fresh user counters.
+  {
+    std::lock_guard<std::mutex> lock(counter_mu_);
+    user_counters_.clear();
+  }
+
   PartitionFn partition = partition_;
   if (!partition) {
     partition = [this](const K& k) {
@@ -144,47 +170,107 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
     };
   }
 
-  // ---- Map phase. Input is split into fixed chunks; each chunk's pairs
-  // land in a dedicated buffer so the merge below is deterministic.
+  // ---- Map phase. Input is split into fixed chunks; each chunk partitions
+  // its pairs at emit time and finishes its task with a stable local
+  // counting sort into a reducer-major shard (the chunk's row of the
+  // num_chunks × num_reducers bucket matrix, stored compactly as one
+  // vector plus offsets — Hadoop's mapper-side partition/sort/spill). The
+  // shuffle below is then a contention-free concatenation, and the overall
+  // pair order (chunk-major, emit order within a chunk) is independent of
+  // thread scheduling.
+  const size_t num_reducers = static_cast<size_t>(num_reducers_);
   const size_t chunk_size =
       std::max<size_t>(1, (input.size() + 63) / 64);
   const size_t num_chunks =
       input.empty() ? 0 : (input.size() + chunk_size - 1) / chunk_size;
-  std::vector<std::vector<std::pair<K, V>>> chunk_pairs(num_chunks);
+  struct MapShard {
+    std::vector<std::pair<K, V>> pairs;  // Reducer-major, emit-order stable.
+    std::vector<size_t> offsets;         // Bucket r = [offsets[r], offsets[r+1]).
+    int64_t bytes = 0;
+    double seconds = 0;
+  };
+  std::vector<MapShard> shards(num_chunks);
 
+  Stopwatch phase_watch;
   auto run_chunk = [&](size_t c) {
-    Emitter emitter(&chunk_pairs[c]);
+    Stopwatch chunk_watch;
+    MapShard& shard = shards[c];
+    std::vector<std::pair<K, V>> raw;
+    std::vector<uint32_t> route;
     const size_t lo = c * chunk_size;
     const size_t hi = std::min(input.size(), lo + chunk_size);
+    // Most maps emit ≥1 pair per record; pre-sizing halves growth moves.
+    raw.reserve(hi - lo);
+    route.reserve(hi - lo);
+    Emitter emitter(&raw, &route, &partition, &value_size);
     for (size_t i = lo; i < hi; ++i) map_(input[i], emitter);
+    // Stable counting sort by reducer, preserving emit order per bucket.
+    shard.offsets.assign(num_reducers + 1, 0);
+    for (const uint32_t r : route) ++shard.offsets[r + 1];
+    for (size_t r = 0; r < num_reducers; ++r) {
+      shard.offsets[r + 1] += shard.offsets[r];
+    }
+    std::vector<size_t> cursor(shard.offsets.begin(), shard.offsets.end() - 1);
+    shard.pairs.resize(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      shard.pairs[cursor[route[i]]++] = std::move(raw[i]);
+    }
+    shard.bytes = emitter.bytes();
+    shard.seconds = chunk_watch.ElapsedSeconds();
   };
   if (pool != nullptr && num_chunks > 1) {
     ParallelFor(pool, num_chunks, run_chunk);
   } else {
     for (size_t c = 0; c < num_chunks; ++c) run_chunk(c);
   }
+  stats.per_chunk_map_seconds.resize(num_chunks);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    stats.intermediate_records += static_cast<int64_t>(shards[c].pairs.size());
+    stats.intermediate_bytes += shards[c].bytes;
+    stats.per_chunk_map_seconds[c] = shards[c].seconds;
+  }
+  stats.map_seconds = phase_watch.ElapsedSeconds();
 
-  // ---- Shuffle: route pairs to reducer inboxes, in chunk order.
-  std::vector<std::vector<std::pair<K, V>>> inbox(num_reducers_);
-  for (auto& pairs : chunk_pairs) {
-    for (auto& kv : pairs) {
-      const int r = partition(kv.first);
-      stats.intermediate_bytes += value_size(kv.second);
-      inbox[static_cast<size_t>(r)].push_back(std::move(kv));
+  // ---- Shuffle: each reducer's inbox is the concatenation of its bucket
+  // column in chunk order — byte-for-byte the order the former serial
+  // routing loop produced — merged in parallel across reducers (distinct
+  // reducers move disjoint shard slices, so no synchronization is needed).
+  phase_watch.Reset();
+  std::vector<std::vector<std::pair<K, V>>> inbox(num_reducers);
+  auto merge_reducer = [&](size_t r) {
+    size_t total = 0;
+    for (size_t c = 0; c < num_chunks; ++c) {
+      total += shards[c].offsets[r + 1] - shards[c].offsets[r];
     }
-    stats.intermediate_records += static_cast<int64_t>(pairs.size());
-    pairs.clear();
-    pairs.shrink_to_fit();
+    auto& in = inbox[r];
+    in.reserve(total);
+    for (size_t c = 0; c < num_chunks; ++c) {
+      MapShard& shard = shards[c];
+      in.insert(in.end(),
+                std::make_move_iterator(shard.pairs.begin() +
+                                        static_cast<ptrdiff_t>(
+                                            shard.offsets[r])),
+                std::make_move_iterator(shard.pairs.begin() +
+                                        static_cast<ptrdiff_t>(
+                                            shard.offsets[r + 1])));
+    }
+  };
+  if (pool != nullptr && num_reducers > 1) {
+    ParallelFor(pool, num_reducers, merge_reducer);
+  } else {
+    for (size_t r = 0; r < num_reducers; ++r) merge_reducer(r);
   }
-  chunk_pairs.clear();
+  shards.clear();
+  shards.shrink_to_fit();
 
-  stats.per_reducer_records.resize(static_cast<size_t>(num_reducers_));
-  for (int r = 0; r < num_reducers_; ++r) {
-    stats.per_reducer_records[static_cast<size_t>(r)] =
-        static_cast<int64_t>(inbox[static_cast<size_t>(r)].size());
+  stats.per_reducer_records.resize(num_reducers);
+  for (size_t r = 0; r < num_reducers; ++r) {
+    stats.per_reducer_records[r] = static_cast<int64_t>(inbox[r].size());
   }
+  stats.shuffle_seconds = phase_watch.ElapsedSeconds();
 
   // ---- Reduce phase: group by key within each reducer, in key order.
+  phase_watch.Reset();
   std::vector<std::vector<Out>> reducer_out(static_cast<size_t>(num_reducers_));
   stats.per_reducer_seconds.assign(static_cast<size_t>(num_reducers_), 0.0);
 
@@ -220,6 +306,7 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
   } else {
     for (int r = 0; r < num_reducers_; ++r) run_reducer(static_cast<size_t>(r));
   }
+  stats.reduce_seconds = phase_watch.ElapsedSeconds();
 
   for (auto& out : reducer_out) {
     stats.reduce_output_records += static_cast<int64_t>(out.size());

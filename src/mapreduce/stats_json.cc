@@ -67,6 +67,13 @@ std::string RunStatsToJson(const RunStats& stats) {
                      job.SumReducerSeconds());
     out += StrFormat(", \"reduce_seconds_max\": %.6f",
                      job.MaxReducerSeconds());
+    out += StrFormat(", \"map_seconds\": %.6f", job.map_seconds);
+    out += StrFormat(", \"shuffle_seconds\": %.6f", job.shuffle_seconds);
+    out += StrFormat(", \"reduce_seconds\": %.6f", job.reduce_seconds);
+    out += StrFormat(", \"map_chunks\": %zu",
+                     job.per_chunk_map_seconds.size());
+    out += StrFormat(", \"map_chunk_seconds_max\": %.6f",
+                     job.MaxMapChunkSeconds());
     out += StrFormat(", \"wall_seconds\": %.6f", job.wall_seconds);
     out += ", \"counters\": {";
     bool first = true;

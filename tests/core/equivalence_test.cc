@@ -206,6 +206,48 @@ TEST(EquivalenceEdgeCases, SelfJoinWithSharedDataset) {
   }
 }
 
+TEST(EquivalenceEdgeCases, ThreadPoolMatchesSerialByteForByte) {
+  // The whole pipeline — not just one engine job — must be invariant to
+  // running on a worker pool: identical tuple vectors (same order, same
+  // ids) and identical shuffle accounting for every algorithm.
+  WorldConfig config;
+  config.seed = 314;
+  config.mix = PredicateMix::kHybrid;
+  const Query query = testing::MakeWorldQuery(config);
+  const auto data = testing::MakeWorldData(config, query.num_relations());
+
+  ThreadPool pool(4);
+  for (Algorithm algorithm : AlgorithmsUnderTest()) {
+    RunnerOptions options;
+    options.algorithm = algorithm;
+    options.grid_rows = 4;
+    options.grid_cols = 4;
+    options.space = Rect(0, 0, config.space_size, config.space_size);
+
+    const auto serial = RunSpatialJoin(query, data, options);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    options.pool = &pool;
+    const auto parallel = RunSpatialJoin(query, data, options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+    EXPECT_EQ(serial.value().tuples, parallel.value().tuples)
+        << AlgorithmName(algorithm);
+    ASSERT_EQ(serial.value().stats.jobs.size(),
+              parallel.value().stats.jobs.size())
+        << AlgorithmName(algorithm);
+    for (size_t j = 0; j < serial.value().stats.jobs.size(); ++j) {
+      const JobStats& s = serial.value().stats.jobs[j];
+      const JobStats& p = parallel.value().stats.jobs[j];
+      EXPECT_EQ(s.intermediate_records, p.intermediate_records)
+          << AlgorithmName(algorithm) << " job " << j;
+      EXPECT_EQ(s.intermediate_bytes, p.intermediate_bytes)
+          << AlgorithmName(algorithm) << " job " << j;
+      EXPECT_EQ(s.per_reducer_records, p.per_reducer_records)
+          << AlgorithmName(algorithm) << " job " << j;
+    }
+  }
+}
+
 TEST(EquivalenceEdgeCases, CountOnlyMatchesMaterializedCount) {
   WorldConfig config;
   config.seed = 202;

@@ -81,6 +81,43 @@ TEST(PlaneSweepTest, TouchingRectanglesAreReported) {
   EXPECT_EQ(Sweep(a, b, Predicate::Overlap()), (std::vector<Pair>{{0, 0}}));
 }
 
+TEST(PlaneSweepTest, DuplicatedXCoordinatesMatchReference) {
+  // Grid-aligned data: many rectangles share min_x, so the sweep order
+  // depends entirely on the tie-break. Correctness must not.
+  Rng rng(42);
+  auto grid_rects = [&rng](int n) {
+    std::vector<Rect> out;
+    for (int i = 0; i < n; ++i) {
+      const double x = static_cast<double>(rng.UniformInt(0, 5)) * 10;
+      const double y = static_cast<double>(rng.UniformInt(0, 5)) * 10;
+      out.push_back(Rect::FromXYLB(x, y + 8, 8, 8));
+    }
+    return out;
+  };
+  const auto a = grid_rects(60);
+  const auto b = grid_rects(70);
+  for (const Predicate& p : {Predicate::Overlap(), Predicate::Range(4)}) {
+    EXPECT_EQ(Sweep(a, b, p), Reference(a, b, p));
+  }
+}
+
+TEST(PlaneSweepTest, EmitOrderIsDeterministicUnderTies) {
+  // All four rectangles start at the same x: the (min_x, from_a, index)
+  // tie-break processes b-side events first, then a-side, each by index —
+  // so the unsorted emit sequence is fully specified.
+  const std::vector<Rect> a = {Rect::FromXYLB(0, 10, 5, 5),
+                               Rect::FromXYLB(0, 9, 5, 5)};
+  const std::vector<Rect> b = {Rect::FromXYLB(0, 10, 5, 5),
+                               Rect::FromXYLB(0, 8, 5, 5)};
+  std::vector<Pair> emitted;
+  PlaneSweepJoin(a, b, Predicate::Overlap(),
+                 [&emitted](int32_t i, int32_t j) {
+                   emitted.emplace_back(i, j);
+                 });
+  EXPECT_EQ(emitted,
+            (std::vector<Pair>{{0, 0}, {0, 1}, {1, 0}, {1, 1}}));
+}
+
 TEST(PlaneSweepTest, RangeZeroEqualsOverlap) {
   const auto a = RandomRects(80, 5);
   const auto b = RandomRects(80, 6);

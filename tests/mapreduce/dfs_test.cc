@@ -51,6 +51,37 @@ TEST(DfsTest, TypeMismatchIsFailedPrecondition) {
   EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(DfsTest, NullRecordVectorIsRejected) {
+  Dfs dfs;
+  const Status st = dfs.Write<int>("broken", nullptr);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(dfs.Exists("broken"));
+  EXPECT_EQ(dfs.bytes_written(), 0);
+  EXPECT_EQ(dfs.records_written(), 0);
+}
+
+TEST(DfsTest, OverwriteChargesBothWrites) {
+  Dfs dfs;
+  ASSERT_TRUE(dfs.Write("a",
+                        std::make_shared<const std::vector<int>>(
+                            std::vector<int>{1, 2, 3}),
+                        /*record_bytes=*/10)
+                  .ok());
+  ASSERT_TRUE(dfs.Write("a",
+                        std::make_shared<const std::vector<int>>(
+                            std::vector<int>{4, 5}),
+                        /*record_bytes=*/10)
+                  .ok());
+  // Every write costs I/O, including the overwrite; reads are charged at
+  // the surviving dataset's size.
+  EXPECT_EQ(dfs.bytes_written(), 50);
+  EXPECT_EQ(dfs.records_written(), 5);
+  ASSERT_TRUE(dfs.Read<int>("a").ok());
+  EXPECT_EQ(dfs.bytes_read(), 20);
+  EXPECT_EQ(dfs.records_read(), 2);
+}
+
 TEST(DfsTest, OverwriteReplacesDataset) {
   Dfs dfs;
   dfs.Write("a",

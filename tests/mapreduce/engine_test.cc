@@ -98,7 +98,7 @@ TEST(EngineTest, DeterministicAcrossThreadCounts) {
   std::vector<int> input;
   for (int i = 0; i < 2000; ++i) input.push_back(i * 37 % 1000);
 
-  auto run = [&input](ThreadPool* pool) {
+  auto run = [&input](ThreadPool* pool, JobStats* stats) {
     using SeqJob = MapReduceJob<int, int, int, int>;
     SeqJob job("determinism", 8);
     job.set_map([](const int& v, SeqJob::Emitter& emit) {
@@ -109,14 +109,102 @@ TEST(EngineTest, DeterministicAcrossThreadCounts) {
       for (int v : vals) out.Emit(v);
     });
     std::vector<int> output;
-    job.Run(std::span<const int>(input), &output, pool);
+    *stats = job.Run(std::span<const int>(input), &output, pool);
     return output;
   };
 
-  const std::vector<int> serial = run(nullptr);
+  JobStats serial_stats;
+  const std::vector<int> serial = run(nullptr, &serial_stats);
   ThreadPool pool(4);
-  const std::vector<int> parallel = run(&pool);
+  JobStats parallel_stats;
+  const std::vector<int> parallel = run(&pool, &parallel_stats);
   EXPECT_EQ(serial, parallel);
+  // All accounting (not just output) must be scheduling-independent.
+  EXPECT_EQ(serial_stats.intermediate_records,
+            parallel_stats.intermediate_records);
+  EXPECT_EQ(serial_stats.intermediate_bytes, parallel_stats.intermediate_bytes);
+  EXPECT_EQ(serial_stats.per_reducer_records,
+            parallel_stats.per_reducer_records);
+  EXPECT_EQ(serial_stats.per_chunk_map_seconds.size(),
+            parallel_stats.per_chunk_map_seconds.size());
+}
+
+TEST(EngineTest, StringOutputsByteIdenticalSerialVsPool) {
+  // Variable-length keys/values across many reducers and chunks: the
+  // concatenated output must be byte-for-byte identical with and without a
+  // pool (mapper-partitioned shuffle keeps chunk-major order).
+  std::vector<int> input;
+  for (int i = 0; i < 5000; ++i) input.push_back(i * 7919 % 997);
+
+  auto run = [&input](ThreadPool* pool) {
+    using StrJob = MapReduceJob<int, std::string, std::string, std::string>;
+    StrJob job("strings", 64);
+    job.set_map([](const int& v, StrJob::Emitter& emit) {
+      emit.Emit("k" + std::to_string(v % 100), "v" + std::to_string(v));
+    });
+    job.set_reduce([](const std::string& k, std::span<const std::string> vals,
+                      StrJob::OutEmitter& out) {
+      std::string joined = k + ":";
+      for (const std::string& v : vals) joined += v + ",";
+      out.Emit(std::move(joined));
+    });
+    std::vector<std::string> output;
+    job.Run(std::span<const int>(input), &output, pool);
+    std::string bytes;
+    for (const std::string& s : output) bytes += s + "\n";
+    return bytes;
+  };
+
+  const std::string serial = run(nullptr);
+  for (size_t threads : {2u, 4u, 7u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(serial, run(&pool)) << threads << " threads";
+  }
+}
+
+TEST(EngineTest, PhaseTimingsArePopulated) {
+  std::vector<int> input;
+  for (int i = 0; i < 1000; ++i) input.push_back(i);
+  using SeqJob = MapReduceJob<int, int, int, int>;
+  SeqJob job("phases", 4);
+  job.set_map([](const int& v, SeqJob::Emitter& emit) { emit.Emit(v % 4, v); });
+  job.set_reduce([](const int&, std::span<const int> vals,
+                    SeqJob::OutEmitter& out) {
+    for (int v : vals) out.Emit(v);
+  });
+  std::vector<int> output;
+  const JobStats stats = job.Run(std::span<const int>(input), &output);
+
+  EXPECT_GT(stats.map_seconds, 0.0);
+  EXPECT_GT(stats.shuffle_seconds, 0.0);
+  EXPECT_GT(stats.reduce_seconds, 0.0);
+  // 1000 inputs in ceil(1000/64)-sized chunks -> 63 chunks of 16.
+  EXPECT_EQ(stats.per_chunk_map_seconds.size(), 63u);
+  EXPECT_GE(stats.MaxMapChunkSeconds(), 0.0);
+  EXPECT_GE(stats.SumMapChunkSeconds(), 0.0);
+  // The three phases account for (almost) the whole job.
+  EXPECT_LE(stats.PhaseSeconds(), stats.wall_seconds);
+  EXPECT_DOUBLE_EQ(stats.PhaseSeconds(),
+                   stats.map_seconds + stats.shuffle_seconds +
+                       stats.reduce_seconds);
+}
+
+TEST(EngineTest, RunTwiceDoesNotDoubleCountUserCounters) {
+  IntJob job("rerun", 2);
+  job.set_partition([](const int& k) { return k % 2; });
+  job.set_map([&job](const int& v, IntJob::Emitter& emit) {
+    job.IncrementCounter("mapped", 1);
+    emit.Emit(v, v);
+  });
+  job.set_reduce([](const int&, std::span<const int>,
+                    IntJob::OutEmitter&) {});
+  const std::vector<int> input = {1, 2, 3, 4};
+
+  std::vector<std::pair<int, int>> output;
+  const JobStats first = job.Run(std::span<const int>(input), &output);
+  EXPECT_EQ(first.user_counters.at("mapped"), 4);
+  const JobStats second = job.Run(std::span<const int>(input), &output);
+  EXPECT_EQ(second.user_counters.at("mapped"), 4);  // Not 8: counters reset.
 }
 
 TEST(EngineTest, EmptyInputProducesEmptyOutputAndZeroCounters) {

@@ -26,6 +26,10 @@ TEST(StatsJsonTest, FullJobFieldsAppear) {
   job.num_reducers = 4;
   job.per_reducer_records = {10, 50, 30, 40};
   job.per_reducer_seconds = {0.001, 0.004, 0.002, 0.003};
+  job.per_chunk_map_seconds = {0.002, 0.005};
+  job.map_seconds = 0.01;
+  job.shuffle_seconds = 0.002;
+  job.reduce_seconds = 0.015;
   job.wall_seconds = 0.05;
   job.user_counters["rectangles_replicated"] = 12;
   stats.Add(job);
@@ -36,6 +40,12 @@ TEST(StatsJsonTest, FullJobFieldsAppear) {
   EXPECT_NE(json.find("\"max_reducer_records\": 50"), std::string::npos);
   EXPECT_NE(json.find("\"rectangles_replicated\": 12"), std::string::npos);
   EXPECT_NE(json.find("\"num_reducers\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"map_seconds\": 0.010000"), std::string::npos);
+  EXPECT_NE(json.find("\"shuffle_seconds\": 0.002000"), std::string::npos);
+  EXPECT_NE(json.find("\"reduce_seconds\": 0.015000"), std::string::npos);
+  EXPECT_NE(json.find("\"map_chunks\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"map_chunk_seconds_max\": 0.005000"),
+            std::string::npos);
 }
 
 TEST(StatsJsonTest, EscapesSpecialCharacters) {

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/stopwatch.h"
 #include "datagen/california.h"
 #include "datagen/synthetic.h"
 #include "io/dataset_io.h"
@@ -78,6 +79,7 @@ int main(int argc, char** argv) {
   }
   if (out_path.empty() || n <= 0) return Usage(argv[0]);
 
+  mwsj::Stopwatch watch;
   std::vector<mwsj::Rect> rects;
   if (kind == "synthetic") {
     mwsj::SyntheticParams params;
@@ -103,11 +105,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const double generate_seconds = watch.ElapsedSeconds();
+
+  watch.Reset();
   const mwsj::Status st = mwsj::WriteRects(out_path, rects);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("wrote %zu rectangles to %s\n", rects.size(), out_path.c_str());
+  std::printf("wrote %zu rectangles to %s (generate %.3fs, write %.3fs)\n",
+              rects.size(), out_path.c_str(), generate_seconds,
+              watch.ElapsedSeconds());
   return 0;
 }

@@ -6,21 +6,25 @@
 //             [--algorithm crep|crepl|cascade|allrep|brute]
 //             [--grid 8x8] [--partitioning uniform|equidepth]
 //             [--distinct-ids] [--count-only] [--optimize-order]
-//             [--estimate] [--verify] [--explain]
+//             [--estimate] [--verify] [--explain] [--threads N]
 //             [--output tuples.csv] [--stats-json stats.json]
 //
 // Datasets are CSV (x,y,l,b with header) or mwsj binary, selected by
 // extension. Prints the run's statistics to stdout; with --output, writes
-// the result tuples as CSV.
+// the result tuples as CSV. --threads N runs the engine on a worker pool
+// (N=0 picks the hardware concurrency); output is identical either way.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/str_format.h"
+#include "common/thread_pool.h"
 #include "core/explain.h"
 #include "core/runner.h"
 #include "core/verification.h"
@@ -38,7 +42,7 @@ int Usage(const char* argv0) {
                "  [--algorithm crep|crepl|cascade|allrep|brute]\n"
                "  [--grid RxC] [--partitioning uniform|equidepth]\n"
                "  [--distinct-ids] [--count-only] [--optimize-order]\n"
-               "  [--estimate] [--verify] [--explain]\n"
+               "  [--estimate] [--verify] [--explain] [--threads N]\n"
                "  [--output PATH] [--stats-json PATH]\n",
                argv0);
   return 2;
@@ -55,6 +59,7 @@ int main(int argc, char** argv) {
   bool estimate = false;
   bool verify = false;
   bool explain = false;
+  int threads = -1;  // -1 = serial (no pool).
   mwsj::RunnerOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -119,6 +124,15 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       stats_json_path = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      char* end = nullptr;
+      threads = static_cast<int>(std::strtol(v, &end, 10));
+      if (end == v || *end != '\0' || threads < 0) {
+        std::fprintf(stderr, "--threads expects N >= 0, got '%s'\n", v);
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return Usage(argv[0]);
@@ -178,6 +192,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::unique_ptr<mwsj::ThreadPool> pool;
+  if (threads >= 0) {
+    pool = std::make_unique<mwsj::ThreadPool>(static_cast<size_t>(threads));
+    options.pool = pool.get();
+    std::printf("engine threads: %zu\n", pool->num_threads());
+  }
+
   const auto result = mwsj::RunSpatialJoin(query.value(), relations, options);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
@@ -207,6 +228,10 @@ int main(int argc, char** argv) {
                     static_cast<double>(job.intermediate_bytes))
                     .c_str(),
                 static_cast<long long>(job.reduce_output_records));
+    std::printf("      phases map=%.3fs shuffle=%.3fs reduce=%.3fs"
+                " (slowest map chunk %.3fs, slowest reducer %.3fs)\n",
+                job.map_seconds, job.shuffle_seconds, job.reduce_seconds,
+                job.MaxMapChunkSeconds(), job.MaxReducerSeconds());
   }
   const mwsj::CostModel model;
   std::printf("modeled cluster time: %s\n",
