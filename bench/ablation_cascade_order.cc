@@ -49,7 +49,7 @@ int Main() {
     options.space = space;
     options.cascade_order = order;
     options.count_only = true;
-    options.pool = env.pool;
+    options.context.pool = env.pool;
     Stopwatch watch;
     const auto result = RunSpatialJoin(query, data, options);
     if (!result.ok()) {

@@ -47,7 +47,7 @@ int Main() {
       options.space = space;
       options.limit_metric = metric;
       options.count_only = true;
-      options.pool = row_env.pool;
+      options.context.pool = row_env.pool;
       const auto result = RunSpatialJoin(query, data, options);
       if (!result.ok()) continue;
       const bool safe = metric == DistanceMetric::kChebyshev;

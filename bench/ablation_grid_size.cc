@@ -37,7 +37,7 @@ int Main() {
     options.grid_cols = g;
     options.space = space;
     options.count_only = true;
-    options.pool = env.pool;
+    options.context.pool = env.pool;
     Stopwatch watch;
     const auto result = RunSpatialJoin(query, data, options);
     if (!result.ok()) {

@@ -45,7 +45,7 @@ int Main() {
     options.partitioning = partitioning;
     options.space = space;
     options.count_only = true;
-    options.pool = env.pool;
+    options.context.pool = env.pool;
     Stopwatch watch;
     const auto result = RunSpatialJoin(query, data, options);
     if (!result.ok()) {

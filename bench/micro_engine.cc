@@ -105,6 +105,48 @@ void BM_ShuffleHeavyFanout(benchmark::State& state) {
 BENCHMARK(BM_ShuffleHeavyFanout)->Arg(0)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+void BM_EngineTracingOverhead(benchmark::State& state) {
+  // Cost of the tracing hooks on the shuffle-heavy workload. Arg selects
+  // the tracing mode: 0 = no tracer attached (the pre-tracing engine
+  // path), 1 = disabled Tracer attached (one predicted branch per span),
+  // 2 = enabled Tracer (records every phase/task span). Modes 0 and 1
+  // must be within noise of each other — tracing must be free when off.
+  const int mode = static_cast<int>(state.range(0));
+
+  std::vector<int64_t> input(100'000);
+  for (size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<int64_t>(i);
+  }
+  for (auto _ : state) {
+    // The enabled tracer lives inside the iteration so its buffers do not
+    // grow across iterations; construction is a few microseconds against
+    // a multi-millisecond job.
+    std::unique_ptr<Tracer> tracer;
+    if (mode == 1) tracer = std::make_unique<Tracer>(/*enabled=*/false);
+    if (mode == 2) tracer = std::make_unique<Tracer>();
+    ExecutionContext ctx(nullptr, tracer.get());
+
+    IntJob job("tracing_overhead", 64);
+    job.set_partition([](const int32_t& k) { return k & 63; });
+    job.set_map([](const int64_t& v, IntJob::Emitter& emit) {
+      for (int f = 0; f < 16; ++f) {
+        emit.Emit(static_cast<int32_t>((v + f * 4) & 63), v);
+      }
+    });
+    job.set_reduce([](const int32_t&, std::span<const int64_t> vals,
+                      IntJob::OutEmitter& out) {
+      out.Emit(static_cast<int64_t>(vals.size()));
+    });
+    std::vector<int64_t> output;
+    const JobStats stats =
+        job.Run(std::span<const int64_t>(input), &output, ctx);
+    benchmark::DoNotOptimize(stats.intermediate_records);
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000 * 16);
+}
+BENCHMARK(BM_EngineTracingOverhead)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_GroupingManyKeys(benchmark::State& state) {
   // Many distinct keys per reducer stress the sort-and-group phase.
   const int64_t keys = state.range(0);

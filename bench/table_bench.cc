@@ -57,7 +57,7 @@ Measured RunMeasured(const BenchEnv& env, const Query& query,
   options.space = space;
   options.distinct_ids = distinct_ids;
   options.count_only = !distinct_ids;
-  options.pool = env.pool;
+  options.context.pool = env.pool;
 
   Stopwatch watch;
   StatusOr<JoinRunResult> result = RunSpatialJoin(query, relations, options);

@@ -1,0 +1,38 @@
+#ifndef MWSJ_COMMON_EXECUTION_CONTEXT_H_
+#define MWSJ_COMMON_EXECUTION_CONTEXT_H_
+
+#include <string>
+
+namespace mwsj {
+
+class ThreadPool;
+class Tracer;
+
+/// Everything an algorithm needs from its execution environment, bundled
+/// so a run threads one value through engine, algorithms, and tools
+/// instead of loose `ThreadPool*` parameters:
+///
+///   * `pool`   — optional worker pool shared across all phases of a run;
+///                null means synchronous single-threaded execution;
+///   * `tracer` — optional span tracer (common/trace.h); null disables
+///                instrumentation at a single pointer test per span;
+///   * `label`  — run-scoped metadata attached to top-level trace spans
+///                (e.g. the algorithm name or a tool-run identifier).
+///
+/// The context is a cheap value type holding non-owning pointers; the
+/// caller keeps pool and tracer alive for the duration of the run.
+struct ExecutionContext {
+  ThreadPool* pool = nullptr;
+  Tracer* tracer = nullptr;
+  std::string label;
+
+  ExecutionContext() = default;
+  /// Explicit so a raw `ThreadPool*` (or nullptr) passed to a function
+  /// overloaded on ThreadPool*/ExecutionContext stays unambiguous.
+  explicit ExecutionContext(ThreadPool* pool, Tracer* tracer = nullptr)
+      : pool(pool), tracer(tracer) {}
+};
+
+}  // namespace mwsj
+
+#endif  // MWSJ_COMMON_EXECUTION_CONTEXT_H_

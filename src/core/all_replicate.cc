@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "common/trace.h"
 #include "core/dedup.h"
 #include "grid/transform.h"
 #include "mapreduce/engine.h"
@@ -11,7 +12,12 @@ namespace mwsj {
 StatusOr<JoinRunResult> AllReplicateJoin(
     const Query& query, const GridPartition& grid,
     const std::vector<std::vector<Rect>>& relations, bool count_only,
-    ThreadPool* pool) {
+    const ExecutionContext& ctx) {
+  Tracer* const tracer = ctx.tracer;
+  TraceSpan algo_span(tracer, "all_replicate", "algorithm");
+  algo_span.AddArg("relations", static_cast<int64_t>(query.num_relations()));
+  algo_span.AddArg("cells", static_cast<int64_t>(grid.num_cells()));
+
   std::vector<RelRect> input;
   {
     size_t total = 0;
@@ -37,9 +43,12 @@ StatusOr<JoinRunResult> AllReplicateJoin(
 
   const int m = query.num_relations();
   std::atomic<int64_t> counted{0};
-  job.set_reduce([&grid, &query, m, count_only, &counted](
+  job.set_reduce([&grid, &query, m, count_only, &counted, tracer](
                      const CellId& cell, std::span<const RelRect> values,
                      Job::OutEmitter& out) {
+    TraceSpan local_span(tracer, "local_join", "task");
+    local_span.AddArg("cell", static_cast<int64_t>(cell));
+    local_span.AddArg("records", static_cast<int64_t>(values.size()));
     std::vector<std::vector<LocalRect>> per_relation(
         static_cast<size_t>(m));
     for (const RelRect& v : values) {
@@ -72,7 +81,16 @@ StatusOr<JoinRunResult> AllReplicateJoin(
   });
 
   JoinRunResult result;
-  JobStats stats = job.Run(std::span<const RelRect>(input), &result.tuples, pool);
+  const TransformCounters transform_before = SnapshotTransformCounters();
+  const DedupCounters dedup_before = SnapshotDedupCounters();
+  JobStats stats = job.Run(std::span<const RelRect>(input), &result.tuples, ctx);
+  const TransformCounters transform_delta =
+      TransformCountersDelta(transform_before, SnapshotTransformCounters());
+  const DedupCounters dedup_delta =
+      DedupCountersDelta(dedup_before, SnapshotDedupCounters());
+  algo_span.AddArg("replicate_f1_calls", transform_delta.replicate_f1_calls);
+  algo_span.AddArg("dedup_tuple_checks", dedup_delta.tuple_checks);
+  algo_span.AddArg("dedup_owned", dedup_delta.owned);
   stats.user_counters[kCounterRectanglesReplicated] =
       static_cast<int64_t>(input.size());
   // The paper's "number of rectangles after replication" (§7.8.3) counts
@@ -91,7 +109,11 @@ StatusOr<JoinRunResult> AllReplicateJoin(
         result.num_tuples * (8 * (query.num_relations() + 1));
   }
   result.stats.Add(std::move(stats));
-  SortTuples(&result.tuples);
+  {
+    TraceSpan sort_span(tracer, "sort_tuples", "stage");
+    SortTuples(&result.tuples);
+  }
+  algo_span.AddArg("output_tuples", result.num_tuples);
   return result;
 }
 

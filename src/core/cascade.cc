@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/str_format.h"
+#include "common/trace.h"
 #include "core/dedup.h"
 #include "grid/transform.h"
 #include "localjoin/rtree.h"
@@ -80,9 +81,14 @@ Status ValidateOrder(const Query& query, const std::vector<int>& order) {
 StatusOr<JoinRunResult> CascadeJoin(
     const Query& query, const GridPartition& grid,
     const std::vector<std::vector<Rect>>& relations,
-    std::vector<int> join_order, bool count_only, ThreadPool* pool) {
+    std::vector<int> join_order, bool count_only, const ExecutionContext& ctx) {
   if (join_order.empty()) join_order = DefaultOrder(query);
   MWSJ_RETURN_IF_ERROR(ValidateOrder(query, join_order));
+
+  Tracer* const tracer = ctx.tracer;
+  TraceSpan algo_span(tracer, "cascade", "algorithm");
+  algo_span.AddArg("relations", static_cast<int64_t>(query.num_relations()));
+  algo_span.AddArg("steps", static_cast<int64_t>(join_order.size() - 1));
 
   JoinRunResult result;
 
@@ -94,6 +100,11 @@ StatusOr<JoinRunResult> CascadeJoin(
   std::vector<CascadeRecord> tuples;
   tuples.reserve(relations[static_cast<size_t>(join_order[0])].size());
   {
+    TraceSpan seed_span(tracer, "cascade_seed", "stage");
+    seed_span.AddArg(
+        "records",
+        static_cast<int64_t>(relations[static_cast<size_t>(join_order[0])]
+                                 .size()));
     const auto& first = relations[static_cast<size_t>(join_order[0])];
     for (size_t i = 0; i < first.size(); ++i) {
       CascadeRecord rec;
@@ -106,6 +117,8 @@ StatusOr<JoinRunResult> CascadeJoin(
   std::atomic<int64_t> counted{0};
   for (size_t step = 1; step < join_order.size(); ++step) {
     const int incoming = join_order[step];
+    TraceSpan step_span(tracer, StrFormat("cascade_step_%zu", step), "stage");
+    step_span.AddArg("incoming_relation", static_cast<int64_t>(incoming));
     // The final step may count matches instead of materializing them.
     const bool count_this_step =
         count_only && step + 1 == join_order.size();
@@ -240,8 +253,21 @@ StatusOr<JoinRunResult> CascadeJoin(
     });
 
     std::vector<CascadeRecord> next;
-    JobStats stats =
-        job.Run(std::span<const CascadeRecord>(input), &next, pool);
+    const TransformCounters transform_before = SnapshotTransformCounters();
+    const DedupCounters dedup_before = SnapshotDedupCounters();
+    JobStats stats = job.Run(std::span<const CascadeRecord>(input), &next, ctx);
+    const TransformCounters transform_delta =
+        TransformCountersDelta(transform_before, SnapshotTransformCounters());
+    const DedupCounters dedup_delta =
+        DedupCountersDelta(dedup_before, SnapshotDedupCounters());
+    step_span.AddArg("split_calls", transform_delta.split_calls);
+    step_span.AddArg("enlarged_split_calls",
+                     transform_delta.enlarged_split_calls);
+    step_span.AddArg("dedup_pair_checks",
+                     dedup_delta.pair_checks + dedup_delta.range_pair_checks);
+    step_span.AddArg("dedup_owned", dedup_delta.owned);
+    step_span.AddArg("output_records",
+                     static_cast<int64_t>(next.size()));
     // Engine charges sizeof(In/Out) per record; replace with the real
     // variable-length accounting. In count-only mode the final step's
     // counted tuples still represent output a real job would write.
@@ -259,9 +285,11 @@ StatusOr<JoinRunResult> CascadeJoin(
 
   if (count_only) {
     result.num_tuples = counted.load(std::memory_order_relaxed);
+    algo_span.AddArg("output_tuples", result.num_tuples);
     return result;
   }
   // Convert to relation-ordered id tuples.
+  TraceSpan finalize_span(tracer, "cascade_finalize", "stage");
   result.tuples.reserve(tuples.size());
   for (const CascadeRecord& t : tuples) {
     IdTuple ids(static_cast<size_t>(query.num_relations()), -1);
@@ -274,6 +302,8 @@ StatusOr<JoinRunResult> CascadeJoin(
   }
   SortTuples(&result.tuples);
   result.num_tuples = static_cast<int64_t>(result.tuples.size());
+  finalize_span.End();
+  algo_span.AddArg("output_tuples", result.num_tuples);
   return result;
 }
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/records.h"
@@ -32,12 +33,20 @@ namespace mwsj {
 /// `count_only` counts the final join output without materializing it
 /// (intermediate results are still fully materialized — they are the point
 /// of this baseline).
-StatusOr<JoinRunResult> CascadeJoin(const Query& query,
-                                    const GridPartition& grid,
-                                    const std::vector<std::vector<Rect>>& relations,
-                                    std::vector<int> join_order = {},
-                                    bool count_only = false,
-                                    ThreadPool* pool = nullptr);
+StatusOr<JoinRunResult> CascadeJoin(
+    const Query& query, const GridPartition& grid,
+    const std::vector<std::vector<Rect>>& relations,
+    std::vector<int> join_order, bool count_only, const ExecutionContext& ctx);
+
+/// Deprecated shim: pass an ExecutionContext instead of a bare pool.
+inline StatusOr<JoinRunResult> CascadeJoin(
+    const Query& query, const GridPartition& grid,
+    const std::vector<std::vector<Rect>>& relations,
+    std::vector<int> join_order = {}, bool count_only = false,
+    ThreadPool* pool = nullptr) {
+  return CascadeJoin(query, grid, relations, std::move(join_order), count_only,
+                     ExecutionContext(pool));
+}
 
 }  // namespace mwsj
 

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/trace.h"
 #include "core/dedup.h"
 #include "localjoin/rtree.h"
 #include "mapreduce/engine.h"
@@ -289,7 +290,7 @@ std::vector<std::vector<int64_t>> MarkRectanglesForCell(
 StatusOr<JoinRunResult> ControlledReplicateJoin(
     const Query& query, const GridPartition& grid,
     const std::vector<std::vector<Rect>>& relations,
-    const ControlledReplicateOptions& options, ThreadPool* pool) {
+    const ControlledReplicateOptions& options, const ExecutionContext& ctx) {
   const int m = query.num_relations();
   if (m > 20) {
     return Status::InvalidArgument(
@@ -297,33 +298,43 @@ StatusOr<JoinRunResult> ControlledReplicateJoin(
         "search enumerates relation subsets)");
   }
 
+  Tracer* const tracer = ctx.tracer;
+  TraceSpan algo_span(tracer, options.limit_replication ? "crepl" : "crep",
+                      "algorithm");
+  algo_span.AddArg("relations", static_cast<int64_t>(m));
+  algo_span.AddArg("cells", static_cast<int64_t>(grid.num_cells()));
+
   JoinRunResult result;
 
   // Per-relation replication bounds for C-Rep-L, from the data's diagonal
   // upper bounds and the join graph (§7.9, §8, footnote 3).
   std::vector<double> limit_bounds;
-  if (options.limit_replication) {
-    std::vector<double> diagonals(static_cast<size_t>(m), 0.0);
-    for (int r = 0; r < m; ++r) {
-      for (const Rect& rect : relations[static_cast<size_t>(r)]) {
-        diagonals[static_cast<size_t>(r)] =
-            std::max(diagonals[static_cast<size_t>(r)], rect.Diagonal());
-      }
-    }
-    limit_bounds = ComputeReplicationBounds(query, diagonals);
-  }
-
   std::vector<RelRect> input;
   {
-    size_t total = 0;
-    for (const auto& rel : relations) total += rel.size();
-    input.reserve(total);
-  }
-  for (size_t r = 0; r < relations.size(); ++r) {
-    for (size_t i = 0; i < relations[r].size(); ++i) {
-      input.push_back(RelRect{relations[r][i], static_cast<int64_t>(i),
-                              static_cast<int32_t>(r)});
+    TraceSpan setup_span(tracer, "crep_setup", "stage");
+    if (options.limit_replication) {
+      std::vector<double> diagonals(static_cast<size_t>(m), 0.0);
+      for (int r = 0; r < m; ++r) {
+        for (const Rect& rect : relations[static_cast<size_t>(r)]) {
+          diagonals[static_cast<size_t>(r)] =
+              std::max(diagonals[static_cast<size_t>(r)], rect.Diagonal());
+        }
+      }
+      limit_bounds = ComputeReplicationBounds(query, diagonals);
     }
+
+    {
+      size_t total = 0;
+      for (const auto& rel : relations) total += rel.size();
+      input.reserve(total);
+    }
+    for (size_t r = 0; r < relations.size(); ++r) {
+      for (size_t i = 0; i < relations[r].size(); ++i) {
+        input.push_back(RelRect{relations[r][i], static_cast<int64_t>(i),
+                                static_cast<int32_t>(r)});
+      }
+    }
+    setup_span.AddArg("input_records", static_cast<int64_t>(input.size()));
   }
 
   // -------------------------------------------------------------------
@@ -362,8 +373,18 @@ StatusOr<JoinRunResult> ControlledReplicateJoin(
   });
 
   std::vector<MarkedRect> marked_rects;
-  result.stats.Add(
-      round1.Run(std::span<const RelRect>(input), &marked_rects, pool));
+  {
+    TraceSpan round_span(tracer, "crep_round1", "stage");
+    const TransformCounters before = SnapshotTransformCounters();
+    result.stats.Add(
+        round1.Run(std::span<const RelRect>(input), &marked_rects, ctx));
+    const TransformCounters delta =
+        TransformCountersDelta(before, SnapshotTransformCounters());
+    round_span.AddArg("split_calls", delta.split_calls);
+    int64_t marked_count = 0;
+    for (const MarkedRect& r : marked_rects) marked_count += r.marked ? 1 : 0;
+    round_span.AddArg("marked_records", marked_count);
+  }
 
   // -------------------------------------------------------------------
   // Round 2: replicate marked / project unmarked; join; §6.2 dedup.
@@ -401,9 +422,12 @@ StatusOr<JoinRunResult> ControlledReplicateJoin(
 
   const bool count_only = options.count_only;
   std::atomic<int64_t> counted{0};
-  round2.set_reduce([&grid, &query, m, count_only, &counted](
+  round2.set_reduce([&grid, &query, m, count_only, &counted, tracer](
                         const CellId& cell, std::span<const RelRect> values,
                         Round2::OutEmitter& out) {
+    TraceSpan local_span(tracer, "local_join", "task");
+    local_span.AddArg("cell", static_cast<int64_t>(cell));
+    local_span.AddArg("records", static_cast<int64_t>(values.size()));
     std::vector<std::vector<LocalRect>> per_relation(static_cast<size_t>(m));
     for (const RelRect& v : values) {
       per_relation[static_cast<size_t>(v.relation)].push_back(
@@ -434,8 +458,21 @@ StatusOr<JoinRunResult> ControlledReplicateJoin(
     });
   });
 
+  TraceSpan round2_span(tracer, "crep_round2", "stage");
+  const TransformCounters transform_before = SnapshotTransformCounters();
+  const DedupCounters dedup_before = SnapshotDedupCounters();
   JobStats round2_stats = round2.Run(std::span<const MarkedRect>(marked_rects),
-                                     &result.tuples, pool);
+                                     &result.tuples, ctx);
+  const TransformCounters transform_delta =
+      TransformCountersDelta(transform_before, SnapshotTransformCounters());
+  const DedupCounters dedup_delta =
+      DedupCountersDelta(dedup_before, SnapshotDedupCounters());
+  round2_span.AddArg("project_calls", transform_delta.project_calls);
+  round2_span.AddArg("replicate_f1_calls", transform_delta.replicate_f1_calls);
+  round2_span.AddArg("replicate_f2_calls", transform_delta.replicate_f2_calls);
+  round2_span.AddArg("dedup_tuple_checks", dedup_delta.tuple_checks);
+  round2_span.AddArg("dedup_owned", dedup_delta.owned);
+  round2_span.End();
   round2_stats.user_counters[kCounterRectanglesReplicated] =
       replicated.load(std::memory_order_relaxed);
   // The paper's "number of rectangles after replication" (§7.8.3) counts
@@ -457,7 +494,12 @@ StatusOr<JoinRunResult> ControlledReplicateJoin(
   }
   result.stats.Add(std::move(round2_stats));
 
-  SortTuples(&result.tuples);
+  {
+    TraceSpan sort_span(tracer, "sort_tuples", "stage");
+    sort_span.AddArg("tuples", static_cast<int64_t>(result.tuples.size()));
+    SortTuples(&result.tuples);
+  }
+  algo_span.AddArg("output_tuples", result.num_tuples);
   return result;
 }
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/records.h"
@@ -73,8 +74,17 @@ struct ControlledReplicateOptions {
 StatusOr<JoinRunResult> ControlledReplicateJoin(
     const Query& query, const GridPartition& grid,
     const std::vector<std::vector<Rect>>& relations,
+    const ControlledReplicateOptions& options, const ExecutionContext& ctx);
+
+/// Deprecated shim: pass an ExecutionContext instead of a bare pool.
+inline StatusOr<JoinRunResult> ControlledReplicateJoin(
+    const Query& query, const GridPartition& grid,
+    const std::vector<std::vector<Rect>>& relations,
     const ControlledReplicateOptions& options = {},
-    ThreadPool* pool = nullptr);
+    ThreadPool* pool = nullptr) {
+  return ControlledReplicateJoin(query, grid, relations, options,
+                                 ExecutionContext(pool));
+}
 
 /// Round-1 marking decision, exposed for unit tests that replay the
 /// paper's §7.7 walkthrough: given the rectangles split onto cell `cell`,

@@ -1,6 +1,7 @@
 #ifndef MWSJ_CORE_DEDUP_H_
 #define MWSJ_CORE_DEDUP_H_
 
+#include <cstdint>
 #include <span>
 
 #include "geometry/rect.h"
@@ -34,6 +35,26 @@ Point MultiwayReferencePoint(std::span<const Rect* const> members);
 /// Multi-way rule: the owner is the cell containing the reference point.
 bool OwnsTuple(const GridPartition& grid, CellId cell,
                std::span<const Rect* const> members);
+
+/// Cumulative process-wide counts of the ownership checks above — one
+/// relaxed atomic increment per call, plus how many checks answered "this
+/// cell owns it". Same snapshot/delta observability pattern as
+/// grid/transform.h's TransformCounters: algorithms snapshot around a
+/// reduce pass and attach the deltas to its trace span so the
+/// duplicate-avoidance workload is visible next to wall time.
+struct DedupCounters {
+  int64_t pair_checks = 0;
+  int64_t range_pair_checks = 0;
+  int64_t tuple_checks = 0;
+  int64_t owned = 0;
+};
+
+/// Current cumulative counts (relaxed reads).
+DedupCounters SnapshotDedupCounters();
+
+/// Per-field difference `after - before` of two snapshots.
+DedupCounters DedupCountersDelta(const DedupCounters& before,
+                                 const DedupCounters& after);
 
 }  // namespace mwsj
 

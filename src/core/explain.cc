@@ -52,6 +52,18 @@ std::string ExplainRun(const Query& query, const JoinRunResult& result,
         "shuffle %.3fs | reduce %.3fs\n",
         job.map_seconds, job.per_chunk_map_seconds.size(),
         job.MaxMapChunkSeconds(), job.shuffle_seconds, job.reduce_seconds);
+    if (job.wall_seconds > 0) {
+      const double wall = job.wall_seconds;
+      out += StrFormat(
+          "  phase share: map %s %.0f%% | shuffle %s %.0f%% | "
+          "reduce %s %.0f%%\n",
+          LoadBar(job.map_seconds / wall, 10).c_str(),
+          100.0 * job.map_seconds / wall,
+          LoadBar(job.shuffle_seconds / wall, 10).c_str(),
+          100.0 * job.shuffle_seconds / wall,
+          LoadBar(job.reduce_seconds / wall, 10).c_str(),
+          100.0 * job.reduce_seconds / wall);
+    }
 
     if (!job.per_reducer_records.empty()) {
       std::vector<int64_t> loads = job.per_reducer_records;

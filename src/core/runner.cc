@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/str_format.h"
+#include "common/trace.h"
 #include "core/all_replicate.h"
 #include "core/cascade.h"
 #include "core/controlled_replicate.h"
@@ -83,6 +84,15 @@ StatusOr<JoinRunResult> RunSpatialJoin(
       }
     }
   }
+  // Effective execution context: prefer options.context; fall back to the
+  // deprecated bare pool field for old call sites.
+  ExecutionContext ctx = options.context;
+  if (ctx.pool == nullptr) ctx.pool = options.pool;
+  if (ctx.label.empty()) ctx.label = AlgorithmName(options.algorithm);
+
+  TraceSpan run_span(ctx.tracer, ctx.label, "run");
+
+  TraceSpan grid_span(ctx.tracer, "grid_build", "stage");
   StatusOr<GridPartition> grid = Status::Internal("unreachable");
   if (options.partitioning == Partitioning::kEquiDepth) {
     // Sample start points across all relations (bounded, round-robin).
@@ -103,6 +113,9 @@ StatusOr<JoinRunResult> RunSpatialJoin(
     grid = GridPartition::Create(space, options.grid_rows, options.grid_cols);
   }
   if (!grid.ok()) return grid.status();
+  grid_span.AddArg("rows", static_cast<int64_t>(options.grid_rows));
+  grid_span.AddArg("cols", static_cast<int64_t>(options.grid_cols));
+  grid_span.End();
 
   if (options.count_only && options.distinct_ids) {
     return Status::InvalidArgument(
@@ -126,19 +139,19 @@ StatusOr<JoinRunResult> RunSpatialJoin(
         order = OptimizeCascadeOrder(query, relations);
       }
       result = CascadeJoin(query, grid.value(), relations, std::move(order),
-                           options.count_only, options.pool);
+                           options.count_only, ctx);
       break;
     }
     case Algorithm::kAllReplicate:
       result = AllReplicateJoin(query, grid.value(), relations,
-                                options.count_only, options.pool);
+                                options.count_only, ctx);
       break;
     case Algorithm::kControlledReplicate: {
       ControlledReplicateOptions crep;
       crep.limit_replication = false;
       crep.count_only = options.count_only;
       result = ControlledReplicateJoin(query, grid.value(), relations, crep,
-                                       options.pool);
+                                       ctx);
       break;
     }
     case Algorithm::kControlledReplicateInLimit: {
@@ -147,7 +160,7 @@ StatusOr<JoinRunResult> RunSpatialJoin(
       crep.limit_metric = options.limit_metric;
       crep.count_only = options.count_only;
       result = ControlledReplicateJoin(query, grid.value(), relations, crep,
-                                       options.pool);
+                                       ctx);
       break;
     }
   }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/records.h"
@@ -65,7 +66,12 @@ struct RunnerOptions {
   /// order from relation 0.
   bool optimize_cascade_order = false;
 
-  /// Optional worker pool shared across phases; null = synchronous.
+  /// Execution environment shared across phases: worker pool (null =
+  /// synchronous), optional tracer, and a run label for top-level spans.
+  ExecutionContext context;
+
+  /// Deprecated: worker pool, superseded by `context.pool`. Honored only
+  /// when `context.pool` is null, so old call sites keep working.
   ThreadPool* pool = nullptr;
 };
 

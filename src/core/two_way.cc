@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
 #include "core/dedup.h"
 #include "grid/transform.h"
 #include "localjoin/plane_sweep.h"
@@ -13,7 +14,12 @@ TwoWayJoinOutcome TwoWaySpatialJoin(const GridPartition& grid,
                                     const Predicate& predicate,
                                     std::span<const LocalRect> left,
                                     std::span<const LocalRect> right,
-                                    ThreadPool* pool) {
+                                    const ExecutionContext& ctx) {
+  Tracer* const tracer = ctx.tracer;
+  TraceSpan algo_span(tracer, "two_way_join", "algorithm");
+  algo_span.AddArg("left_records", static_cast<int64_t>(left.size()));
+  algo_span.AddArg("right_records", static_cast<int64_t>(right.size()));
+
   // Input records reuse RelRect with `relation` as the side tag.
   std::vector<RelRect> input;
   input.reserve(left.size() + right.size());
@@ -66,8 +72,9 @@ TwoWayJoinOutcome TwoWaySpatialJoin(const GridPartition& grid,
   });
 
   TwoWayJoinOutcome outcome;
-  outcome.stats = job.Run(std::span<const RelRect>(input), &outcome.pairs, pool);
+  outcome.stats = job.Run(std::span<const RelRect>(input), &outcome.pairs, ctx);
   std::sort(outcome.pairs.begin(), outcome.pairs.end());
+  algo_span.AddArg("output_pairs", static_cast<int64_t>(outcome.pairs.size()));
   return outcome;
 }
 

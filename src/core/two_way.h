@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/thread_pool.h"
 #include "core/records.h"
 #include "grid/grid_partition.h"
@@ -34,7 +35,17 @@ TwoWayJoinOutcome TwoWaySpatialJoin(const GridPartition& grid,
                                     const Predicate& predicate,
                                     std::span<const LocalRect> left,
                                     std::span<const LocalRect> right,
-                                    ThreadPool* pool = nullptr);
+                                    const ExecutionContext& ctx);
+
+/// Deprecated shim: pass an ExecutionContext instead of a bare pool.
+inline TwoWayJoinOutcome TwoWaySpatialJoin(const GridPartition& grid,
+                                           const Predicate& predicate,
+                                           std::span<const LocalRect> left,
+                                           std::span<const LocalRect> right,
+                                           ThreadPool* pool = nullptr) {
+  return TwoWaySpatialJoin(grid, predicate, left, right,
+                           ExecutionContext(pool));
+}
 
 }  // namespace mwsj
 

@@ -1,6 +1,7 @@
 #ifndef MWSJ_GRID_TRANSFORM_H_
 #define MWSJ_GRID_TRANSFORM_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "geometry/rect.h"
@@ -51,6 +52,29 @@ void EnlargedSplitCells(const GridPartition& grid, const Rect& u, double d,
 
 /// Number of cells f1 would produce, without materializing them.
 int64_t CountReplicateF1Cells(const GridPartition& grid, const Rect& u);
+
+/// Cumulative process-wide call counts of the transform operations above,
+/// one relaxed atomic increment per call — cheap enough to stay always-on.
+/// Observability support: algorithms snapshot these around a map-reduce
+/// job and attach the per-pass deltas (`TransformCountersDelta`) to the
+/// job's trace span, making the grid-transform activity of each pass
+/// visible alongside its wall time. Under concurrent *independent* joins
+/// in one process the deltas blend both runs; within one run (the only
+/// case the tracer reports) they are exact.
+struct TransformCounters {
+  int64_t project_calls = 0;
+  int64_t split_calls = 0;
+  int64_t replicate_f1_calls = 0;
+  int64_t replicate_f2_calls = 0;
+  int64_t enlarged_split_calls = 0;
+};
+
+/// Current cumulative counts (relaxed reads).
+TransformCounters SnapshotTransformCounters();
+
+/// Per-field difference `after - before` of two snapshots.
+TransformCounters TransformCountersDelta(const TransformCounters& before,
+                                         const TransformCounters& after);
 
 }  // namespace mwsj
 

@@ -3,19 +3,41 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "mapreduce/counters.h"
 
 namespace mwsj {
+
+namespace engine_internal {
+
+/// Best-effort rendering of a shuffle key for error messages; keys only
+/// need ordering and equality, so non-printable types degrade gracefully.
+template <typename K>
+std::string DescribeKey(const K& key) {
+  if constexpr (std::is_arithmetic_v<K>) {
+    return std::to_string(key);
+  } else if constexpr (std::is_convertible_v<const K&, std::string>) {
+    return std::string(key);
+  } else {
+    return "<unprintable key>";
+  }
+}
+
+}  // namespace engine_internal
 
 /// In-process map-reduce engine.
 ///
@@ -52,13 +74,26 @@ class MapReduceJob {
   class Emitter {
    public:
     Emitter(std::vector<std::pair<K, V>>* pairs, std::vector<uint32_t>* route,
-            const PartitionFn* partition, const SizeFn* value_size)
+            const PartitionFn* partition, const SizeFn* value_size,
+            const std::string* job_name, int num_reducers)
         : pairs_(pairs), route_(route), partition_(partition),
-          value_size_(value_size) {}
+          value_size_(value_size), job_name_(job_name),
+          num_reducers_(num_reducers) {}
     void Emit(K key, V value) {
-      const auto r = static_cast<uint32_t>((*partition_)(key));
+      const int r = (*partition_)(key);
+      // An out-of-range partition result would corrupt the counting sort
+      // out of bounds; fail fast with the job and key instead.
+      if (r < 0 || r >= num_reducers_) [[unlikely]] {
+        std::fprintf(stderr,
+                     "MapReduceJob '%s': partition function returned %d for "
+                     "key %s, outside the valid reducer range [0, %d)\n",
+                     job_name_->c_str(), r,
+                     engine_internal::DescribeKey(key).c_str(),
+                     num_reducers_);
+        std::abort();
+      }
       bytes_ += (*value_size_)(value);
-      route_->push_back(r);
+      route_->push_back(static_cast<uint32_t>(r));
       pairs_->emplace_back(std::move(key), std::move(value));
     }
 
@@ -69,6 +104,8 @@ class MapReduceJob {
     std::vector<uint32_t>* route_;
     const PartitionFn* partition_;
     const SizeFn* value_size_;
+    const std::string* job_name_;
+    int num_reducers_;
     int64_t bytes_ = 0;
   };
 
@@ -122,9 +159,19 @@ class MapReduceJob {
   }
 
   /// Executes the job over `input`, appending reducer output to `*output`.
-  /// `pool` may be null for synchronous single-threaded execution.
+  /// `ctx.pool` may be null for synchronous single-threaded execution;
+  /// `ctx.tracer` (optional) records the job span, the map/shuffle/reduce
+  /// phase spans, and one task span per map chunk / shuffle merge /
+  /// reduce task.
   JobStats Run(std::span<const In> input, std::vector<Out>* output,
-               ThreadPool* pool = nullptr);
+               const ExecutionContext& ctx);
+
+  /// Deprecated shim for pre-ExecutionContext call sites; forwards to the
+  /// context overload with no tracer attached.
+  JobStats Run(std::span<const In> input, std::vector<Out>* output,
+               ThreadPool* pool = nullptr) {
+    return Run(input, output, ExecutionContext(pool));
+  }
 
  private:
   std::string name_;
@@ -143,7 +190,10 @@ class MapReduceJob {
 template <typename In, typename K, typename V, typename Out>
 JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
                                           std::vector<Out>* output,
-                                          ThreadPool* pool) {
+                                          const ExecutionContext& ctx) {
+  ThreadPool* const pool = ctx.pool;
+  Tracer* const tracer = ctx.tracer;
+  TraceSpan job_span(tracer, name_, "job");
   Stopwatch job_watch;
   JobStats stats;
   stats.job_name = name_;
@@ -193,6 +243,7 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
 
   Stopwatch phase_watch;
   auto run_chunk = [&](size_t c) {
+    TraceSpan chunk_span(tracer, "map_chunk", "task");
     Stopwatch chunk_watch;
     MapShard& shard = shards[c];
     std::vector<std::pair<K, V>> raw;
@@ -202,8 +253,11 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
     // Most maps emit ≥1 pair per record; pre-sizing halves growth moves.
     raw.reserve(hi - lo);
     route.reserve(hi - lo);
-    Emitter emitter(&raw, &route, &partition, &value_size);
+    Emitter emitter(&raw, &route, &partition, &value_size, &name_,
+                    num_reducers_);
     for (size_t i = lo; i < hi; ++i) map_(input[i], emitter);
+    chunk_span.AddArg("chunk", static_cast<int64_t>(c));
+    chunk_span.AddArg("records", static_cast<int64_t>(raw.size()));
     // Stable counting sort by reducer, preserving emit order per bucket.
     shard.offsets.assign(num_reducers + 1, 0);
     for (const uint32_t r : route) ++shard.offsets[r + 1];
@@ -218,10 +272,14 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
     shard.bytes = emitter.bytes();
     shard.seconds = chunk_watch.ElapsedSeconds();
   };
-  if (pool != nullptr && num_chunks > 1) {
-    ParallelFor(pool, num_chunks, run_chunk);
-  } else {
-    for (size_t c = 0; c < num_chunks; ++c) run_chunk(c);
+  {
+    TraceSpan map_phase(tracer, "map", "phase");
+    map_phase.AddArg("chunks", static_cast<int64_t>(num_chunks));
+    if (pool != nullptr && num_chunks > 1) {
+      ParallelFor(pool, num_chunks, run_chunk);
+    } else {
+      for (size_t c = 0; c < num_chunks; ++c) run_chunk(c);
+    }
   }
   stats.per_chunk_map_seconds.resize(num_chunks);
   for (size_t c = 0; c < num_chunks; ++c) {
@@ -238,6 +296,7 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
   phase_watch.Reset();
   std::vector<std::vector<std::pair<K, V>>> inbox(num_reducers);
   auto merge_reducer = [&](size_t r) {
+    TraceSpan merge_span(tracer, "shuffle_merge", "task");
     size_t total = 0;
     for (size_t c = 0; c < num_chunks; ++c) {
       total += shards[c].offsets[r + 1] - shards[c].offsets[r];
@@ -254,11 +313,16 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
                                         static_cast<ptrdiff_t>(
                                             shard.offsets[r + 1])));
     }
+    merge_span.AddArg("reducer", static_cast<int64_t>(r));
+    merge_span.AddArg("records", static_cast<int64_t>(total));
   };
-  if (pool != nullptr && num_reducers > 1) {
-    ParallelFor(pool, num_reducers, merge_reducer);
-  } else {
-    for (size_t r = 0; r < num_reducers; ++r) merge_reducer(r);
+  {
+    TraceSpan shuffle_phase(tracer, "shuffle", "phase");
+    if (pool != nullptr && num_reducers > 1) {
+      ParallelFor(pool, num_reducers, merge_reducer);
+    } else {
+      for (size_t r = 0; r < num_reducers; ++r) merge_reducer(r);
+    }
   }
   shards.clear();
   shards.shrink_to_fit();
@@ -275,6 +339,9 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
   stats.per_reducer_seconds.assign(static_cast<size_t>(num_reducers_), 0.0);
 
   auto run_reducer = [&](size_t r) {
+    TraceSpan reduce_span(tracer, "reduce_task", "task");
+    reduce_span.AddArg("reducer", static_cast<int64_t>(r));
+    reduce_span.AddArg("records", static_cast<int64_t>(inbox[r].size()));
     Stopwatch reducer_watch;
     auto& pairs = inbox[r];
     // Stable sort keeps same-key values in arrival (chunk) order, matching
@@ -301,10 +368,15 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
     pairs.shrink_to_fit();
     stats.per_reducer_seconds[r] = reducer_watch.ElapsedSeconds();
   };
-  if (pool != nullptr && num_reducers_ > 1) {
-    ParallelFor(pool, static_cast<size_t>(num_reducers_), run_reducer);
-  } else {
-    for (int r = 0; r < num_reducers_; ++r) run_reducer(static_cast<size_t>(r));
+  {
+    TraceSpan reduce_phase(tracer, "reduce", "phase");
+    if (pool != nullptr && num_reducers_ > 1) {
+      ParallelFor(pool, static_cast<size_t>(num_reducers_), run_reducer);
+    } else {
+      for (int r = 0; r < num_reducers_; ++r) {
+        run_reducer(static_cast<size_t>(r));
+      }
+    }
   }
   stats.reduce_seconds = phase_watch.ElapsedSeconds();
 
@@ -320,6 +392,10 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
     stats.user_counters = user_counters_;
   }
   stats.wall_seconds = job_watch.ElapsedSeconds();
+  job_span.AddArg("map_input_records", stats.map_input_records);
+  job_span.AddArg("intermediate_records", stats.intermediate_records);
+  job_span.AddArg("intermediate_bytes", stats.intermediate_bytes);
+  job_span.AddArg("reduce_output_records", stats.reduce_output_records);
   return stats;
 }
 

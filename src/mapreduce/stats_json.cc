@@ -75,6 +75,16 @@ std::string RunStatsToJson(const RunStats& stats) {
     out += StrFormat(", \"map_chunk_seconds_max\": %.6f",
                      job.MaxMapChunkSeconds());
     out += StrFormat(", \"wall_seconds\": %.6f", job.wall_seconds);
+    out += StrFormat(
+        ", \"phases\": {"
+        "\"map\": {\"seconds\": %.6f, \"tasks\": %zu, "
+        "\"max_task_seconds\": %.6f}, "
+        "\"shuffle\": {\"seconds\": %.6f}, "
+        "\"reduce\": {\"seconds\": %.6f, \"tasks\": %zu, "
+        "\"max_task_seconds\": %.6f}}",
+        job.map_seconds, job.per_chunk_map_seconds.size(),
+        job.MaxMapChunkSeconds(), job.shuffle_seconds, job.reduce_seconds,
+        job.per_reducer_seconds.size(), job.MaxReducerSeconds());
     out += ", \"counters\": {";
     bool first = true;
     for (const auto& [name, value] : job.user_counters) {  // std::map: sorted.

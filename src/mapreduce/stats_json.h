@@ -22,10 +22,20 @@ namespace mwsj {
 ///       "max_reducer_records": 9,
 ///       "reduce_seconds_total": 0.01, "reduce_seconds_max": 0.002,
 ///       "wall_seconds": 0.05,
+///       "phases": {
+///         "map":     {"seconds": 0.02, "tasks": 4, "max_task_seconds": 0.01},
+///         "shuffle": {"seconds": 0.01},
+///         "reduce":  {"seconds": 0.02, "tasks": 64, "max_task_seconds": 0.002}
+///       },
 ///       "counters": {"rectangles_replicated": 12}
 ///     }, ...
 ///   ]
 /// }
+///
+/// "phases" summarizes the engine's per-phase spans: wall seconds of each
+/// phase, the number of parallel tasks it dispatched, and the slowest
+/// task — the same quantities the tracer records as spans (common/trace.h),
+/// folded into the stats document so dashboards need no trace file.
 ///
 /// Strings are escaped per RFC 8259; the output is deterministic (counters
 /// in lexicographic order).

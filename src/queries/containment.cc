@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
 #include "grid/transform.h"
 #include "localjoin/rtree.h"
 #include "mapreduce/engine.h"
@@ -22,7 +23,11 @@ struct Item {
 StatusOr<ContainmentResult> ContainmentJoin(const GridPartition& grid,
                                             std::span<const Point> points,
                                             std::span<const Rect> rects,
-                                            ThreadPool* pool) {
+                                            const ExecutionContext& ctx) {
+  TraceSpan algo_span(ctx.tracer, "containment", "algorithm");
+  algo_span.AddArg("points", static_cast<int64_t>(points.size()));
+  algo_span.AddArg("rects", static_cast<int64_t>(rects.size()));
+
   std::vector<Item> input;
   input.reserve(points.size() + rects.size());
   for (size_t i = 0; i < points.size(); ++i) {
@@ -74,8 +79,9 @@ StatusOr<ContainmentResult> ContainmentJoin(const GridPartition& grid,
   });
 
   ContainmentResult result;
-  result.stats.Add(job.Run(std::span<const Item>(input), &result.pairs, pool));
+  result.stats.Add(job.Run(std::span<const Item>(input), &result.pairs, ctx));
   std::sort(result.pairs.begin(), result.pairs.end());
+  algo_span.AddArg("output_pairs", static_cast<int64_t>(result.pairs.size()));
   return result;
 }
 

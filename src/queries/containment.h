@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "geometry/rect.h"
@@ -31,7 +32,14 @@ struct ContainmentResult {
 StatusOr<ContainmentResult> ContainmentJoin(const GridPartition& grid,
                                             std::span<const Point> points,
                                             std::span<const Rect> rects,
-                                            ThreadPool* pool = nullptr);
+                                            const ExecutionContext& ctx);
+
+/// Deprecated shim: pass an ExecutionContext instead of a bare pool.
+inline StatusOr<ContainmentResult> ContainmentJoin(
+    const GridPartition& grid, std::span<const Point> points,
+    std::span<const Rect> rects, ThreadPool* pool = nullptr) {
+  return ContainmentJoin(grid, points, rects, ExecutionContext(pool));
+}
 
 }  // namespace mwsj
 

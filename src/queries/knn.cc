@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/trace.h"
 #include "core/dedup.h"
 #include "grid/transform.h"
 #include "localjoin/rtree.h"
@@ -33,8 +34,13 @@ struct Candidate {
 StatusOr<KnnResult> KnnJoin(const GridPartition& grid,
                             std::span<const Point> points,
                             std::span<const Rect> rects, int k,
-                            ThreadPool* pool) {
+                            const ExecutionContext& ctx) {
   if (k <= 0) return Status::InvalidArgument("k must be positive");
+
+  TraceSpan algo_span(ctx.tracer, "knn", "algorithm");
+  algo_span.AddArg("points", static_cast<int64_t>(points.size()));
+  algo_span.AddArg("rects", static_cast<int64_t>(rects.size()));
+  algo_span.AddArg("k", static_cast<int64_t>(k));
 
   KnnResult result;
   result.neighbors.assign(points.size(), {});
@@ -100,7 +106,7 @@ StatusOr<KnnResult> KnnJoin(const GridPartition& grid,
 
   std::vector<Item> bounded_points;
   result.stats.Add(
-      bound_job.Run(std::span<const Item>(input), &bounded_points, pool));
+      bound_job.Run(std::span<const Item>(input), &bounded_points, ctx));
 
   // ---- Round 2: collect candidates within each point's bound.
   std::vector<Item> probe_input = std::move(bounded_points);
@@ -164,7 +170,7 @@ StatusOr<KnnResult> KnnJoin(const GridPartition& grid,
 
   std::vector<Candidate> candidates;
   result.stats.Add(probe_job.Run(std::span<const Item>(probe_input),
-                                 &candidates, pool));
+                                 &candidates, ctx));
 
   // ---- Round 3: merge per point, keep the k smallest (distance, id).
   using MergeJob = MapReduceJob<Candidate, int64_t, Candidate,
@@ -198,7 +204,7 @@ StatusOr<KnnResult> KnnJoin(const GridPartition& grid,
 
   std::vector<std::pair<int64_t, std::vector<KnnNeighbor>>> merged;
   result.stats.Add(
-      merge_job.Run(std::span<const Candidate>(candidates), &merged, pool));
+      merge_job.Run(std::span<const Candidate>(candidates), &merged, ctx));
   for (auto& [point_id, neighbors] : merged) {
     result.neighbors[static_cast<size_t>(point_id)] = std::move(neighbors);
   }

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "geometry/rect.h"
@@ -51,7 +52,15 @@ struct KnnResult {
 StatusOr<KnnResult> KnnJoin(const GridPartition& grid,
                             std::span<const Point> points,
                             std::span<const Rect> rects, int k,
-                            ThreadPool* pool = nullptr);
+                            const ExecutionContext& ctx);
+
+/// Deprecated shim: pass an ExecutionContext instead of a bare pool.
+inline StatusOr<KnnResult> KnnJoin(const GridPartition& grid,
+                                   std::span<const Point> points,
+                                   std::span<const Rect> rects, int k,
+                                   ThreadPool* pool = nullptr) {
+  return KnnJoin(grid, points, rects, k, ExecutionContext(pool));
+}
 
 }  // namespace mwsj
 

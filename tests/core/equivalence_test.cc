@@ -226,7 +226,7 @@ TEST(EquivalenceEdgeCases, ThreadPoolMatchesSerialByteForByte) {
 
     const auto serial = RunSpatialJoin(query, data, options);
     ASSERT_TRUE(serial.ok()) << serial.status().ToString();
-    options.pool = &pool;
+    options.context = ExecutionContext(&pool);
     const auto parallel = RunSpatialJoin(query, data, options);
     ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
 

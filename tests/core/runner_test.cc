@@ -180,7 +180,7 @@ TEST(RunnerPoolTest, ParallelExecutionIsDeterministic) {
 
   ThreadPool pool(4);
   RunnerOptions parallel = serial;
-  parallel.pool = &pool;
+  parallel.context = ExecutionContext(&pool);
   const auto parallel_result = RunSpatialJoin(query, data, parallel);
   ASSERT_TRUE(parallel_result.ok());
   EXPECT_EQ(serial_result.value().tuples, parallel_result.value().tuples);

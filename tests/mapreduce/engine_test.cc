@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 
+#include "common/str_format.h"
 #include "mapreduce/engine.h"
 
 namespace mwsj {
@@ -245,6 +247,90 @@ TEST(EngineTest, ValueSizeDrivesIntermediateBytes) {
   std::vector<std::pair<int, int>> output;
   const JobStats stats = job.Run(std::span<const int>(input), &output);
   EXPECT_EQ(stats.intermediate_bytes, 300);
+}
+
+TEST(EngineDeathTest, PartitionResultAboveRangeAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  IntJob job("bad_partition_high", 4);
+  job.set_partition([](const int& k) { return k; });  // Key 9 -> reducer 9.
+  job.set_map([](const int& v, IntJob::Emitter& emit) { emit.Emit(v, v); });
+  job.set_reduce([](const int&, std::span<const int>, IntJob::OutEmitter&) {});
+  const std::vector<int> input = {9};
+  std::vector<std::pair<int, int>> output;
+  EXPECT_DEATH(job.Run(std::span<const int>(input), &output),
+               "MapReduceJob 'bad_partition_high': partition function "
+               "returned 9 for key 9");
+}
+
+TEST(EngineDeathTest, PartitionResultNegativeAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  IntJob job("bad_partition_negative", 4);
+  job.set_partition([](const int&) { return -2; });
+  job.set_map([](const int& v, IntJob::Emitter& emit) { emit.Emit(v, v); });
+  job.set_reduce([](const int&, std::span<const int>, IntJob::OutEmitter&) {});
+  const std::vector<int> input = {1};
+  std::vector<std::pair<int, int>> output;
+  EXPECT_DEATH(job.Run(std::span<const int>(input), &output),
+               "partition function returned -2");
+}
+
+TEST(EngineTest, ContextOverloadMatchesPoolShim) {
+  std::vector<int> input;
+  for (int i = 0; i < 300; ++i) input.push_back(i * 13 % 97);
+
+  auto make_job = []() {
+    using SeqJob = MapReduceJob<int, int, int, int>;
+    auto job = std::make_unique<SeqJob>("ctx_vs_shim", 8);
+    job->set_map([](const int& v, SeqJob::Emitter& emit) {
+      emit.Emit(v % 8, v);
+    });
+    job->set_partition([](const int& k) { return k; });
+    job->set_reduce([](const int&, std::span<const int> vals,
+                       SeqJob::OutEmitter& out) {
+      for (int v : vals) out.Emit(v);
+    });
+    return job;
+  };
+
+  std::vector<int> via_shim, via_ctx;
+  const JobStats shim_stats =
+      make_job()->Run(std::span<const int>(input), &via_shim);
+  ThreadPool pool(3);
+  Tracer tracer;
+  const JobStats ctx_stats = make_job()->Run(std::span<const int>(input),
+                                             &via_ctx,
+                                             ExecutionContext(&pool, &tracer));
+  EXPECT_EQ(via_shim, via_ctx);
+  EXPECT_EQ(shim_stats.intermediate_records, ctx_stats.intermediate_records);
+  EXPECT_EQ(shim_stats.per_reducer_records, ctx_stats.per_reducer_records);
+  EXPECT_GT(tracer.event_count(), 0);
+}
+
+TEST(EngineTest, TracerRecordsJobPhaseAndTaskSpans) {
+  std::vector<int> input;
+  for (int i = 0; i < 200; ++i) input.push_back(i);
+  using SeqJob = MapReduceJob<int, int, int, int>;
+  SeqJob job("traced_job", 4);
+  job.set_partition([](const int& k) { return k; });
+  job.set_map([](const int& v, SeqJob::Emitter& emit) { emit.Emit(v % 4, v); });
+  job.set_reduce([](const int&, std::span<const int> vals,
+                    SeqJob::OutEmitter& out) {
+    for (int v : vals) out.Emit(v);
+  });
+
+  Tracer tracer;
+  std::vector<int> output;
+  job.Run(std::span<const int>(input), &output,
+          ExecutionContext(nullptr, &tracer));
+
+  const std::string json = tracer.ToJson();
+  for (const char* span_name :
+       {"traced_job", "map", "shuffle", "reduce", "map_chunk",
+        "shuffle_merge", "reduce_task"}) {
+    EXPECT_NE(json.find(StrFormat("\"name\": \"%s\"", span_name)),
+              std::string::npos)
+        << "missing span " << span_name;
+  }
 }
 
 TEST(RunStatsTest, AggregationAcrossJobs) {

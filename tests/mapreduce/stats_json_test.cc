@@ -48,6 +48,33 @@ TEST(StatsJsonTest, FullJobFieldsAppear) {
             std::string::npos);
 }
 
+TEST(StatsJsonTest, PhasesObjectSummarizesPerPhaseTimings) {
+  RunStats stats;
+  JobStats job;
+  job.job_name = "phased";
+  job.num_reducers = 2;
+  job.map_seconds = 0.01;
+  job.shuffle_seconds = 0.002;
+  job.reduce_seconds = 0.015;
+  job.per_chunk_map_seconds = {0.002, 0.005, 0.003};
+  job.per_reducer_seconds = {0.004, 0.011};
+  stats.Add(job);
+
+  const std::string json = RunStatsToJson(stats);
+  EXPECT_NE(json.find("\"phases\": {"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"map\": {\"seconds\": 0.010000, \"tasks\": 3, "
+                      "\"max_task_seconds\": 0.005000}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"shuffle\": {\"seconds\": 0.002000}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"reduce\": {\"seconds\": 0.015000, \"tasks\": 2, "
+                      "\"max_task_seconds\": 0.011000}"),
+            std::string::npos)
+      << json;
+}
+
 TEST(StatsJsonTest, EscapesSpecialCharacters) {
   RunStats stats;
   JobStats job;

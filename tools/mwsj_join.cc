@@ -8,11 +8,15 @@
 //             [--distinct-ids] [--count-only] [--optimize-order]
 //             [--estimate] [--verify] [--explain] [--threads N]
 //             [--output tuples.csv] [--stats-json stats.json]
+//             [--trace trace.json]
 //
 // Datasets are CSV (x,y,l,b with header) or mwsj binary, selected by
 // extension. Prints the run's statistics to stdout; with --output, writes
 // the result tuples as CSV. --threads N runs the engine on a worker pool
 // (N=0 picks the hardware concurrency); output is identical either way.
+// --trace PATH records every engine phase, per-chunk/per-reducer task, and
+// algorithm stage as spans in Chrome trace-event JSON; open the file in
+// https://ui.perfetto.dev or chrome://tracing.
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +29,7 @@
 
 #include "common/str_format.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/explain.h"
 #include "core/runner.h"
 #include "core/verification.h"
@@ -43,7 +48,7 @@ int Usage(const char* argv0) {
                "  [--grid RxC] [--partitioning uniform|equidepth]\n"
                "  [--distinct-ids] [--count-only] [--optimize-order]\n"
                "  [--estimate] [--verify] [--explain] [--threads N]\n"
-               "  [--output PATH] [--stats-json PATH]\n",
+               "  [--output PATH] [--stats-json PATH] [--trace PATH]\n",
                argv0);
   return 2;
 }
@@ -56,6 +61,7 @@ int main(int argc, char** argv) {
   std::string algorithm_name = "crep";
   std::string output_path;
   std::string stats_json_path;
+  std::string trace_path;
   bool estimate = false;
   bool verify = false;
   bool explain = false;
@@ -124,6 +130,13 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       stats_json_path = v;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      trace_path = v;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(std::strlen("--trace="));
+      if (trace_path.empty()) return Usage(argv[0]);
     } else if (arg == "--threads") {
       const char* v = next();
       if (!v) return Usage(argv[0]);
@@ -195,8 +208,13 @@ int main(int argc, char** argv) {
   std::unique_ptr<mwsj::ThreadPool> pool;
   if (threads >= 0) {
     pool = std::make_unique<mwsj::ThreadPool>(static_cast<size_t>(threads));
-    options.pool = pool.get();
+    options.context.pool = pool.get();
     std::printf("engine threads: %zu\n", pool->num_threads());
+  }
+  std::unique_ptr<mwsj::Tracer> tracer;
+  if (!trace_path.empty()) {
+    tracer = std::make_unique<mwsj::Tracer>();
+    options.context.tracer = tracer.get();
   }
 
   const auto result = mwsj::RunSpatialJoin(query.value(), relations, options);
@@ -248,6 +266,18 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote stats to %s\n", stats_json_path.c_str());
+  }
+
+  if (tracer != nullptr) {
+    const mwsj::Status st = tracer->WriteJson(trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "wrote %lld trace events to %s (open in https://ui.perfetto.dev "
+        "or chrome://tracing)\n",
+        static_cast<long long>(tracer->event_count()), trace_path.c_str());
   }
 
   if (!output_path.empty()) {

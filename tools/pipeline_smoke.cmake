@@ -1,5 +1,6 @@
 # End-to-end smoke test of the CLI tools, run by ctest:
-#   mwsj_datagen (csv + binary) -> mwsj_join --verify --output -> tuple CSV.
+#   mwsj_datagen (csv + binary) -> mwsj_join --verify --output -> tuple CSV,
+#   plus a Chrome-trace export validated for structure and span coverage.
 # Invoked with -DDATAGEN=<path> -DJOIN=<path> -DWORKDIR=<dir>.
 
 file(MAKE_DIRECTORY ${WORKDIR})
@@ -22,7 +23,8 @@ run_checked(${JOIN} --query "A OV B AND B RA(40) A2" --input A=${WORKDIR}/a.csv
             --input B=${WORKDIR}/b.bin --input A2=${WORKDIR}/a.csv
             --algorithm crepl --grid 4x4 --verify --explain
             --output ${WORKDIR}/tuples.csv
-            --stats-json ${WORKDIR}/stats.json)
+            --stats-json ${WORKDIR}/stats.json
+            --trace=${WORKDIR}/trace.json)
 
 # The output CSV must exist, have the right header, and more than one line.
 file(READ ${WORKDIR}/tuples.csv tuples)
@@ -37,6 +39,34 @@ string(FIND "${stats}" "crep_round1_mark" r1)
 string(FIND "${stats}" "crepl_round2_join" r2)
 if(r1 EQUAL -1 OR r2 EQUAL -1)
   message(FATAL_ERROR "stats.json missing job entries: ${stats}")
+endif()
+
+# The trace must be present and cover the run: Chrome-trace envelope, both
+# C-Rep rounds, and every engine phase.
+file(READ ${WORKDIR}/trace.json trace)
+foreach(needle "\"traceEvents\"" "\"crep_round1\"" "\"crep_round2\""
+        "\"map\"" "\"shuffle\"" "\"reduce\"" "\"grid_build\"")
+  string(FIND "${trace}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "trace.json missing ${needle}")
+  endif()
+endforeach()
+
+# If a python3 is around, hold the trace to full JSON strictness.
+find_program(PYTHON3 python3)
+if(PYTHON3)
+  execute_process(COMMAND ${PYTHON3} -m json.tool ${WORKDIR}/trace.json
+                  RESULT_VARIABLE json_code OUTPUT_QUIET
+                  ERROR_VARIABLE json_err)
+  if(NOT json_code EQUAL 0)
+    message(FATAL_ERROR "trace.json is not valid JSON: ${json_err}")
+  endif()
+  execute_process(COMMAND ${PYTHON3} -m json.tool ${WORKDIR}/stats.json
+                  RESULT_VARIABLE json_code OUTPUT_QUIET
+                  ERROR_VARIABLE json_err)
+  if(NOT json_code EQUAL 0)
+    message(FATAL_ERROR "stats.json is not valid JSON: ${json_err}")
+  endif()
 endif()
 
 # Cross-check: brute force must report the same tuple count.
