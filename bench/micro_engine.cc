@@ -147,6 +147,83 @@ void BM_EngineTracingOverhead(benchmark::State& state) {
 BENCHMARK(BM_EngineTracingOverhead)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
+void BM_ReduceGroupBy(benchmark::State& state) {
+  // Reduce-phase group-by throughput on spatial-join-sized values (RelRect
+  // is ~40 bytes, CascadeRecord bigger still): the SoA inbox sorts a u32
+  // index permutation instead of whole pairs, applies it once, and hands
+  // reduce_ spans directly into the value array. Manual time = the job's
+  // reduce_seconds, so map and shuffle are excluded. Arg = distinct keys.
+  struct FatValue {
+    int64_t id;
+    double payload[6];
+  };
+  using GroupJob = MapReduceJob<int64_t, int32_t, FatValue, int64_t>;
+  const int64_t keys = state.range(0);
+  std::vector<int64_t> input(200'000);
+  Rng rng(5);
+  for (auto& v : input) v = rng.UniformInt(0, keys - 1);
+  for (auto _ : state) {
+    GroupJob job("reduce_group_by", 16);
+    job.set_map([](const int64_t& v, GroupJob::Emitter& emit) {
+      FatValue f;
+      f.id = v;
+      for (double& p : f.payload) p = static_cast<double>(v) * 0.5;
+      emit.Emit(static_cast<int32_t>(v), f);
+    });
+    job.set_reduce([](const int32_t&, std::span<const FatValue> vals,
+                      GroupJob::OutEmitter& out) {
+      int64_t sum = 0;
+      for (const FatValue& f : vals) sum += f.id;
+      out.Emit(sum);
+    });
+    std::vector<int64_t> output;
+    const JobStats stats = job.Run(std::span<const int64_t>(input), &output);
+    benchmark::DoNotOptimize(output.size());
+    state.SetIterationTime(stats.reduce_seconds);
+  }
+  state.SetItemsProcessed(state.iterations() * 200'000);
+}
+BENCHMARK(BM_ReduceGroupBy)->Arg(64)->Arg(4096)->Arg(100'000)
+    ->UseManualTime()->Unit(benchmark::kMillisecond);
+
+void BM_ReduceGroupBySingleKey(benchmark::State& state) {
+  // The spatial algorithms' actual reduce shape: identity partitioner,
+  // one key (cell id) per reducer. Arrival order is trivially key-sorted,
+  // so the group-by takes the zero-move fast path and the reduce function
+  // reads one span covering the whole inbox. Manual time = reduce_seconds.
+  struct FatValue {
+    int64_t id;
+    double payload[6];
+  };
+  using GroupJob = MapReduceJob<int64_t, int32_t, FatValue, int64_t>;
+  std::vector<int64_t> input(200'000);
+  Rng rng(6);
+  for (auto& v : input) v = rng.UniformInt(0, 15);
+  for (auto _ : state) {
+    GroupJob job("reduce_group_by_single_key", 16);
+    job.set_partition([](const int32_t& k) { return k; });
+    job.set_map([](const int64_t& v, GroupJob::Emitter& emit) {
+      FatValue f;
+      f.id = v;
+      for (double& p : f.payload) p = static_cast<double>(v) * 0.5;
+      emit.Emit(static_cast<int32_t>(v), f);
+    });
+    job.set_reduce([](const int32_t&, std::span<const FatValue> vals,
+                      GroupJob::OutEmitter& out) {
+      int64_t sum = 0;
+      for (const FatValue& f : vals) sum += f.id;
+      out.Emit(sum);
+    });
+    std::vector<int64_t> output;
+    const JobStats stats = job.Run(std::span<const int64_t>(input), &output);
+    benchmark::DoNotOptimize(output.size());
+    state.SetIterationTime(stats.reduce_seconds);
+  }
+  state.SetItemsProcessed(state.iterations() * 200'000);
+}
+BENCHMARK(BM_ReduceGroupBySingleKey)
+    ->UseManualTime()->Unit(benchmark::kMillisecond);
+
 void BM_GroupingManyKeys(benchmark::State& state) {
   // Many distinct keys per reducer stress the sort-and-group phase.
   const int64_t keys = state.range(0);

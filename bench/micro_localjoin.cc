@@ -1,13 +1,40 @@
 // Micro-benchmarks for the reducer-side join kernels: STR R-tree build and
 // probe, plane sweep, and the multiway backtracking join.
+//
+// This binary replaces the global operator new/delete with counting
+// wrappers so probe benchmarks can assert the steady state performs zero
+// heap allocations per query (reported as the `allocs_per_*` counters).
 
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "common/random.h"
 #include "localjoin/multiway.h"
 #include "localjoin/plane_sweep.h"
 #include "localjoin/rtree.h"
 #include "query/query.h"
+
+namespace {
+std::atomic<int64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace mwsj {
 namespace {
@@ -40,11 +67,12 @@ void BM_RTreeOverlapProbe(benchmark::State& state) {
   const auto rects = MakeRects(static_cast<int>(state.range(0)), 2);
   const RTree tree(rects);
   const auto probes = MakeRects(512, 3);
+  RTree::QueryScratch scratch;
   std::vector<int32_t> out;
   size_t i = 0;
   for (auto _ : state) {
     out.clear();
-    tree.CollectOverlapping(probes[i & 511], &out);
+    tree.CollectOverlapping(probes[i & 511], &scratch, &out);
     benchmark::DoNotOptimize(out.data());
     ++i;
   }
@@ -55,16 +83,45 @@ void BM_RTreeDistanceProbe(benchmark::State& state) {
   const auto rects = MakeRects(static_cast<int>(state.range(0)), 4);
   const RTree tree(rects);
   const auto probes = MakeRects(512, 5);
+  RTree::QueryScratch scratch;
   std::vector<int32_t> out;
   size_t i = 0;
   for (auto _ : state) {
     out.clear();
-    tree.CollectWithinDistance(probes[i & 511], 100.0, &out);
+    tree.CollectWithinDistance(probes[i & 511], 100.0, &scratch, &out);
     benchmark::DoNotOptimize(out.data());
     ++i;
   }
 }
 BENCHMARK(BM_RTreeDistanceProbe)->Arg(1000)->Arg(100000);
+
+void BM_RTreeQuery(benchmark::State& state) {
+  // Steady-state allocation check for the scratch probe API: after the
+  // scratch and output buffers reach their high-water mark, a probe must
+  // not touch the heap at all (allocs_per_probe == 0).
+  const auto rects = MakeRects(static_cast<int>(state.range(0)), 8);
+  const RTree tree(rects);
+  const auto probes = MakeRects(512, 9);
+  RTree::QueryScratch scratch;
+  std::vector<int32_t> out;
+  for (size_t i = 0; i < 512; ++i) {  // Warm buffers to high-water mark.
+    out.clear();
+    tree.CollectOverlapping(probes[i], &scratch, &out);
+  }
+  int64_t allocs = 0;
+  size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    const int64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+    tree.CollectOverlapping(probes[i & 511], &scratch, &out);
+    allocs += g_heap_allocs.load(std::memory_order_relaxed) - before;
+    benchmark::DoNotOptimize(out.data());
+    ++i;
+  }
+  state.counters["allocs_per_probe"] = benchmark::Counter(
+      static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_RTreeQuery)->Arg(1000)->Arg(100000);
 
 void BM_PlaneSweepOverlap(benchmark::State& state) {
   const auto a = MakeRects(static_cast<int>(state.range(0)), 6);
@@ -79,9 +136,7 @@ void BM_PlaneSweepOverlap(benchmark::State& state) {
 }
 BENCHMARK(BM_PlaneSweepOverlap)->Arg(1000)->Arg(20000);
 
-void BM_MultiwayLocalJoinChain3(benchmark::State& state) {
-  const Query query = MakeChainQuery(3, Predicate::Overlap()).value();
-  const int n = static_cast<int>(state.range(0));
+std::vector<std::vector<LocalRect>> MakeChainLocals(int n) {
   std::vector<std::vector<LocalRect>> locals;
   for (uint64_t r = 0; r < 3; ++r) {
     const auto rects = MakeRects(n, 10 + r);
@@ -92,6 +147,14 @@ void BM_MultiwayLocalJoinChain3(benchmark::State& state) {
     }
     locals.push_back(std::move(local));
   }
+  return locals;
+}
+
+void BM_MultiwayLocalJoinChain3(benchmark::State& state) {
+  // Build + execute per iteration: what one reducer does for one cell.
+  const Query query = MakeChainQuery(3, Predicate::Overlap()).value();
+  const int n = static_cast<int>(state.range(0));
+  const auto locals = MakeChainLocals(n);
   for (auto _ : state) {
     std::vector<std::span<const LocalRect>> spans;
     for (const auto& l : locals) spans.emplace_back(l.data(), l.size());
@@ -105,6 +168,35 @@ void BM_MultiwayLocalJoinChain3(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 3 * n);
 }
 BENCHMARK(BM_MultiwayLocalJoinChain3)->Arg(1000)->Arg(10000);
+
+void BM_MultiwayLocalJoinExecute(benchmark::State& state) {
+  // Probe-only: the trees are built once, the backtracking search runs per
+  // iteration. Also reports steady-state heap allocations per Execute —
+  // a small constant (the BindScratch vectors), independent of the number
+  // of probes and emitted tuples.
+  const Query query = MakeChainQuery(3, Predicate::Overlap()).value();
+  const int n = static_cast<int>(state.range(0));
+  const auto locals = MakeChainLocals(n);
+  std::vector<std::span<const LocalRect>> spans;
+  for (const auto& l : locals) spans.emplace_back(l.data(), l.size());
+  const MultiwayLocalJoin join(query, std::move(spans));
+  int64_t tuples = 0;
+  join.Execute([&tuples](const std::vector<const LocalRect*>&) { ++tuples; });
+  int64_t allocs = 0;
+  for (auto _ : state) {
+    int64_t count = 0;
+    const int64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+    join.Execute([&count](const std::vector<const LocalRect*>&) { ++count; });
+    allocs += g_heap_allocs.load(std::memory_order_relaxed) - before;
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["allocs_per_exec"] = benchmark::Counter(
+      static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+  state.counters["tuples"] =
+      benchmark::Counter(static_cast<double>(tuples));
+  state.SetItemsProcessed(state.iterations() * 3 * n);
+}
+BENCHMARK(BM_MultiwayLocalJoinExecute)->Arg(1000)->Arg(10000);
 
 }  // namespace
 }  // namespace mwsj

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Builds the micro benchmarks in Release and runs them with JSON output,
+# writing the merged results to BENCH_<date>.json at the repo root.
+#
+# Usage: bench/run_benchmarks.sh [benchmark_filter]
+#
+#   bench/run_benchmarks.sh                 # run everything
+#   bench/run_benchmarks.sh 'BM_Reduce.*'   # only the reduce benches
+#
+# The build directory (build-bench) is kept between runs for fast
+# re-measurement. Compare two JSON files across commits to spot
+# regressions; EXPERIMENTS.md records the interpretation of each bench.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-bench"
+FILTER="${1:-.}"
+BENCHES=(micro_engine micro_localjoin micro_marking micro_geometry
+         micro_transforms)
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j"$(nproc)" --target "${BENCHES[@]}"
+
+OUT="$ROOT/BENCH_$(date +%Y-%m-%d).json"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+for bench in "${BENCHES[@]}"; do
+  echo "== $bench =="
+  "$BUILD/bench/$bench" --benchmark_filter="$FILTER" \
+    --benchmark_format=json > "$TMP/$bench.json"
+done
+
+python3 - "$OUT" "$TMP" <<'EOF'
+import json, pathlib, sys
+out, tmp = sys.argv[1], pathlib.Path(sys.argv[2])
+merged = {}
+for p in sorted(tmp.glob("*.json")):
+    text = p.read_text()
+    if not text.strip():
+        # A filter matching none of this binary's benchmarks yields empty
+        # output (and exit 0) from google-benchmark; skip it.
+        continue
+    merged[p.stem] = json.loads(text)
+pathlib.Path(out).write_text(json.dumps(merged, indent=2) + "\n")
+EOF
+echo "wrote $OUT"

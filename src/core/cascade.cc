@@ -207,15 +207,17 @@ StatusOr<JoinRunResult> CascadeJoin(
       if (local_tuples.empty() || candidates.empty()) return;
       const RTree tree(candidate_rects);
 
+      RTree::QueryScratch scratch;
       std::vector<int32_t> matches;
       for (const CascadeRecord* t : local_tuples) {
         const Rect& anchor_rect =
             t->components[static_cast<size_t>(anchor.bound_position)].rect;
         matches.clear();
         if (anchor_pred.is_overlap()) {
-          tree.CollectOverlapping(anchor_rect, &matches);
+          tree.CollectOverlapping(anchor_rect, &scratch, &matches);
         } else {
-          tree.CollectWithinDistance(anchor_rect, anchor_d, &matches);
+          tree.CollectWithinDistance(anchor_rect, anchor_d, &scratch,
+                                     &matches);
         }
         for (int32_t mi : matches) {
           const CascadeRecord* cand = candidates[static_cast<size_t>(mi)];

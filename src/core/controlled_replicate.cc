@@ -53,6 +53,7 @@ class MarkingOracle {
     crossing_.resize(m);
     foreign_dist_.resize(m);
     trees_.resize(m);
+    candidate_buffers_.resize(m);
     for (size_t r = 0; r < m; ++r) {
       const auto& list = rects_[r];
       crossing_[r].resize(list.size());
@@ -236,13 +237,17 @@ class MarkingOracle {
     };
 
     if (anchor != nullptr) {
-      std::vector<int32_t> candidates;
+      // Per-depth candidate buffer: the recursion below re-enters Bind, so
+      // a single shared list would be clobbered mid-iteration.
+      std::vector<int32_t>& candidates = candidate_buffers_[depth];
+      candidates.clear();
       if (anchor->predicate.is_overlap()) {
-        trees_[static_cast<size_t>(r)]->CollectOverlapping(*anchor_rect,
-                                                           &candidates);
+        trees_[static_cast<size_t>(r)]->CollectOverlapping(
+            *anchor_rect, &rtree_scratch_, &candidates);
       } else {
         trees_[static_cast<size_t>(r)]->CollectWithinDistance(
-            *anchor_rect, anchor->predicate.distance(), &candidates);
+            *anchor_rect, anchor->predicate.distance(), &rtree_scratch_,
+            &candidates);
       }
       for (int32_t i : candidates) {
         if (try_index(static_cast<size_t>(i))) return true;
@@ -267,6 +272,11 @@ class MarkingOracle {
   std::vector<std::vector<double>> foreign_dist_;
   std::vector<std::unique_ptr<RTree>> trees_;
   std::unordered_map<uint32_t, SubsetInfo> subset_cache_;
+  // Probe state reused across every marking decision at this cell. The
+  // traversal stack is shared by all depths (a probe completes before the
+  // recursion descends); candidate lists are per-depth.
+  RTree::QueryScratch rtree_scratch_;
+  std::vector<std::vector<int32_t>> candidate_buffers_;
 };
 
 }  // namespace

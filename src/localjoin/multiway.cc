@@ -14,8 +14,9 @@ MultiwayLocalJoin::MultiwayLocalJoin(
 
   // Plan the binding order greedily: start from the smallest relation,
   // then repeatedly bind the smallest relation connected to the bound set.
-  // The query graph is connected (Query invariant), so this covers all
-  // relations.
+  // Ties break toward the lowest relation index (strict < over ascending
+  // r), keeping the plan platform-deterministic. The query graph is
+  // connected (Query invariant), so this covers all relations.
   std::vector<bool> bound(static_cast<size_t>(m), false);
   int first = 0;
   for (int r = 1; r < m; ++r) {
@@ -70,9 +71,13 @@ MultiwayLocalJoin::MultiwayLocalJoin(
     }
   }
 
-  // Index every relation probed at depth > 0.
+  // Index every relation probed at depth > 0, unless it is small enough
+  // that a linear scan beats building (and probing) a tree.
   for (size_t k = 1; k < order_.size(); ++k) {
     const int r = order_[k];
+    if (relations_[static_cast<size_t>(r)].size() < kLinearScanThreshold) {
+      continue;
+    }
     auto& rects = rects_[static_cast<size_t>(r)];
     rects.reserve(relations_[static_cast<size_t>(r)].size());
     for (const LocalRect& lr : relations_[static_cast<size_t>(r)]) {
@@ -80,59 +85,6 @@ MultiwayLocalJoin::MultiwayLocalJoin(
     }
     trees_[static_cast<size_t>(r)] = std::make_unique<RTree>(rects);
   }
-}
-
-void MultiwayLocalJoin::Bind(size_t depth,
-                             std::vector<const LocalRect*>& assignment,
-                             const EmitFn& emit) const {
-  if (depth == order_.size()) {
-    emit(assignment);
-    return;
-  }
-  const int r = order_[depth];
-  const auto relation = relations_[static_cast<size_t>(r)];
-
-  auto try_candidate = [&](const LocalRect& candidate) {
-    for (int ci : check_conditions_[depth]) {
-      const JoinCondition& c = query_.conditions()[static_cast<size_t>(ci)];
-      const int other = (c.left == r) ? c.right : c.left;
-      const LocalRect* bound_rect = assignment[static_cast<size_t>(other)];
-      if (!c.predicate.Evaluate(candidate.rect, bound_rect->rect)) return;
-    }
-    assignment[static_cast<size_t>(r)] = &candidate;
-    Bind(depth + 1, assignment, emit);
-    assignment[static_cast<size_t>(r)] = nullptr;
-  };
-
-  if (depth == 0) {
-    for (const LocalRect& candidate : relation) try_candidate(candidate);
-    return;
-  }
-
-  const JoinCondition& anchor =
-      query_.conditions()[static_cast<size_t>(anchor_condition_[depth])];
-  const LocalRect* anchor_rect =
-      assignment[static_cast<size_t>(anchor_relation_[depth])];
-  std::vector<int32_t> candidates;
-  const RTree& tree = *trees_[static_cast<size_t>(r)];
-  if (anchor.predicate.is_overlap()) {
-    tree.CollectOverlapping(anchor_rect->rect, &candidates);
-  } else {
-    tree.CollectWithinDistance(anchor_rect->rect, anchor.predicate.distance(),
-                               &candidates);
-  }
-  for (int32_t idx : candidates) {
-    try_candidate(relation[static_cast<size_t>(idx)]);
-  }
-}
-
-void MultiwayLocalJoin::Execute(const EmitFn& emit) const {
-  for (const auto& relation : relations_) {
-    if (relation.empty()) return;  // No full assignment can exist.
-  }
-  std::vector<const LocalRect*> assignment(
-      static_cast<size_t>(query_.num_relations()), nullptr);
-  Bind(0, assignment, emit);
 }
 
 }  // namespace mwsj

@@ -30,6 +30,8 @@ struct LocalRect {
 /// the join graph starting from the smallest relation, probe the next
 /// relation's tree through one connecting condition, and verify the
 /// remaining conditions against already-bound rectangles before recursing.
+/// Relations smaller than kLinearScanThreshold are probed by a linear scan
+/// instead — cheaper than building a tree, and allocation-free.
 class MultiwayLocalJoin {
  public:
   /// `relations[r]` holds the rectangles of query relation r present at
@@ -37,14 +39,106 @@ class MultiwayLocalJoin {
   MultiwayLocalJoin(const Query& query,
                     std::vector<std::span<const LocalRect>> relations);
 
-  /// `emit` receives one pointer per relation (indexed by relation). The
-  /// pointers are only valid during the callback.
+  /// Type-erased emit signature, kept for call sites that store the
+  /// callback; Execute itself is templated so lambdas dispatch statically
+  /// in the recursion (no std::function call per candidate).
   using EmitFn = std::function<void(const std::vector<const LocalRect*>&)>;
-  void Execute(const EmitFn& emit) const;
+
+  /// Runs the join. `emit` receives one pointer per relation (indexed by
+  /// relation); the pointers are only valid during the callback. All
+  /// per-depth buffers live in a scratch owned by this call, so the steady
+  /// state allocates only when a depth's candidate list outgrows its
+  /// previous high-water mark.
+  template <typename Emit>
+  void Execute(const Emit& emit) const {
+    for (const auto& relation : relations_) {
+      if (relation.empty()) return;  // No full assignment can exist.
+    }
+    BindScratch scratch;
+    scratch.assignment.assign(static_cast<size_t>(query_.num_relations()),
+                              nullptr);
+    scratch.candidates.resize(order_.size());
+    Bind(0, scratch, emit);
+  }
+
+  /// The planned binding order (order_[k] is the relation bound at depth
+  /// k): smallest relation first, then greedily the smallest relation
+  /// connected to the bound set, ties broken by lowest relation index so
+  /// the plan is platform-deterministic. Exposed for tests and EXPLAIN.
+  const std::vector<int>& binding_order() const { return order_; }
+
+  /// Relations below this size are probed by linear scan instead of an
+  /// R-tree: build cost exceeds the probe savings, and the scan touches
+  /// one contiguous array.
+  static constexpr size_t kLinearScanThreshold = 8;
 
  private:
-  void Bind(size_t depth, std::vector<const LocalRect*>& assignment,
-            const EmitFn& emit) const;
+  /// Reusable per-Execute buffers: the assignment under construction, one
+  /// candidate list per depth (a single shared list would be clobbered by
+  /// the recursion), and the R-tree traversal stack (probes complete
+  /// before recursing, so one stack serves all depths).
+  struct BindScratch {
+    std::vector<const LocalRect*> assignment;
+    std::vector<std::vector<int32_t>> candidates;
+    RTree::QueryScratch rtree;
+  };
+
+  template <typename Emit>
+  void Bind(size_t depth, BindScratch& scratch, const Emit& emit) const {
+    if (depth == order_.size()) {
+      emit(scratch.assignment);
+      return;
+    }
+    const int r = order_[depth];
+    const auto relation = relations_[static_cast<size_t>(r)];
+
+    auto try_candidate = [&](const LocalRect& candidate) {
+      for (int ci : check_conditions_[depth]) {
+        const JoinCondition& c = query_.conditions()[static_cast<size_t>(ci)];
+        const int other = (c.left == r) ? c.right : c.left;
+        const LocalRect* bound_rect =
+            scratch.assignment[static_cast<size_t>(other)];
+        if (!c.predicate.Evaluate(candidate.rect, bound_rect->rect)) return;
+      }
+      scratch.assignment[static_cast<size_t>(r)] = &candidate;
+      Bind(depth + 1, scratch, emit);
+      scratch.assignment[static_cast<size_t>(r)] = nullptr;
+    };
+
+    if (depth == 0) {
+      for (const LocalRect& candidate : relation) try_candidate(candidate);
+      return;
+    }
+
+    const JoinCondition& anchor =
+        query_.conditions()[static_cast<size_t>(anchor_condition_[depth])];
+    const LocalRect* anchor_rect =
+        scratch.assignment[static_cast<size_t>(anchor_relation_[depth])];
+    const RTree* tree = trees_[static_cast<size_t>(r)].get();
+    if (tree == nullptr) {
+      // Small relation: no tree was built; test the anchor condition
+      // directly against each rectangle.
+      for (const LocalRect& candidate : relation) {
+        if (!anchor.predicate.Evaluate(candidate.rect, anchor_rect->rect)) {
+          continue;
+        }
+        try_candidate(candidate);
+      }
+      return;
+    }
+    std::vector<int32_t>& candidates = scratch.candidates[depth];
+    candidates.clear();
+    if (anchor.predicate.is_overlap()) {
+      tree->CollectOverlapping(anchor_rect->rect, &scratch.rtree, &candidates);
+    } else {
+      tree->CollectWithinDistance(anchor_rect->rect,
+                                  anchor.predicate.distance(), &scratch.rtree,
+                                  &candidates);
+    }
+    for (int32_t idx : candidates) {
+      try_candidate(relation[static_cast<size_t>(idx)]);
+    }
+  }
 
   const Query& query_;
   std::vector<std::span<const LocalRect>> relations_;

@@ -37,14 +37,21 @@ void StrSort(const std::vector<Rect>& rects, std::vector<int32_t>* ids,
 }  // namespace
 
 RTree::RTree(const std::vector<Rect>& rects, int leaf_capacity)
-    : rects_(rects) {
-  const size_t n = rects_.size();
+    : size_(rects.size()) {
+  const size_t n = rects.size();
   if (n == 0) return;
   const int cap = std::max(2, leaf_capacity);
 
   entries_.resize(n);
   for (size_t i = 0; i < n; ++i) entries_[i] = static_cast<int32_t>(i);
-  StrSort(rects_, &entries_, cap);
+  StrSort(rects, &entries_, cap);
+
+  // Leaf scans read MBRs in leaf order; materialize them contiguously so
+  // a probe is a linear pass with no entries_[i] -> rects[entry] chase.
+  leaf_rects_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    leaf_rects_.push_back(rects[static_cast<size_t>(entries_[i])]);
+  }
 
   // Level 0: leaves over contiguous entry groups.
   std::vector<std::vector<Node>> levels;
@@ -55,9 +62,9 @@ RTree::RTree(const std::vector<Rect>& rects, int leaf_capacity)
     leaf.is_leaf = true;
     leaf.child_begin = static_cast<int32_t>(lo);
     leaf.child_end = static_cast<int32_t>(hi);
-    leaf.mbr = rects_[static_cast<size_t>(entries_[lo])];
+    leaf.mbr = leaf_rects_[lo];
     for (size_t i = lo + 1; i < hi; ++i) {
-      leaf.mbr = Rect::Union(leaf.mbr, rects_[static_cast<size_t>(entries_[i])]);
+      leaf.mbr = Rect::Union(leaf.mbr, leaf_rects_[i]);
     }
     levels.back().push_back(leaf);
   }
@@ -117,9 +124,12 @@ RTree::RTree(const std::vector<Rect>& rects, int leaf_capacity)
 }
 
 template <typename Visit>
-void RTree::Query(const Rect& probe, double d, const Visit& visit) const {
+void RTree::Query(const Rect& probe, double d, QueryScratch* scratch,
+                  const Visit& visit) const {
   if (nodes_.empty()) return;
-  std::vector<int32_t> stack = {0};
+  std::vector<int32_t>& stack = scratch->stack;
+  stack.clear();
+  stack.push_back(0);
   while (!stack.empty()) {
     const Node& node = nodes_[static_cast<size_t>(stack.back())];
     stack.pop_back();
@@ -128,11 +138,10 @@ void RTree::Query(const Rect& probe, double d, const Visit& visit) const {
     if (!hit) continue;
     if (node.is_leaf) {
       for (int32_t i = node.child_begin; i < node.child_end; ++i) {
-        const int32_t entry = entries_[static_cast<size_t>(i)];
-        const Rect& r = rects_[static_cast<size_t>(entry)];
+        const Rect& r = leaf_rects_[static_cast<size_t>(i)];
         const bool match =
             (d < 0) ? Overlaps(r, probe) : MinDistance(r, probe) <= d;
-        if (match) visit(entry);
+        if (match) visit(entries_[static_cast<size_t>(i)]);
       }
     } else {
       for (int32_t c = node.child_begin; c < node.child_end; ++c) {
@@ -142,14 +151,27 @@ void RTree::Query(const Rect& probe, double d, const Visit& visit) const {
   }
 }
 
+void RTree::CollectOverlapping(const Rect& query, QueryScratch* scratch,
+                               std::vector<int32_t>* out) const {
+  Query(query, -1.0, scratch, [out](int32_t i) { out->push_back(i); });
+}
+
+void RTree::CollectWithinDistance(const Rect& query, double d,
+                                  QueryScratch* scratch,
+                                  std::vector<int32_t>* out) const {
+  Query(query, d, scratch, [out](int32_t i) { out->push_back(i); });
+}
+
 void RTree::CollectOverlapping(const Rect& query,
                                std::vector<int32_t>* out) const {
-  Query(query, -1.0, [out](int32_t i) { out->push_back(i); });
+  QueryScratch scratch;
+  CollectOverlapping(query, &scratch, out);
 }
 
 void RTree::CollectWithinDistance(const Rect& query, double d,
                                   std::vector<int32_t>* out) const {
-  Query(query, d, [out](int32_t i) { out->push_back(i); });
+  QueryScratch scratch;
+  CollectWithinDistance(query, d, &scratch, out);
 }
 
 }  // namespace mwsj

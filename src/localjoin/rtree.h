@@ -14,39 +14,63 @@ namespace mwsj {
 /// join; entries are identified by their index in the input vector.
 ///
 /// The tree is immutable after construction — reducers build, probe, and
-/// discard, so no insert/delete machinery is carried.
+/// discard, so no insert/delete machinery is carried. Leaf entry MBRs are
+/// stored contiguously in leaf order, so a leaf scan is a linear pass over
+/// one rectangle array instead of an index chase per entry.
 class RTree {
  public:
+  /// Reusable traversal state for probe calls. Callers on a hot path own
+  /// one scratch and thread it through every probe, so the steady state
+  /// performs no heap allocation per query; one scratch may be reused
+  /// across probes and across trees, but not concurrently from several
+  /// threads.
+  struct QueryScratch {
+    std::vector<int32_t> stack;
+  };
+
   /// Builds the tree over `rects` (indices into this vector are the probe
-  /// results). An empty input yields an empty tree.
+  /// results). An empty input yields an empty tree. The input vector is
+  /// only read during construction.
   explicit RTree(const std::vector<Rect>& rects, int leaf_capacity = 16);
 
-  /// Appends to `*out` the indices of all rectangles overlapping `query`.
-  void CollectOverlapping(const Rect& query, std::vector<int32_t>* out) const;
+  /// Appends to `*out` the indices of all rectangles overlapping `query`,
+  /// using `*scratch` for the traversal stack.
+  void CollectOverlapping(const Rect& query, QueryScratch* scratch,
+                          std::vector<int32_t>* out) const;
 
   /// Appends to `*out` the indices of all rectangles within Euclidean
-  /// distance `d` of `query`.
+  /// distance `d` of `query`, using `*scratch` for the traversal stack.
+  void CollectWithinDistance(const Rect& query, double d,
+                             QueryScratch* scratch,
+                             std::vector<int32_t>* out) const;
+
+  /// Convenience overloads for one-shot callers; each call allocates a
+  /// local traversal stack. Hot paths should hold a QueryScratch instead.
+  void CollectOverlapping(const Rect& query, std::vector<int32_t>* out) const;
   void CollectWithinDistance(const Rect& query, double d,
                              std::vector<int32_t>* out) const;
 
-  size_t size() const { return rects_.size(); }
+  size_t size() const { return size_; }
 
  private:
   struct Node {
     Rect mbr;
     // Children are nodes_[child_begin, child_end) for internal nodes, or
-    // entry indices entries_[child_begin, child_end) for leaves.
+    // leaf slots [child_begin, child_end) — indexing both entries_ and
+    // leaf_rects_ — for leaves.
     int32_t child_begin = 0;
     int32_t child_end = 0;
     bool is_leaf = true;
   };
 
   template <typename Visit>
-  void Query(const Rect& probe, double d, const Visit& visit) const;
+  void Query(const Rect& probe, double d, QueryScratch* scratch,
+             const Visit& visit) const;
 
-  std::vector<Rect> rects_;     // Copies of the input, index-aligned.
+  size_t size_ = 0;
   std::vector<int32_t> entries_;  // Leaf entry indices, grouped per leaf.
-  std::vector<Node> nodes_;     // nodes_[0] is the root (when non-empty).
+  std::vector<Rect> leaf_rects_;  // entries_[i]'s MBR, index-aligned.
+  std::vector<Node> nodes_;       // nodes_[0] is the root (when non-empty).
 };
 
 }  // namespace mwsj

@@ -120,6 +120,10 @@ class MapReduceJob {
   };
 
   using MapFn = std::function<void(const In&, Emitter&)>;
+  /// One call per key group, in key order; values arrive in arrival
+  /// (chunk-major emit) order. The span points directly into the reducer's
+  /// sorted value array — it is valid only for the duration of the call,
+  /// and the reduce function must not retain it.
   using ReduceFn = std::function<void(const K&, std::span<const V>, OutEmitter&)>;
 
   MapReduceJob(std::string name, int num_reducers)
@@ -293,8 +297,15 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
   // column in chunk order — byte-for-byte the order the former serial
   // routing loop produced — merged in parallel across reducers (distinct
   // reducers move disjoint shard slices, so no synchronization is needed).
+  // The inbox is structure-of-arrays: the reduce group-by sorts a compact
+  // index permutation over keys[] and hands reduce_ spans directly into a
+  // value array, never touching key-value pairs again.
   phase_watch.Reset();
-  std::vector<std::vector<std::pair<K, V>>> inbox(num_reducers);
+  struct ReducerInbox {
+    std::vector<K> keys;
+    std::vector<V> values;  // Index-aligned with keys.
+  };
+  std::vector<ReducerInbox> inbox(num_reducers);
   auto merge_reducer = [&](size_t r) {
     TraceSpan merge_span(tracer, "shuffle_merge", "task");
     size_t total = 0;
@@ -302,16 +313,14 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
       total += shards[c].offsets[r + 1] - shards[c].offsets[r];
     }
     auto& in = inbox[r];
-    in.reserve(total);
+    in.keys.reserve(total);
+    in.values.reserve(total);
     for (size_t c = 0; c < num_chunks; ++c) {
       MapShard& shard = shards[c];
-      in.insert(in.end(),
-                std::make_move_iterator(shard.pairs.begin() +
-                                        static_cast<ptrdiff_t>(
-                                            shard.offsets[r])),
-                std::make_move_iterator(shard.pairs.begin() +
-                                        static_cast<ptrdiff_t>(
-                                            shard.offsets[r + 1])));
+      for (size_t i = shard.offsets[r]; i < shard.offsets[r + 1]; ++i) {
+        in.keys.push_back(std::move(shard.pairs[i].first));
+        in.values.push_back(std::move(shard.pairs[i].second));
+      }
     }
     merge_span.AddArg("reducer", static_cast<int64_t>(r));
     merge_span.AddArg("records", static_cast<int64_t>(total));
@@ -329,7 +338,7 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
 
   stats.per_reducer_records.resize(num_reducers);
   for (size_t r = 0; r < num_reducers; ++r) {
-    stats.per_reducer_records[r] = static_cast<int64_t>(inbox[r].size());
+    stats.per_reducer_records[r] = static_cast<int64_t>(inbox[r].keys.size());
   }
   stats.shuffle_seconds = phase_watch.ElapsedSeconds();
 
@@ -341,31 +350,55 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
   auto run_reducer = [&](size_t r) {
     TraceSpan reduce_span(tracer, "reduce_task", "task");
     reduce_span.AddArg("reducer", static_cast<int64_t>(r));
-    reduce_span.AddArg("records", static_cast<int64_t>(inbox[r].size()));
+    reduce_span.AddArg("records", static_cast<int64_t>(inbox[r].keys.size()));
     Stopwatch reducer_watch;
-    auto& pairs = inbox[r];
-    // Stable sort keeps same-key values in arrival (chunk) order, matching
-    // Hadoop's merge of mapper spills.
-    std::stable_sort(pairs.begin(), pairs.end(),
-                     [](const auto& a, const auto& b) {
-                       return a.first < b.first;
-                     });
+    ReducerInbox& in = inbox[r];
+    const size_t n = in.keys.size();
     OutEmitter out_emitter(&reducer_out[r]);
-    size_t i = 0;
-    std::vector<V> values;
-    while (i < pairs.size()) {
-      size_t j = i;
-      values.clear();
-      while (j < pairs.size() && !(pairs[i].first < pairs[j].first) &&
-             !(pairs[j].first < pairs[i].first)) {
-        values.push_back(std::move(pairs[j].second));
-        ++j;
+    // Groups [i, j) of a key-sorted key array, handing reduce_ a span
+    // directly into the matching value array — no per-group scratch copy.
+    // The spans are only valid during the reduce_ call.
+    auto reduce_runs = [&](const K* keys, const V* values) {
+      size_t i = 0;
+      while (i < n) {
+        const K& key = keys[i];
+        size_t j = i + 1;
+        while (j < n && !(key < keys[j]) && !(keys[j] < key)) ++j;
+        reduce_(key, std::span<const V>(values + i, j - i), out_emitter);
+        i = j;
       }
-      reduce_(pairs[i].first, std::span<const V>(values), out_emitter);
-      i = j;
+    };
+    if (std::is_sorted(in.keys.begin(), in.keys.end())) {
+      // Fast path: arrival order is already key-sorted — always true for
+      // the spatial algorithms' identity partitioner, where a reducer
+      // holds exactly one key (its cell). Reduce directly over the inbox:
+      // zero sorts, zero moves.
+      reduce_runs(in.keys.data(), in.values.data());
+    } else {
+      // Stable index sort by key keeps same-key values in arrival (chunk)
+      // order, matching Hadoop's merge of mapper spills — it yields
+      // exactly the permutation a stable sort of (key, value) pairs
+      // would, while moving 4-byte indices instead of whole pairs. The
+      // permutation is applied once (one move per value), making same-key
+      // values one contiguous run.
+      std::vector<uint32_t> idx(n);
+      for (size_t i = 0; i < n; ++i) idx[i] = static_cast<uint32_t>(i);
+      std::stable_sort(idx.begin(), idx.end(),
+                       [&in](uint32_t a, uint32_t b) {
+                         return in.keys[a] < in.keys[b];
+                       });
+      std::vector<K> sorted_keys;
+      std::vector<V> sorted_values;
+      sorted_keys.reserve(n);
+      sorted_values.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        sorted_keys.push_back(std::move(in.keys[idx[i]]));
+        sorted_values.push_back(std::move(in.values[idx[i]]));
+      }
+      reduce_runs(sorted_keys.data(), sorted_values.data());
     }
-    pairs.clear();
-    pairs.shrink_to_fit();
+    std::vector<K>().swap(in.keys);  // Release inbox memory eagerly.
+    std::vector<V>().swap(in.values);
     stats.per_reducer_seconds[r] = reducer_watch.ElapsedSeconds();
   };
   {

@@ -68,10 +68,11 @@ StatusOr<ContainmentResult> ContainmentJoin(const GridPartition& grid,
     }
     if (cell_points.empty() || cell_rects.empty()) return;
     const RTree tree(cell_rects);
+    RTree::QueryScratch scratch;
     std::vector<int32_t> hits;
     for (const Item* p : cell_points) {
       hits.clear();
-      tree.CollectOverlapping(p->rect, &hits);
+      tree.CollectOverlapping(p->rect, &scratch, &hits);
       for (int32_t h : hits) {
         out.Emit({p->id, rect_ids[static_cast<size_t>(h)]});
       }

@@ -144,13 +144,14 @@ StatusOr<KnnResult> KnnJoin(const GridPartition& grid,
     }
     if (cell_points.empty() || cell_rects.empty()) return;
     const RTree tree(cell_rects);
+    RTree::QueryScratch scratch;
     std::vector<int32_t> hits;
     for (const Item* p : cell_points) {
       hits.clear();
       if (std::isinf(p->radius)) {
-        tree.CollectWithinDistance(p->rect, kUnbounded, &hits);
+        tree.CollectWithinDistance(p->rect, kUnbounded, &scratch, &hits);
       } else {
-        tree.CollectWithinDistance(p->rect, p->radius, &hits);
+        tree.CollectWithinDistance(p->rect, p->radius, &scratch, &hits);
       }
       for (int32_t h : hits) {
         const Rect& r = cell_rects[static_cast<size_t>(h)];

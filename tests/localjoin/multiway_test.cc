@@ -76,6 +76,67 @@ TEST(MultiwayLocalJoinEdge, ChainBindsThroughSmallestRelationFirst) {
   EXPECT_EQ(RunLocalJoin(query, data), BruteForceJoin(query, data));
 }
 
+TEST(MultiwayLocalJoinProperty, MatchesBruteForceOnRandomWorlds) {
+  // ~100 seeded random (query, dataset) pairs across every shape and
+  // predicate mix, with relation sizes straddling the linear-scan
+  // threshold so both the R-tree and scan probe paths are exercised.
+  using testing::PredicateMix;
+  using testing::QueryShape;
+  const QueryShape shapes[] = {QueryShape::kChain3, QueryShape::kChain4,
+                               QueryShape::kStar4, QueryShape::kCycle3};
+  const PredicateMix mixes[] = {PredicateMix::kOverlapOnly,
+                                PredicateMix::kRangeOnly,
+                                PredicateMix::kHybrid};
+  for (int trial = 0; trial < 100; ++trial) {
+    testing::WorldConfig config;
+    config.shape = shapes[trial % 4];
+    config.mix = mixes[trial % 3];
+    config.seed = 5000 + static_cast<uint64_t>(trial) * 13;
+    config.max_rects_per_relation = 2 + (trial * 7) % 40;
+    config.integer_coords = (trial % 5 == 0);
+    const Query query = testing::MakeWorldQuery(config);
+    const auto data = testing::MakeWorldData(config, query.num_relations());
+    EXPECT_EQ(RunLocalJoin(query, data), BruteForceJoin(query, data))
+        << "trial " << trial;
+  }
+}
+
+TEST(MultiwayLocalJoinPlan, EqualSizeCliqueOrderIsIndexTieBroken) {
+  // On a 3-clique with equal-size relations every greedy step ties on
+  // size; the plan must break ties by relation index so order_ is
+  // platform-deterministic.
+  QueryBuilder b;
+  const int r1 = b.AddRelation("R1");
+  const int r2 = b.AddRelation("R2");
+  const int r3 = b.AddRelation("R3");
+  b.AddOverlap(r1, r2).AddOverlap(r2, r3).AddOverlap(r3, r1);
+  const Query query = b.Build().value();
+
+  std::vector<std::vector<LocalRect>> local(3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (int i = 0; i < 10; ++i) {
+      local[r].push_back(LocalRect{
+          Rect::FromXYLB(static_cast<double>(i), 1, 1, 1), i});
+    }
+  }
+  std::vector<std::span<const LocalRect>> spans;
+  for (const auto& rel : local) spans.emplace_back(rel.data(), rel.size());
+  const MultiwayLocalJoin join(query, std::move(spans));
+  EXPECT_EQ(join.binding_order(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(MultiwayLocalJoinEdge, RelationsBelowScanThresholdMatchBruteForce) {
+  // Every relation below kLinearScanThreshold: no R-tree is built and all
+  // probes take the linear-scan path.
+  testing::WorldConfig config;
+  config.seed = 123;
+  config.max_rects_per_relation =
+      static_cast<int>(MultiwayLocalJoin::kLinearScanThreshold) - 1;
+  const Query query = testing::MakeWorldQuery(config);
+  const auto data = testing::MakeWorldData(config, query.num_relations());
+  EXPECT_EQ(RunLocalJoin(query, data), BruteForceJoin(query, data));
+}
+
 TEST(BruteForceTest, TinyHandComputedCase) {
   const Query q = MakeChainQuery(3, Predicate::Overlap()).value();
   const std::vector<std::vector<Rect>> data = {

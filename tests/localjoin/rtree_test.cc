@@ -91,6 +91,92 @@ TEST_P(RTreeRandomTest, DistanceProbesMatchLinearScan) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RTreeRandomTest, ::testing::Range(0, 6));
 
+TEST(RTreeScratchTest, EmptyTreeWithScratchReturnsNothing) {
+  const RTree tree(std::vector<Rect>{});
+  RTree::QueryScratch scratch;
+  std::vector<int32_t> out;
+  tree.CollectOverlapping(Rect(0, 0, 100, 100), &scratch, &out);
+  EXPECT_TRUE(out.empty());
+  tree.CollectWithinDistance(Rect(0, 0, 100, 100), 5.0, &scratch, &out);
+  EXPECT_TRUE(out.empty());
+  // The empty early-out must not grow the scratch stack.
+  EXPECT_TRUE(scratch.stack.empty());
+}
+
+TEST(RTreeScratchTest, SingleRectTree) {
+  const std::vector<Rect> rects = {Rect::FromXYLB(5, 10, 2, 2)};
+  const RTree tree(rects);
+  RTree::QueryScratch scratch;
+  std::vector<int32_t> out;
+  tree.CollectOverlapping(Rect::FromXYLB(6, 9, 2, 2), &scratch, &out);
+  EXPECT_EQ(out, (std::vector<int32_t>{0}));
+  out.clear();
+  tree.CollectOverlapping(Rect::FromXYLB(50, 50, 1, 1), &scratch, &out);
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  tree.CollectWithinDistance(Rect::FromXYLB(10, 9, 1, 1), 3.0, &scratch, &out);
+  EXPECT_EQ(out, (std::vector<int32_t>{0}));
+  out.clear();
+  tree.CollectWithinDistance(Rect::FromXYLB(10, 9, 1, 1), 2.9, &scratch, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RTreeScratchTest, ScratchReusableAcrossProbesAndTrees) {
+  const std::vector<Rect> rects_a = RandomRects(200, 11);
+  const std::vector<Rect> rects_b = RandomRects(150, 12);
+  const RTree tree_a(rects_a, /*leaf_capacity=*/8);
+  const RTree tree_b(rects_b, /*leaf_capacity=*/4);
+  RTree::QueryScratch scratch;
+  Rng rng(99);
+  for (int probe = 0; probe < 40; ++probe) {
+    const Rect q = Rect::FromXYLB(rng.Uniform(0, 90), rng.Uniform(10, 100),
+                                  rng.Uniform(0, 15), rng.Uniform(0, 15));
+    const RTree& tree = (probe % 2 == 0) ? tree_a : tree_b;
+    const std::vector<Rect>& rects = (probe % 2 == 0) ? rects_a : rects_b;
+    std::vector<int32_t> got;
+    tree.CollectOverlapping(q, &scratch, &got);
+    std::vector<int32_t> want;
+    for (size_t i = 0; i < rects.size(); ++i) {
+      if (Overlaps(rects[i], q)) want.push_back(static_cast<int32_t>(i));
+    }
+    EXPECT_EQ(Sorted(got), want) << "probe " << probe;
+  }
+}
+
+TEST(RTreeScratchTest, DistanceZeroMatchesTouchingRectangles) {
+  // d = 0 range queries degenerate to "MinDistance == 0": overlapping or
+  // exactly touching rectangles qualify, disjoint ones do not.
+  const std::vector<Rect> rects = {
+      Rect(0, 0, 2, 2),    // Overlaps the probe.
+      Rect(3, 0, 5, 2),    // Touches the probe's right edge.
+      Rect(3, 3, 5, 5),    // Touches the probe's corner.
+      Rect(3.1, 0, 5, 2),  // Disjoint by 0.1.
+  };
+  const RTree tree(rects, /*leaf_capacity=*/2);
+  const Rect probe(1, 0, 3, 3);
+  RTree::QueryScratch scratch;
+  std::vector<int32_t> out;
+  tree.CollectWithinDistance(probe, 0.0, &scratch, &out);
+  EXPECT_EQ(Sorted(out), (std::vector<int32_t>{0, 1, 2}));
+  // A random set, cross-checked against a linear scan at d = 0.
+  const std::vector<Rect> random = RandomRects(300, 21);
+  const RTree random_tree(random, /*leaf_capacity=*/8);
+  Rng rng(22);
+  for (int probe_i = 0; probe_i < 30; ++probe_i) {
+    const Rect q = Rect::FromXYLB(rng.Uniform(0, 90), rng.Uniform(10, 100),
+                                  rng.Uniform(0, 20), rng.Uniform(0, 20));
+    std::vector<int32_t> got;
+    random_tree.CollectWithinDistance(q, 0.0, &scratch, &got);
+    std::vector<int32_t> want;
+    for (size_t i = 0; i < random.size(); ++i) {
+      if (WithinDistance(random[i], q, 0.0)) {
+        want.push_back(static_cast<int32_t>(i));
+      }
+    }
+    EXPECT_EQ(Sorted(got), want) << "probe " << probe_i;
+  }
+}
+
 TEST(RTreeTest, HandlesManyIdenticalRectangles) {
   const std::vector<Rect> rects(100, Rect::FromXYLB(5, 5, 1, 1));
   const RTree tree(rects);

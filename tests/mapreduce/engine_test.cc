@@ -164,6 +164,78 @@ TEST(EngineTest, StringOutputsByteIdenticalSerialVsPool) {
   }
 }
 
+TEST(EngineTest, GroupByMatchesPairSortGolden) {
+  // Golden comparison for the SoA reduce path: the engine's contract is
+  // that each reducer stable-sorts its arrival-ordered pairs by key and
+  // reduces each group in key order. Simulate exactly that with an
+  // independent pair-based reference and require byte-for-byte identical
+  // output, with and without a thread pool.
+  std::vector<int> input;
+  for (int i = 0; i < 3000; ++i) input.push_back(i * 31 % 257);
+  const int num_reducers = 8;
+
+  auto key_of = [](int v) { return "k" + std::to_string(v % 53); };
+  auto value_of = [](int v) { return "v" + std::to_string(v); };
+  auto partition_of = [](const std::string& k) {
+    return static_cast<int>(std::hash<std::string>{}(k) % 8);
+  };
+  auto render = [](const std::string& k,
+                   std::span<const std::string> vals) {
+    std::string s = k + "=";
+    for (const std::string& v : vals) s += v + ";";
+    return s;
+  };
+
+  // Reference: arrival order is input order (one emit per record), split
+  // by reducer, stable-sorted by key as (key, value) pairs — the pre-SoA
+  // group-by — then rendered group by group in reducer-major order.
+  std::vector<std::string> golden;
+  for (int r = 0; r < num_reducers; ++r) {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (int v : input) {
+      const std::string k = key_of(v);
+      if (partition_of(k) == r) pairs.emplace_back(k, value_of(v));
+    }
+    std::stable_sort(pairs.begin(), pairs.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    size_t i = 0;
+    while (i < pairs.size()) {
+      size_t j = i;
+      std::vector<std::string> vals;
+      while (j < pairs.size() && pairs[j].first == pairs[i].first) {
+        vals.push_back(pairs[j].second);
+        ++j;
+      }
+      golden.push_back(
+          render(pairs[i].first, std::span<const std::string>(vals)));
+      i = j;
+    }
+  }
+
+  auto run = [&](ThreadPool* pool) {
+    using StrJob = MapReduceJob<int, std::string, std::string, std::string>;
+    StrJob job("golden_group_by", num_reducers);
+    job.set_partition(partition_of);
+    job.set_map([&](const int& v, StrJob::Emitter& emit) {
+      emit.Emit(key_of(v), value_of(v));
+    });
+    job.set_reduce([&](const std::string& k,
+                       std::span<const std::string> vals,
+                       StrJob::OutEmitter& out) {
+      out.Emit(render(k, vals));
+    });
+    std::vector<std::string> output;
+    job.Run(std::span<const int>(input), &output, pool);
+    return output;
+  };
+
+  EXPECT_EQ(run(nullptr), golden);
+  ThreadPool pool(4);
+  EXPECT_EQ(run(&pool), golden);
+}
+
 TEST(EngineTest, PhaseTimingsArePopulated) {
   std::vector<int> input;
   for (int i = 0; i < 1000; ++i) input.push_back(i);
