@@ -8,6 +8,7 @@
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "mapreduce/engine.h"
+#include "mapreduce/fault.h"
 
 namespace mwsj {
 namespace {
@@ -223,6 +224,67 @@ void BM_ReduceGroupBySingleKey(benchmark::State& state) {
 }
 BENCHMARK(BM_ReduceGroupBySingleKey)
     ->UseManualTime()->Unit(benchmark::kMillisecond);
+
+void BM_EngineFaultRecovery(benchmark::State& state) {
+  // Retry amplification of the fault-injection layer on the shuffle-heavy
+  // workload. Arg encodes the fault regime:
+  //   0 = no plan attached (the pre-fault engine path),
+  //   1 = zero-probability plan (empty; must be within noise of 0),
+  //   2 = light faults (~6% of attempts),
+  //   3 = heavy faults (~30% of attempts).
+  // Backoff runs on a virtual clock so the benchmark measures re-executed
+  // work, not sleeps. Counters report the attempt/waste amplification.
+  const int regime = static_cast<int>(state.range(0));
+  FaultPlan plan;
+  switch (regime) {
+    case 1: plan = FaultPlan::Seeded(11, 0.0, 0.0, 0.0); break;
+    case 2: plan = FaultPlan::Seeded(11, 0.02, 0.02, 0.02); break;
+    case 3: plan = FaultPlan::Seeded(11, 0.12, 0.12, 0.06); break;
+    default: break;
+  }
+  RetryPolicy retry;
+  retry.sleep = [](double) {};
+  ExecutionContext ctx;
+  if (regime > 0) ctx.faults = &plan;
+  ctx.retry = &retry;
+
+  std::vector<int64_t> input(100'000);
+  for (size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<int64_t>(i);
+  }
+  int64_t attempts = 0, tasks = 0, wasted = 0;
+  for (auto _ : state) {
+    IntJob job("fault_recovery", 64);
+    job.set_partition([](const int32_t& k) { return k & 63; });
+    job.set_map([](const int64_t& v, IntJob::Emitter& emit) {
+      for (int f = 0; f < 16; ++f) {
+        emit.Emit(static_cast<int32_t>((v + f * 4) & 63), v);
+      }
+    });
+    job.set_reduce([](const int32_t&, std::span<const int64_t> vals,
+                      IntJob::OutEmitter& out) {
+      out.Emit(static_cast<int64_t>(vals.size()));
+    });
+    std::vector<int64_t> output;
+    const JobStats stats =
+        job.Run(std::span<const int64_t>(input), &output, ctx);
+    benchmark::DoNotOptimize(stats.intermediate_records);
+    attempts += stats.map_faults.attempts + stats.reduce_faults.attempts;
+    tasks += stats.map_faults.tasks + stats.reduce_faults.tasks;
+    wasted +=
+        stats.map_faults.wasted_records + stats.reduce_faults.wasted_records;
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000 * 16);
+  state.counters["attempts_per_task"] =
+      tasks > 0 ? static_cast<double>(attempts) / static_cast<double>(tasks)
+                : 0.0;
+  state.counters["wasted_records_per_iter"] =
+      state.iterations() > 0
+          ? static_cast<double>(wasted) / static_cast<double>(state.iterations())
+          : 0.0;
+}
+BENCHMARK(BM_EngineFaultRecovery)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GroupingManyKeys(benchmark::State& state) {
   // Many distinct keys per reducer stress the sort-and-group phase.

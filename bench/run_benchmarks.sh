@@ -6,6 +6,10 @@
 #
 #   bench/run_benchmarks.sh                 # run everything
 #   bench/run_benchmarks.sh 'BM_Reduce.*'   # only the reduce benches
+#   bench/run_benchmarks.sh 'BM_EngineFaultRecovery.*'
+#                                           # retry amplification under
+#                                           # seeded fault plans (regimes:
+#                                           # no plan / empty / light / heavy)
 #
 # The build directory (build-bench) is kept between runs for fast
 # re-measurement. Compare two JSON files across commits to spot

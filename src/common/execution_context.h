@@ -5,6 +5,9 @@
 
 namespace mwsj {
 
+class Dfs;
+class FaultPlan;
+struct RetryPolicy;
 class ThreadPool;
 class Tracer;
 
@@ -17,7 +20,14 @@ class Tracer;
 ///   * `tracer` — optional span tracer (common/trace.h); null disables
 ///                instrumentation at a single pointer test per span;
 ///   * `label`  — run-scoped metadata attached to top-level trace spans
-///                (e.g. the algorithm name or a tool-run identifier).
+///                (e.g. the algorithm name or a tool-run identifier);
+///   * `faults` — optional fault-injection plan (mapreduce/fault.h); null
+///                (or an empty plan) runs every task attempt fault-free;
+///   * `retry`  — retry/backoff/straggler policy consulted only when an
+///                attempt faults; null uses the engine's built-in default;
+///   * `dfs`    — optional distributed-file-system model; when set, each
+///                job commits its reduce output as `<job>/part-<r>` files
+///                through attempt-scoped staging.
 ///
 /// The context is a cheap value type holding non-owning pointers; the
 /// caller keeps pool and tracer alive for the duration of the run.
@@ -25,6 +35,9 @@ struct ExecutionContext {
   ThreadPool* pool = nullptr;
   Tracer* tracer = nullptr;
   std::string label;
+  const FaultPlan* faults = nullptr;
+  const RetryPolicy* retry = nullptr;
+  Dfs* dfs = nullptr;
 
   ExecutionContext() = default;
   /// Explicit so a raw `ThreadPool*` (or nullptr) passed to a function

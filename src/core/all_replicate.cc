@@ -1,7 +1,5 @@
 #include "core/all_replicate.h"
 
-#include <atomic>
-
 #include "common/trace.h"
 #include "core/dedup.h"
 #include "grid/transform.h"
@@ -42,8 +40,7 @@ StatusOr<JoinRunResult> AllReplicateJoin(
   });
 
   const int m = query.num_relations();
-  std::atomic<int64_t> counted{0};
-  job.set_reduce([&grid, &query, m, count_only, &counted, tracer](
+  job.set_reduce([&grid, &query, m, count_only, tracer](
                      const CellId& cell, std::span<const RelRect> values,
                      Job::OutEmitter& out) {
     TraceSpan local_span(tracer, "local_join", "task");
@@ -69,7 +66,9 @@ StatusOr<JoinRunResult> AllReplicateJoin(
       }
       if (!OwnsTuple(grid, cell, member_rects)) return;
       if (count_only) {
-        counted.fetch_add(1, std::memory_order_relaxed);
+        // Attempt-scoped counter (not a captured atomic): a reduce attempt
+        // re-executed under fault injection must not double-count.
+        out.IncrementCounter(kCounterTuplesCounted, 1);
         return;
       }
       IdTuple ids(static_cast<size_t>(m));
@@ -99,8 +98,9 @@ StatusOr<JoinRunResult> AllReplicateJoin(
   stats.user_counters[kCounterRectanglesAfterReplication] =
       stats.intermediate_records;
   stats.user_counters[kCounterReplicationCopies] = stats.intermediate_records;
-  result.num_tuples = count_only ? counted.load(std::memory_order_relaxed)
-                                 : static_cast<int64_t>(result.tuples.size());
+  result.num_tuples = count_only
+                          ? stats.user_counters[kCounterTuplesCounted]
+                          : static_cast<int64_t>(result.tuples.size());
   if (count_only) {
     // Keep the cost model honest: counted tuples would still have been
     // written by a real job.

@@ -1,7 +1,6 @@
 #include "core/cascade.h"
 
 #include <algorithm>
-#include <atomic>
 
 #include "common/str_format.h"
 #include "common/trace.h"
@@ -114,7 +113,7 @@ StatusOr<JoinRunResult> CascadeJoin(
     }
   }
 
-  std::atomic<int64_t> counted{0};
+  int64_t counted = 0;
   for (size_t step = 1; step < join_order.size(); ++step) {
     const int incoming = join_order[step];
     TraceSpan step_span(tracer, StrFormat("cascade_step_%zu", step), "stage");
@@ -189,7 +188,7 @@ StatusOr<JoinRunResult> CascadeJoin(
     });
 
     job.set_reduce([&grid, &links, anchor, anchor_pred, anchor_d,
-                    count_this_step, &counted](
+                    count_this_step](
                        const CellId& cell,
                        std::span<const CascadeRecord> values,
                        Job::OutEmitter& out) {
@@ -242,7 +241,10 @@ StatusOr<JoinRunResult> CascadeJoin(
           }
           if (!ok) continue;
           if (count_this_step) {
-            counted.fetch_add(1, std::memory_order_relaxed);
+            // Attempt-scoped counter (not a captured atomic): a reduce
+            // attempt re-executed under fault injection must not
+            // double-count its tuples.
+            out.IncrementCounter(kCounterTuplesCounted, 1);
             continue;
           }
           CascadeRecord merged;
@@ -275,7 +277,8 @@ StatusOr<JoinRunResult> CascadeJoin(
     // counted tuples still represent output a real job would write.
     stats.map_input_bytes = input_bytes;
     if (count_this_step) {
-      stats.reduce_output_records = counted.load(std::memory_order_relaxed);
+      counted = stats.user_counters[kCounterTuplesCounted];
+      stats.reduce_output_records = counted;
     }
     stats.reduce_output_bytes =
         stats.reduce_output_records * (8 + 40 * static_cast<int64_t>(step + 1));
@@ -286,7 +289,7 @@ StatusOr<JoinRunResult> CascadeJoin(
   }
 
   if (count_only) {
-    result.num_tuples = counted.load(std::memory_order_relaxed);
+    result.num_tuples = counted;
     algo_span.AddArg("output_tuples", result.num_tuples);
     return result;
   }

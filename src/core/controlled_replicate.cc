@@ -1,7 +1,6 @@
 #include "core/controlled_replicate.h"
 
 #include <algorithm>
-#include <atomic>
 #include <limits>
 #include <memory>
 #include <unordered_map>
@@ -405,11 +404,13 @@ StatusOr<JoinRunResult> ControlledReplicateJoin(
                 grid.num_cells());
   round2.set_partition([](const CellId& c) { return static_cast<int>(c); });
 
-  std::atomic<int64_t> replicated{0};
-  std::atomic<int64_t> copies{0};
   const bool limit = options.limit_replication;
   const DistanceMetric metric = options.limit_metric;
-  round2.set_map([&grid, &limit_bounds, limit, metric, &replicated, &copies](
+  // Replication tallies go through the emitter's attempt-local counters,
+  // not captured atomics: a re-executed map attempt under fault injection
+  // would double-count an atomic, while discarded-attempt emitter deltas
+  // are dropped with the attempt.
+  round2.set_map([&grid, &limit_bounds, limit, metric](
                      const MarkedRect& r, Round2::Emitter& emit) {
     const RelRect payload{r.rect, r.id, r.relation};
     if (!r.marked) {
@@ -424,15 +425,14 @@ StatusOr<JoinRunResult> ControlledReplicateJoin(
     } else {
       ReplicateF1Cells(grid, r.rect, &cells);
     }
-    replicated.fetch_add(1, std::memory_order_relaxed);
-    copies.fetch_add(static_cast<int64_t>(cells.size()),
-                     std::memory_order_relaxed);
+    emit.IncrementCounter(kCounterRectanglesReplicated, 1);
+    emit.IncrementCounter(kCounterReplicationCopies,
+                          static_cast<int64_t>(cells.size()));
     for (CellId c : cells) emit.Emit(c, payload);
   });
 
   const bool count_only = options.count_only;
-  std::atomic<int64_t> counted{0};
-  round2.set_reduce([&grid, &query, m, count_only, &counted, tracer](
+  round2.set_reduce([&grid, &query, m, count_only, tracer](
                         const CellId& cell, std::span<const RelRect> values,
                         Round2::OutEmitter& out) {
     TraceSpan local_span(tracer, "local_join", "task");
@@ -457,7 +457,7 @@ StatusOr<JoinRunResult> ControlledReplicateJoin(
       }
       if (!OwnsTuple(grid, cell, member_rects)) return;
       if (count_only) {
-        counted.fetch_add(1, std::memory_order_relaxed);
+        out.IncrementCounter(kCounterTuplesCounted, 1);
         return;
       }
       IdTuple ids(static_cast<size_t>(m));
@@ -483,8 +483,10 @@ StatusOr<JoinRunResult> ControlledReplicateJoin(
   round2_span.AddArg("dedup_tuple_checks", dedup_delta.tuple_checks);
   round2_span.AddArg("dedup_owned", dedup_delta.owned);
   round2_span.End();
-  round2_stats.user_counters[kCounterRectanglesReplicated] =
-      replicated.load(std::memory_order_relaxed);
+  // Unmarked rectangles never touch the replicated/copies counters, so
+  // make them explicit zeros for stable stats output.
+  round2_stats.user_counters.try_emplace(kCounterRectanglesReplicated, 0);
+  round2_stats.user_counters.try_emplace(kCounterReplicationCopies, 0);
   // The paper's "number of rectangles after replication" (§7.8.3) counts
   // rectangles received by the join round's reducers — the round-2
   // intermediate records: one copy per projected rectangle plus every
@@ -492,10 +494,9 @@ StatusOr<JoinRunResult> ControlledReplicateJoin(
   // a small replication overhead).
   round2_stats.user_counters[kCounterRectanglesAfterReplication] =
       round2_stats.intermediate_records;
-  round2_stats.user_counters[kCounterReplicationCopies] =
-      copies.load(std::memory_order_relaxed);
-  result.num_tuples = count_only ? counted.load(std::memory_order_relaxed)
-                                 : static_cast<int64_t>(result.tuples.size());
+  result.num_tuples = count_only
+                          ? round2_stats.user_counters[kCounterTuplesCounted]
+                          : static_cast<int64_t>(result.tuples.size());
   if (count_only) {
     // Keep the cost model honest: counted tuples would still have been
     // written by a real job.

@@ -42,6 +42,12 @@ bool OwnsTuple(const GridPartition& grid, CellId cell,
 /// grid/transform.h's TransformCounters: algorithms snapshot around a
 /// reduce pass and attach the deltas to its trace span so the
 /// duplicate-avoidance workload is visible next to wall time.
+///
+/// These are *executed-work* tallies, deliberately not exactly-once:
+/// under fault injection a re-executed or speculative task attempt bumps
+/// them again, so deltas measure retry amplification, not logical output.
+/// Exactly-once quantities belong in JobStats user counters via the
+/// engine's attempt-scoped Emitter/OutEmitter counters.
 struct DedupCounters {
   int64_t pair_checks = 0;
   int64_t range_pair_checks = 0;

@@ -104,6 +104,27 @@ std::string ExplainRun(const Query& query, const JoinRunResult& result,
     }
     out += StrFormat("  reduce time: total %.3fs, slowest task %.3fs\n",
                      job.SumReducerSeconds(), job.MaxReducerSeconds());
+    if (job.AnyFaults()) {
+      const PhaseFaultStats& m = job.map_faults;
+      const PhaseFaultStats& r = job.reduce_faults;
+      out += StrFormat(
+          "  faults: map %lld/%lld attempts (%lld retries, %lld "
+          "speculative) | reduce %lld/%lld attempts (%lld retries, %lld "
+          "speculative)\n",
+          static_cast<long long>(m.attempts), static_cast<long long>(m.tasks),
+          static_cast<long long>(m.retries),
+          static_cast<long long>(m.speculative),
+          static_cast<long long>(r.attempts), static_cast<long long>(r.tasks),
+          static_cast<long long>(r.retries),
+          static_cast<long long>(r.speculative));
+      out += StrFormat(
+          "  wasted: %lld records (%s) in %.3fs, backoff %.3fs\n",
+          static_cast<long long>(m.wasted_records + r.wasted_records),
+          HumanBytes(static_cast<double>(m.wasted_bytes + r.wasted_bytes))
+              .c_str(),
+          m.wasted_seconds + r.wasted_seconds,
+          m.backoff_seconds + r.backoff_seconds);
+    }
     for (const auto& [name, value] : job.user_counters) {
       out += StrFormat("  counter %s = %lld\n", name.c_str(),
                        static_cast<long long>(value));

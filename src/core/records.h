@@ -53,10 +53,16 @@ struct JoinRunResult {
 ///     join round (projected once + every replicated copy);
 ///   * kCounterReplicationCopies: copies produced for marked rectangles
 ///     only.
+/// All counters are incremented through the engine's attempt-scoped
+/// Emitter/OutEmitter, so re-executed task attempts under fault injection
+/// never double-count them.
 inline constexpr char kCounterRectanglesReplicated[] = "rectangles_replicated";
 inline constexpr char kCounterRectanglesAfterReplication[] =
     "rectangles_after_replication";
 inline constexpr char kCounterReplicationCopies[] = "replication_copies";
+/// Result tuples found by a count_only run (the reduce side counts instead
+/// of emitting; see JoinRunResult::num_tuples).
+inline constexpr char kCounterTuplesCounted[] = "tuples_counted";
 
 }  // namespace mwsj
 

@@ -67,7 +67,10 @@ struct RunnerOptions {
   bool optimize_cascade_order = false;
 
   /// Execution environment shared across phases: worker pool (null =
-  /// synchronous), optional tracer, and a run label for top-level spans.
+  /// synchronous), optional tracer, a run label for top-level spans, and
+  /// the fault-injection plan / retry policy / DFS model every engine job
+  /// of the run executes under (mapreduce/fault.h, mapreduce/dfs.h) —
+  /// `mwsj_join --faults=SPEC` plugs in here.
   ExecutionContext context;
 
   /// Deprecated: worker pool, superseded by `context.pool`. Honored only

@@ -61,6 +61,12 @@ int64_t CountReplicateF1Cells(const GridPartition& grid, const Rect& u);
 /// visible alongside its wall time. Under concurrent *independent* joins
 /// in one process the deltas blend both runs; within one run (the only
 /// case the tracer reports) they are exact.
+///
+/// These are *executed-work* tallies, deliberately not exactly-once:
+/// under fault injection a re-executed or speculative task attempt bumps
+/// them again, so deltas measure retry amplification, not logical output.
+/// Exactly-once quantities belong in JobStats user counters via the
+/// engine's attempt-scoped Emitter/OutEmitter counters.
 struct TransformCounters {
   int64_t project_calls = 0;
   int64_t split_calls = 0;

@@ -5,6 +5,26 @@
 
 namespace mwsj {
 
+bool PhaseFaultStats::Any() const {
+  return retries > 0 || speculative > 0 || wasted_records > 0 ||
+         wasted_bytes > 0 || wasted_seconds > 0 || backoff_seconds > 0;
+}
+
+void PhaseFaultStats::Add(const PhaseFaultStats& other) {
+  tasks += other.tasks;
+  attempts += other.attempts;
+  retries += other.retries;
+  speculative += other.speculative;
+  wasted_records += other.wasted_records;
+  wasted_bytes += other.wasted_bytes;
+  wasted_seconds += other.wasted_seconds;
+  backoff_seconds += other.backoff_seconds;
+}
+
+bool JobStats::AnyFaults() const {
+  return map_faults.Any() || reduce_faults.Any();
+}
+
 int64_t JobStats::MaxReducerRecords() const {
   if (per_reducer_records.empty()) return 0;
   return *std::max_element(per_reducer_records.begin(),

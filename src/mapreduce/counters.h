@@ -8,6 +8,36 @@
 
 namespace mwsj {
 
+/// Fault-recovery accounting for one engine phase (map or reduce) of one
+/// job. `tasks`/`attempts` are always tracked (attempts == tasks on a
+/// clean run); every other field stays zero unless an attempt actually
+/// faulted, and the whole block is omitted from stats_json when nothing
+/// did. "Wasted" quantities are the work performed by attempts that were
+/// later discarded — the retry-amplification cost the chaos suite and
+/// BM_EngineFaultRecovery measure.
+struct PhaseFaultStats {
+  /// Tasks in the phase (chunks for map, reducers for reduce).
+  int64_t tasks = 0;
+  /// Attempts executed, including the first attempt of every task.
+  int64_t attempts = 0;
+  /// Attempts beyond the first caused by crash/flaky faults.
+  int64_t retries = 0;
+  /// Speculative duplicate attempts launched for straggling tasks.
+  int64_t speculative = 0;
+  /// Records emitted by discarded attempts.
+  int64_t wasted_records = 0;
+  /// Bytes emitted by discarded attempts.
+  int64_t wasted_bytes = 0;
+  /// CPU seconds spent inside discarded attempts.
+  double wasted_seconds = 0;
+  /// Total backoff delay charged before retries (virtual when the retry
+  /// policy injects a clock).
+  double backoff_seconds = 0;
+
+  bool Any() const;
+  void Add(const PhaseFaultStats& other);
+};
+
 /// Statistics of one executed map-reduce job. Every quantity the paper's
 /// evaluation reports (intermediate key-value pairs = "rectangles after
 /// replication", reducer load, read/write volume) is captured here; the
@@ -44,7 +74,15 @@ struct JobStats {
   double wall_seconds = 0;
 
   /// User-defined counters (e.g. "rectangles_marked" in C-Rep round 1).
+  /// Exactly-once under faults: failed attempts' increments are discarded.
   std::map<std::string, int64_t> user_counters;
+
+  /// Fault-recovery accounting per phase; all-zero without a fault plan.
+  PhaseFaultStats map_faults;
+  PhaseFaultStats reduce_faults;
+
+  /// True when any attempt in the job faulted or was re-executed.
+  bool AnyFaults() const;
 
   int64_t MaxReducerRecords() const;
   double MaxReducerSeconds() const;

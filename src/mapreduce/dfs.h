@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 #include <typeindex>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -101,7 +102,26 @@ class Dfs {
     return records_read_;
   }
 
+  /// Bytes/records of the datasets currently stored. Invariant under
+  /// attempt staging: a discarded attempt changes neither these nor
+  /// bytes_written() — phantom bytes from failed attempts never appear in
+  /// any counter (dfs_test.cc checks this).
+  int64_t live_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    int64_t total = 0;
+    for (const auto& [name, e] : datasets_) total += e.bytes;
+    return total;
+  }
+  int64_t live_records() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    int64_t total = 0;
+    for (const auto& [name, e] : datasets_) total += e.records;
+    return total;
+  }
+
  private:
+  friend class DfsStage;
+
   struct Entry {
     std::shared_ptr<const void> data;
     std::type_index type = std::type_index(typeid(void));
@@ -109,12 +129,80 @@ class Dfs {
     int64_t bytes = 0;
   };
 
+  /// Installs a staged entry, charging its write cost. Only DfsStage
+  /// (i.e. a successful attempt's Commit) reaches this.
+  void CommitEntry(const std::string& name, Entry e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    bytes_written_ += e.bytes;
+    records_written_ += e.records;
+    datasets_[name] = std::move(e);
+  }
+
   mutable std::mutex mu_;
   std::map<std::string, Entry> datasets_;
   int64_t bytes_written_ = 0;
   int64_t bytes_read_ = 0;
   int64_t records_written_ = 0;
   int64_t records_read_ = 0;
+};
+
+/// Attempt-scoped staging for DFS writes — the OutputCommitter of the
+/// simulated file system. A task attempt writes into its stage; nothing
+/// touches the Dfs (datasets or byte counters) until `Commit()`. An
+/// aborted or destroyed-uncommitted stage discards its writes entirely, so
+/// a failed attempt leaves no phantom bytes behind.
+class DfsStage {
+ public:
+  explicit DfsStage(Dfs* dfs) : dfs_(dfs) {}
+  DfsStage(const DfsStage&) = delete;
+  DfsStage& operator=(const DfsStage&) = delete;
+  ~DfsStage() { Abort(); }
+
+  /// Same contract as Dfs::Write, but buffered: the write is charged and
+  /// visible only after Commit(). Later staged writes of the same name
+  /// shadow earlier ones within the stage.
+  template <typename T>
+  Status Write(const std::string& name,
+               std::shared_ptr<const std::vector<T>> records,
+               int64_t record_bytes = sizeof(T)) {
+    if (records == nullptr) {
+      return Status::InvalidArgument("null record vector for dataset '" +
+                                     name + "'");
+    }
+    Dfs::Entry e;
+    e.data = std::static_pointer_cast<const void>(records);
+    e.type = std::type_index(typeid(T));
+    e.records = static_cast<int64_t>(records->size());
+    e.bytes = e.records * record_bytes;
+    staged_records_ += e.records;
+    staged_bytes_ += e.bytes;
+    staged_.emplace_back(name, std::move(e));
+    return Status::OK();
+  }
+
+  /// Publishes every staged write to the Dfs in write order.
+  void Commit() {
+    for (auto& [name, e] : staged_) dfs_->CommitEntry(name, std::move(e));
+    staged_.clear();
+    staged_records_ = 0;
+    staged_bytes_ = 0;
+  }
+
+  /// Discards every staged write; the Dfs is untouched.
+  void Abort() {
+    staged_.clear();
+    staged_records_ = 0;
+    staged_bytes_ = 0;
+  }
+
+  int64_t staged_records() const { return staged_records_; }
+  int64_t staged_bytes() const { return staged_bytes_; }
+
+ private:
+  Dfs* dfs_;
+  std::vector<std::pair<std::string, Dfs::Entry>> staged_;
+  int64_t staged_records_ = 0;
+  int64_t staged_bytes_ = 0;
 };
 
 }  // namespace mwsj

@@ -2,14 +2,17 @@
 #define MWSJ_MAPREDUCE_ENGINE_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -19,6 +22,8 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "mapreduce/counters.h"
+#include "mapreduce/dfs.h"
+#include "mapreduce/fault.h"
 
 namespace mwsj {
 
@@ -54,7 +59,14 @@ std::string DescribeKey(const K& key) {
 ///     reducer skew is observable;
 ///   * execution is deterministic: mapper outputs are concatenated in input
 ///     order regardless of thread scheduling, and reducers iterate key
-///     groups in key order.
+///     groups in key order;
+///   * tasks can fail and be re-executed: an `ExecutionContext::faults`
+///     plan (mapreduce/fault.h) injects deterministic per-attempt
+///     crash/flaky/straggler faults, and the engine retries with bounded
+///     exponential backoff while discarding everything a failed attempt
+///     produced — emits, user counters, DFS writes — so job output stays
+///     byte-identical to a fault-free run (Hadoop's exactly-once task
+///     re-execution, with the wasted work accounted in JobStats).
 ///
 /// Keys must be totally ordered (operator<) and equality-comparable; keys
 /// and values must be movable and default-constructible (the mapper-side
@@ -71,14 +83,20 @@ class MapReduceJob {
   /// pair's reducer at emit time. Each map chunk owns one emitter plus its
   /// own byte/record tallies, so mappers never contend on shared state; the
   /// tallies are summed after the map barrier.
+  ///
+  /// The emitter is scoped to one task *attempt*: counter increments land
+  /// in an attempt-local map the engine merges into JobStats only when the
+  /// attempt commits, so a crashed or discarded attempt's counts vanish
+  /// with its emits (exactly-once under fault injection).
   class Emitter {
    public:
     Emitter(std::vector<std::pair<K, V>>* pairs, std::vector<uint32_t>* route,
             const PartitionFn* partition, const SizeFn* value_size,
-            const std::string* job_name, int num_reducers)
+            const std::string* job_name, int num_reducers,
+            std::map<std::string, int64_t>* counters)
         : pairs_(pairs), route_(route), partition_(partition),
           value_size_(value_size), job_name_(job_name),
-          num_reducers_(num_reducers) {}
+          num_reducers_(num_reducers), counters_(counters) {}
     void Emit(K key, V value) {
       const int r = (*partition_)(key);
       // An out-of-range partition result would corrupt the counting sort
@@ -97,6 +115,12 @@ class MapReduceJob {
       pairs_->emplace_back(std::move(key), std::move(value));
     }
 
+    /// Adds to a user counter, attempt-locally: the delta reaches
+    /// JobStats.user_counters only if this attempt commits.
+    void IncrementCounter(const std::string& name, int64_t delta) {
+      (*counters_)[name] += delta;
+    }
+
     int64_t bytes() const { return bytes_; }
 
    private:
@@ -106,17 +130,26 @@ class MapReduceJob {
     const SizeFn* value_size_;
     const std::string* job_name_;
     int num_reducers_;
+    std::map<std::string, int64_t>* counters_;
     int64_t bytes_ = 0;
   };
 
-  /// Collects output records from one reduce invocation.
+  /// Collects output records from one reduce invocation. Attempt-scoped
+  /// exactly like Emitter: counter increments are merged only on commit.
   class OutEmitter {
    public:
-    explicit OutEmitter(std::vector<Out>* sink) : sink_(sink) {}
+    OutEmitter(std::vector<Out>* sink, std::map<std::string, int64_t>* counters)
+        : sink_(sink), counters_(counters) {}
     void Emit(Out record) { sink_->push_back(std::move(record)); }
+
+    /// Adds to a user counter, attempt-locally (see Emitter).
+    void IncrementCounter(const std::string& name, int64_t delta) {
+      (*counters_)[name] += delta;
+    }
 
    private:
     std::vector<Out>* sink_;
+    std::map<std::string, int64_t>* counters_;
   };
 
   using MapFn = std::function<void(const In&, Emitter&)>;
@@ -156,7 +189,11 @@ class MapReduceJob {
     return *this;
   }
 
-  /// Adds to a user counter visible in the resulting JobStats. Thread-safe.
+  /// Adds to a user counter visible in the resulting JobStats. Thread-safe,
+  /// but NOT attempt-scoped: a map/reduce body calling this directly is
+  /// double-counted when its attempt is re-executed under a fault plan.
+  /// Task bodies must use Emitter/OutEmitter::IncrementCounter instead;
+  /// this method is for driver-side accounting outside task attempts.
   void IncrementCounter(const std::string& name, int64_t delta) {
     std::lock_guard<std::mutex> lock(counter_mu_);
     user_counters_[name] += delta;
@@ -178,6 +215,13 @@ class MapReduceJob {
   }
 
  private:
+  /// Folds a committed attempt's counter deltas into the job counters.
+  void MergeCounters(const std::map<std::string, int64_t>& deltas) {
+    if (deltas.empty()) return;
+    std::lock_guard<std::mutex> lock(counter_mu_);
+    for (const auto& [name, delta] : deltas) user_counters_[name] += delta;
+  }
+
   std::string name_;
   int num_reducers_;
   MapFn map_;
@@ -224,6 +268,36 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
     };
   }
 
+  // ---- Fault-injection setup. An absent or empty plan collapses to a
+  // null pointer so the fault-free hot path costs one branch per task
+  // attempt and never touches the retry machinery.
+  const FaultPlan* faults = ctx.faults;
+  if (faults != nullptr && faults->empty()) faults = nullptr;
+  static const RetryPolicy kDefaultRetry;
+  const RetryPolicy& retry = ctx.retry != nullptr ? *ctx.retry : kDefaultRetry;
+  // Charges (and serves) the backoff delay before retrying a failed
+  // attempt. Tests inject a virtual clock via RetryPolicy::sleep.
+  auto charge_backoff = [&retry](int attempt, PhaseFaultStats* fs) {
+    const double s = BackoffSeconds(retry, attempt);
+    fs->backoff_seconds += s;
+    if (retry.sleep) {
+      retry.sleep(s);
+    } else if (s > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(s));
+    }
+  };
+  // A task exhausting its retry budget fails the whole job, matching
+  // Hadoop's mapred.*.max.attempts behavior; the engine has no partial-
+  // output mode, so fail fast like the partition-range check above.
+  auto retries_exhausted = [this, &retry](FaultPhase phase, size_t task) {
+    std::fprintf(stderr,
+                 "MapReduceJob '%s': %s task %zu failed %d attempts, "
+                 "aborting job\n",
+                 name_.c_str(), FaultPhaseName(phase), task,
+                 retry.max_attempts);
+    std::abort();
+  };
+
   // ---- Map phase. Input is split into fixed chunks; each chunk partitions
   // its pairs at emit time and finishes its task with a stable local
   // counting sort into a reducer-major shard (the chunk's row of the
@@ -242,39 +316,109 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
     std::vector<size_t> offsets;         // Bucket r = [offsets[r], offsets[r+1]).
     int64_t bytes = 0;
     double seconds = 0;
+    PhaseFaultStats faults;  // This task's attempt/retry accounting.
   };
   std::vector<MapShard> shards(num_chunks);
 
   Stopwatch phase_watch;
   auto run_chunk = [&](size_t c) {
-    TraceSpan chunk_span(tracer, "map_chunk", "task");
-    Stopwatch chunk_watch;
     MapShard& shard = shards[c];
-    std::vector<std::pair<K, V>> raw;
-    std::vector<uint32_t> route;
+    shard.faults.tasks = 1;
     const size_t lo = c * chunk_size;
     const size_t hi = std::min(input.size(), lo + chunk_size);
-    // Most maps emit ≥1 pair per record; pre-sizing halves growth moves.
-    raw.reserve(hi - lo);
-    route.reserve(hi - lo);
-    Emitter emitter(&raw, &route, &partition, &value_size, &name_,
-                    num_reducers_);
-    for (size_t i = lo; i < hi; ++i) map_(input[i], emitter);
-    chunk_span.AddArg("chunk", static_cast<int64_t>(c));
-    chunk_span.AddArg("records", static_cast<int64_t>(raw.size()));
-    // Stable counting sort by reducer, preserving emit order per bucket.
-    shard.offsets.assign(num_reducers + 1, 0);
-    for (const uint32_t r : route) ++shard.offsets[r + 1];
-    for (size_t r = 0; r < num_reducers; ++r) {
-      shard.offsets[r + 1] += shard.offsets[r];
+    // One attempt over the first `limit` records of the chunk (a flaky
+    // attempt dies midway; committing attempts process everything). The
+    // attempt's emits and counter deltas live entirely in the caller's
+    // buffers, so discarding an attempt is dropping its buffers.
+    auto run_attempt = [&](size_t limit, std::vector<std::pair<K, V>>* raw,
+                           std::vector<uint32_t>* route,
+                           std::map<std::string, int64_t>* counters) {
+      // Most maps emit ≥1 pair per record; pre-sizing halves growth moves.
+      raw->reserve(hi - lo);
+      route->reserve(hi - lo);
+      Emitter emitter(raw, route, &partition, &value_size, &name_,
+                      num_reducers_, counters);
+      for (size_t i = lo; i < lo + limit; ++i) map_(input[i], emitter);
+      return emitter.bytes();
+    };
+    for (int attempt = 0;; ++attempt) {
+      const FaultKind fault =
+          faults == nullptr ? FaultKind::kNone
+                            : faults->At(FaultPhase::kMap,
+                                         static_cast<int64_t>(c), attempt);
+      ++shard.faults.attempts;
+      if (fault == FaultKind::kCrash || fault == FaultKind::kFlakyIo) {
+        TraceSpan attempt_span(tracer, "map_attempt", "task");
+        attempt_span.AddArg("chunk", static_cast<int64_t>(c));
+        attempt_span.AddArg("attempt", static_cast<int64_t>(attempt));
+        attempt_span.AddArg("failed", int64_t{1});
+        Stopwatch attempt_watch;
+        if (fault == FaultKind::kFlakyIo) {
+          // Flaky I/O: half the input processed, all of it discarded.
+          std::vector<std::pair<K, V>> raw;
+          std::vector<uint32_t> route;
+          std::map<std::string, int64_t> counters;
+          shard.faults.wasted_bytes +=
+              run_attempt((hi - lo) / 2, &raw, &route, &counters);
+          shard.faults.wasted_records += static_cast<int64_t>(raw.size());
+        }
+        shard.faults.wasted_seconds += attempt_watch.ElapsedSeconds();
+        attempt_span.End();
+        if (attempt + 1 >= retry.max_attempts) {
+          retries_exhausted(FaultPhase::kMap, c);
+        }
+        ++shard.faults.retries;
+        charge_backoff(attempt, &shard.faults);
+        continue;
+      }
+      // Committing attempt (fault-free, or a straggler that still wins).
+      TraceSpan chunk_span(tracer, "map_chunk", "task");
+      Stopwatch chunk_watch;
+      std::vector<std::pair<K, V>> raw;
+      std::vector<uint32_t> route;
+      std::map<std::string, int64_t> counters;
+      shard.bytes = run_attempt(hi - lo, &raw, &route, &counters);
+      chunk_span.AddArg("chunk", static_cast<int64_t>(c));
+      chunk_span.AddArg("records", static_cast<int64_t>(raw.size()));
+      if (faults != nullptr) {
+        chunk_span.AddArg("attempt", static_cast<int64_t>(attempt));
+      }
+      // Stable counting sort by reducer, preserving emit order per bucket.
+      shard.offsets.assign(num_reducers + 1, 0);
+      for (const uint32_t r : route) ++shard.offsets[r + 1];
+      for (size_t r = 0; r < num_reducers; ++r) {
+        shard.offsets[r + 1] += shard.offsets[r];
+      }
+      std::vector<size_t> cursor(shard.offsets.begin(),
+                                 shard.offsets.end() - 1);
+      shard.pairs.resize(raw.size());
+      for (size_t i = 0; i < raw.size(); ++i) {
+        shard.pairs[cursor[route[i]]++] = std::move(raw[i]);
+      }
+      shard.seconds = chunk_watch.ElapsedSeconds();
+      MergeCounters(counters);
+      if (fault == FaultKind::kSlow) {
+        // Straggler: the attempt exceeded the (virtual) straggler timeout,
+        // so a speculative duplicate ran alongside it. The duplicate's
+        // identical output is discarded and charged as wasted work.
+        TraceSpan spec_span(tracer, "map_attempt", "task");
+        spec_span.AddArg("chunk", static_cast<int64_t>(c));
+        spec_span.AddArg("attempt", static_cast<int64_t>(attempt + 1));
+        spec_span.AddArg("failed", int64_t{1});
+        spec_span.AddArg("speculative", int64_t{1});
+        Stopwatch spec_watch;
+        std::vector<std::pair<K, V>> spec_raw;
+        std::vector<uint32_t> spec_route;
+        std::map<std::string, int64_t> spec_counters;
+        shard.faults.wasted_bytes +=
+            run_attempt(hi - lo, &spec_raw, &spec_route, &spec_counters);
+        shard.faults.wasted_records += static_cast<int64_t>(spec_raw.size());
+        shard.faults.wasted_seconds += spec_watch.ElapsedSeconds();
+        ++shard.faults.attempts;
+        ++shard.faults.speculative;
+      }
+      break;
     }
-    std::vector<size_t> cursor(shard.offsets.begin(), shard.offsets.end() - 1);
-    shard.pairs.resize(raw.size());
-    for (size_t i = 0; i < raw.size(); ++i) {
-      shard.pairs[cursor[route[i]]++] = std::move(raw[i]);
-    }
-    shard.bytes = emitter.bytes();
-    shard.seconds = chunk_watch.ElapsedSeconds();
   };
   {
     TraceSpan map_phase(tracer, "map", "phase");
@@ -290,6 +434,7 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
     stats.intermediate_records += static_cast<int64_t>(shards[c].pairs.size());
     stats.intermediate_bytes += shards[c].bytes;
     stats.per_chunk_map_seconds[c] = shards[c].seconds;
+    stats.map_faults.Add(shards[c].faults);
   }
   stats.map_seconds = phase_watch.ElapsedSeconds();
 
@@ -346,60 +491,175 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
   phase_watch.Reset();
   std::vector<std::vector<Out>> reducer_out(static_cast<size_t>(num_reducers_));
   stats.per_reducer_seconds.assign(static_cast<size_t>(num_reducers_), 0.0);
+  std::vector<PhaseFaultStats> reduce_task_faults(
+      static_cast<size_t>(num_reducers_));
 
   auto run_reducer = [&](size_t r) {
-    TraceSpan reduce_span(tracer, "reduce_task", "task");
-    reduce_span.AddArg("reducer", static_cast<int64_t>(r));
-    reduce_span.AddArg("records", static_cast<int64_t>(inbox[r].keys.size()));
-    Stopwatch reducer_watch;
+    PhaseFaultStats& rf = reduce_task_faults[r];
+    rf.tasks = 1;
     ReducerInbox& in = inbox[r];
     const size_t n = in.keys.size();
-    OutEmitter out_emitter(&reducer_out[r]);
     // Groups [i, j) of a key-sorted key array, handing reduce_ a span
     // directly into the matching value array — no per-group scratch copy.
-    // The spans are only valid during the reduce_ call.
-    auto reduce_runs = [&](const K* keys, const V* values) {
+    // The spans are only valid during the reduce_ call. `limit` stops a
+    // flaky attempt roughly midway: the group containing record `limit`
+    // is the last one processed.
+    auto reduce_runs = [&](const K* keys, const V* values, size_t limit,
+                           OutEmitter& out) {
       size_t i = 0;
-      while (i < n) {
+      while (i < limit) {
         const K& key = keys[i];
         size_t j = i + 1;
         while (j < n && !(key < keys[j]) && !(keys[j] < key)) ++j;
-        reduce_(key, std::span<const V>(values + i, j - i), out_emitter);
+        reduce_(key, std::span<const V>(values + i, j - i), out);
         i = j;
       }
     };
-    if (std::is_sorted(in.keys.begin(), in.keys.end())) {
-      // Fast path: arrival order is already key-sorted — always true for
-      // the spatial algorithms' identity partitioner, where a reducer
-      // holds exactly one key (its cell). Reduce directly over the inbox:
-      // zero sorts, zero moves.
-      reduce_runs(in.keys.data(), in.values.data());
-    } else {
-      // Stable index sort by key keeps same-key values in arrival (chunk)
-      // order, matching Hadoop's merge of mapper spills — it yields
-      // exactly the permutation a stable sort of (key, value) pairs
-      // would, while moving 4-byte indices instead of whole pairs. The
-      // permutation is applied once (one move per value), making same-key
-      // values one contiguous run.
-      std::vector<uint32_t> idx(n);
-      for (size_t i = 0; i < n; ++i) idx[i] = static_cast<uint32_t>(i);
-      std::stable_sort(idx.begin(), idx.end(),
-                       [&in](uint32_t a, uint32_t b) {
-                         return in.keys[a] < in.keys[b];
-                       });
-      std::vector<K> sorted_keys;
-      std::vector<V> sorted_values;
-      sorted_keys.reserve(n);
-      sorted_values.reserve(n);
-      for (size_t i = 0; i < n; ++i) {
-        sorted_keys.push_back(std::move(in.keys[idx[i]]));
-        sorted_values.push_back(std::move(in.values[idx[i]]));
+    // A doomed attempt (flaky failure or speculative duplicate) whose
+    // output is discarded. It must leave the inbox intact for the real
+    // attempt, so it reduces over the inbox in place when arrival order
+    // is already key-sorted and over a *copied* sorted view otherwise;
+    // move-only key/value types can't be copied, so the unsorted case
+    // degrades to a crash-style failure (nothing executed). Returns
+    // whether the attempt actually ran. All output lands in scratch
+    // buffers and a DfsStage that is aborted on scope exit.
+    auto run_discarded_attempt = [&](size_t limit) {
+      std::vector<Out> scratch;
+      std::map<std::string, int64_t> counters;
+      OutEmitter out(&scratch, &counters);
+      if (std::is_sorted(in.keys.begin(), in.keys.end())) {
+        reduce_runs(in.keys.data(), in.values.data(), limit, out);
+      } else if constexpr (std::is_copy_constructible_v<K> &&
+                           std::is_copy_constructible_v<V>) {
+        std::vector<uint32_t> idx(n);
+        for (size_t i = 0; i < n; ++i) idx[i] = static_cast<uint32_t>(i);
+        std::stable_sort(idx.begin(), idx.end(),
+                         [&in](uint32_t a, uint32_t b) {
+                           return in.keys[a] < in.keys[b];
+                         });
+        std::vector<K> sorted_keys;
+        std::vector<V> sorted_values;
+        sorted_keys.reserve(n);
+        sorted_values.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          sorted_keys.push_back(in.keys[idx[i]]);
+          sorted_values.push_back(in.values[idx[i]]);
+        }
+        reduce_runs(sorted_keys.data(), sorted_values.data(), limit, out);
+      } else {
+        return false;
       }
-      reduce_runs(sorted_keys.data(), sorted_values.data());
+      if (ctx.dfs != nullptr) {
+        if constexpr (std::is_copy_constructible_v<Out>) {
+          DfsStage stage(ctx.dfs);
+          auto part = std::make_shared<const std::vector<Out>>(scratch);
+          (void)stage.Write(name_ + "/part-" + std::to_string(r), part,
+                            output_record_bytes_);
+          // No Commit: the stage's destructor discards the part file, so
+          // the Dfs never sees this attempt's bytes.
+        }
+      }
+      rf.wasted_records += static_cast<int64_t>(scratch.size());
+      rf.wasted_bytes +=
+          static_cast<int64_t>(scratch.size()) * output_record_bytes_;
+      return true;
+    };
+    for (int attempt = 0;; ++attempt) {
+      const FaultKind fault =
+          faults == nullptr ? FaultKind::kNone
+                            : faults->At(FaultPhase::kReduce,
+                                         static_cast<int64_t>(r), attempt);
+      ++rf.attempts;
+      if (fault == FaultKind::kCrash || fault == FaultKind::kFlakyIo) {
+        TraceSpan attempt_span(tracer, "reduce_attempt", "task");
+        attempt_span.AddArg("reducer", static_cast<int64_t>(r));
+        attempt_span.AddArg("attempt", static_cast<int64_t>(attempt));
+        attempt_span.AddArg("failed", int64_t{1});
+        Stopwatch attempt_watch;
+        if (fault == FaultKind::kFlakyIo) {
+          (void)run_discarded_attempt(n / 2);
+        }
+        rf.wasted_seconds += attempt_watch.ElapsedSeconds();
+        attempt_span.End();
+        if (attempt + 1 >= retry.max_attempts) {
+          retries_exhausted(FaultPhase::kReduce, r);
+        }
+        ++rf.retries;
+        charge_backoff(attempt, &rf);
+        continue;
+      }
+      if (fault == FaultKind::kSlow) {
+        // Straggler: run the speculative duplicate first (non-destructive,
+        // discarded), then let the original attempt commit below.
+        TraceSpan spec_span(tracer, "reduce_attempt", "task");
+        spec_span.AddArg("reducer", static_cast<int64_t>(r));
+        spec_span.AddArg("attempt", static_cast<int64_t>(attempt + 1));
+        spec_span.AddArg("failed", int64_t{1});
+        spec_span.AddArg("speculative", int64_t{1});
+        Stopwatch spec_watch;
+        if (run_discarded_attempt(n)) {
+          rf.wasted_seconds += spec_watch.ElapsedSeconds();
+          ++rf.attempts;
+          ++rf.speculative;
+        }
+      }
+      // Committing attempt: may consume the inbox destructively.
+      TraceSpan reduce_span(tracer, "reduce_task", "task");
+      reduce_span.AddArg("reducer", static_cast<int64_t>(r));
+      reduce_span.AddArg("records", static_cast<int64_t>(n));
+      if (faults != nullptr) {
+        reduce_span.AddArg("attempt", static_cast<int64_t>(attempt));
+      }
+      Stopwatch reducer_watch;
+      std::map<std::string, int64_t> counters;
+      OutEmitter out_emitter(&reducer_out[r], &counters);
+      if (std::is_sorted(in.keys.begin(), in.keys.end())) {
+        // Fast path: arrival order is already key-sorted — always true for
+        // the spatial algorithms' identity partitioner, where a reducer
+        // holds exactly one key (its cell). Reduce directly over the inbox:
+        // zero sorts, zero moves.
+        reduce_runs(in.keys.data(), in.values.data(), n, out_emitter);
+      } else {
+        // Stable index sort by key keeps same-key values in arrival (chunk)
+        // order, matching Hadoop's merge of mapper spills — it yields
+        // exactly the permutation a stable sort of (key, value) pairs
+        // would, while moving 4-byte indices instead of whole pairs. The
+        // permutation is applied once (one move per value), making same-key
+        // values one contiguous run.
+        std::vector<uint32_t> idx(n);
+        for (size_t i = 0; i < n; ++i) idx[i] = static_cast<uint32_t>(i);
+        std::stable_sort(idx.begin(), idx.end(),
+                         [&in](uint32_t a, uint32_t b) {
+                           return in.keys[a] < in.keys[b];
+                         });
+        std::vector<K> sorted_keys;
+        std::vector<V> sorted_values;
+        sorted_keys.reserve(n);
+        sorted_values.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          sorted_keys.push_back(std::move(in.keys[idx[i]]));
+          sorted_values.push_back(std::move(in.values[idx[i]]));
+        }
+        reduce_runs(sorted_keys.data(), sorted_values.data(), n, out_emitter);
+      }
+      std::vector<K>().swap(in.keys);  // Release inbox memory eagerly.
+      std::vector<V>().swap(in.values);
+      if (ctx.dfs != nullptr) {
+        // Commit this reduce task's output as the job's part file, Hadoop
+        // OutputCommitter style: staged during the attempt, published only
+        // here, after the attempt has fully succeeded.
+        if constexpr (std::is_copy_constructible_v<Out>) {
+          DfsStage stage(ctx.dfs);
+          auto part = std::make_shared<const std::vector<Out>>(reducer_out[r]);
+          (void)stage.Write(name_ + "/part-" + std::to_string(r), part,
+                            output_record_bytes_);
+          stage.Commit();
+        }
+      }
+      stats.per_reducer_seconds[r] = reducer_watch.ElapsedSeconds();
+      MergeCounters(counters);
+      break;
     }
-    std::vector<K>().swap(in.keys);  // Release inbox memory eagerly.
-    std::vector<V>().swap(in.values);
-    stats.per_reducer_seconds[r] = reducer_watch.ElapsedSeconds();
   };
   {
     TraceSpan reduce_phase(tracer, "reduce", "phase");
@@ -412,6 +672,9 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
     }
   }
   stats.reduce_seconds = phase_watch.ElapsedSeconds();
+  for (const PhaseFaultStats& rf : reduce_task_faults) {
+    stats.reduce_faults.Add(rf);
+  }
 
   for (auto& out : reducer_out) {
     stats.reduce_output_records += static_cast<int64_t>(out.size());
@@ -429,6 +692,14 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
   job_span.AddArg("intermediate_records", stats.intermediate_records);
   job_span.AddArg("intermediate_bytes", stats.intermediate_bytes);
   job_span.AddArg("reduce_output_records", stats.reduce_output_records);
+  if (stats.AnyFaults()) {
+    job_span.AddArg("retries",
+                    stats.map_faults.retries + stats.reduce_faults.retries);
+    job_span.AddArg("speculative", stats.map_faults.speculative +
+                                       stats.reduce_faults.speculative);
+    job_span.AddArg("wasted_records", stats.map_faults.wasted_records +
+                                          stats.reduce_faults.wasted_records);
+  }
   return stats;
 }
 

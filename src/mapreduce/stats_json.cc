@@ -37,6 +37,20 @@ std::string EscapeJson(const std::string& s) {
   return out;
 }
 
+std::string PhaseFaultsToJson(const PhaseFaultStats& f) {
+  return StrFormat(
+      "{\"tasks\": %lld, \"attempts\": %lld, \"retries\": %lld, "
+      "\"speculative\": %lld, \"wasted_records\": %lld, "
+      "\"wasted_bytes\": %lld, \"wasted_seconds\": %.6f, "
+      "\"backoff_seconds\": %.6f}",
+      static_cast<long long>(f.tasks), static_cast<long long>(f.attempts),
+      static_cast<long long>(f.retries),
+      static_cast<long long>(f.speculative),
+      static_cast<long long>(f.wasted_records),
+      static_cast<long long>(f.wasted_bytes), f.wasted_seconds,
+      f.backoff_seconds);
+}
+
 }  // namespace
 
 std::string RunStatsToJson(const RunStats& stats) {
@@ -85,6 +99,15 @@ std::string RunStatsToJson(const RunStats& stats) {
         job.map_seconds, job.per_chunk_map_seconds.size(),
         job.MaxMapChunkSeconds(), job.shuffle_seconds, job.reduce_seconds,
         job.per_reducer_seconds.size(), job.MaxReducerSeconds());
+    // Fault-recovery accounting appears only when an attempt actually
+    // faulted, so fault-free stats documents are unchanged.
+    if (job.AnyFaults()) {
+      out += ", \"faults\": {\"map\": ";
+      out += PhaseFaultsToJson(job.map_faults);
+      out += ", \"reduce\": ";
+      out += PhaseFaultsToJson(job.reduce_faults);
+      out += "}";
+    }
     out += ", \"counters\": {";
     bool first = true;
     for (const auto& [name, value] : job.user_counters) {  // std::map: sorted.

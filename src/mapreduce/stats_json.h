@@ -27,6 +27,13 @@ namespace mwsj {
 ///         "shuffle": {"seconds": 0.01},
 ///         "reduce":  {"seconds": 0.02, "tasks": 64, "max_task_seconds": 0.002}
 ///       },
+///       "faults": {
+///         "map":    {"tasks": 4, "attempts": 6, "retries": 2,
+///                    "speculative": 0, "wasted_records": 12,
+///                    "wasted_bytes": 576, "wasted_seconds": 0.003,
+///                    "backoff_seconds": 0.0015},
+///         "reduce": {...}
+///       },
 ///       "counters": {"rectangles_replicated": 12}
 ///     }, ...
 ///   ]
@@ -36,6 +43,12 @@ namespace mwsj {
 /// phase, the number of parallel tasks it dispatched, and the slowest
 /// task — the same quantities the tracer records as spans (common/trace.h),
 /// folded into the stats document so dashboards need no trace file.
+///
+/// "faults" is present only for jobs where fault injection actually fired
+/// (a retry, speculative attempt, or wasted work was recorded): per phase,
+/// the attempts executed vs. tasks, the retries and speculative duplicates,
+/// and the discarded attempts' wasted records/bytes/seconds plus backoff
+/// delay — the engine's retry-amplification ledger.
 ///
 /// Strings are escaped per RFC 8259; the output is deterministic (counters
 /// in lexicographic order).

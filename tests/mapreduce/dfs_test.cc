@@ -103,5 +103,135 @@ TEST(DfsTest, RemoveIsIdempotent) {
   EXPECT_FALSE(dfs.Exists("a"));
 }
 
+TEST(DfsTest, LiveBytesTrackCurrentDatasetsNotWriteHistory) {
+  Dfs dfs;
+  dfs.Write("a",
+            std::make_shared<const std::vector<int>>(std::vector<int>{1, 2}),
+            10);
+  dfs.Write("a",
+            std::make_shared<const std::vector<int>>(std::vector<int>{3}),
+            10);
+  // The overwrite is charged twice to the write ledger but only the
+  // surviving dataset is live.
+  EXPECT_EQ(dfs.bytes_written(), 30);
+  EXPECT_EQ(dfs.live_bytes(), 10);
+  EXPECT_EQ(dfs.live_records(), 1);
+  dfs.Remove("a");
+  EXPECT_EQ(dfs.live_bytes(), 0);
+  EXPECT_EQ(dfs.bytes_written(), 30);  // History is never un-charged.
+}
+
+TEST(DfsStageTest, CommitPublishesAndChargesStagedWrites) {
+  Dfs dfs;
+  DfsStage stage(&dfs);
+  ASSERT_TRUE(stage
+                  .Write("job/part-0",
+                         std::make_shared<const std::vector<int>>(
+                             std::vector<int>{1, 2, 3}),
+                         4)
+                  .ok());
+  EXPECT_EQ(stage.staged_records(), 3);
+  EXPECT_EQ(stage.staged_bytes(), 12);
+  // Nothing is visible or charged before commit.
+  EXPECT_FALSE(dfs.Exists("job/part-0"));
+  EXPECT_EQ(dfs.bytes_written(), 0);
+
+  stage.Commit();
+  EXPECT_TRUE(dfs.Exists("job/part-0"));
+  EXPECT_EQ(dfs.bytes_written(), 12);
+  EXPECT_EQ(dfs.records_written(), 3);
+  EXPECT_EQ(stage.staged_records(), 0);  // The stage is drained.
+}
+
+TEST(DfsStageTest, AbortDiscardsWithoutTouchingTheDfs) {
+  Dfs dfs;
+  DfsStage stage(&dfs);
+  ASSERT_TRUE(stage
+                  .Write("job/part-1",
+                         std::make_shared<const std::vector<int>>(
+                             std::vector<int>{7}),
+                         8)
+                  .ok());
+  stage.Abort();
+  EXPECT_FALSE(dfs.Exists("job/part-1"));
+  EXPECT_EQ(dfs.bytes_written(), 0);
+  EXPECT_EQ(dfs.live_bytes(), 0);
+  stage.Commit();  // Commit after abort publishes nothing.
+  EXPECT_EQ(dfs.bytes_written(), 0);
+}
+
+TEST(DfsStageTest, DestructorDiscardsUncommittedWrites) {
+  // A failed task attempt unwinds without calling Commit; its stage's
+  // destructor must leave no phantom bytes in any counter.
+  Dfs dfs;
+  {
+    DfsStage stage(&dfs);
+    ASSERT_TRUE(stage
+                    .Write("job/part-2",
+                           std::make_shared<const std::vector<int>>(
+                               std::vector<int>{1, 2}),
+                           16)
+                    .ok());
+  }
+  EXPECT_FALSE(dfs.Exists("job/part-2"));
+  EXPECT_EQ(dfs.bytes_written(), 0);
+  EXPECT_EQ(dfs.records_written(), 0);
+  EXPECT_EQ(dfs.live_bytes(), 0);
+}
+
+TEST(DfsStageTest, LaterStagedWriteOfSameNameShadowsEarlier) {
+  Dfs dfs;
+  DfsStage stage(&dfs);
+  ASSERT_TRUE(stage
+                  .Write("part",
+                         std::make_shared<const std::vector<int>>(
+                             std::vector<int>{1, 2, 3}),
+                         4)
+                  .ok());
+  ASSERT_TRUE(stage
+                  .Write("part",
+                         std::make_shared<const std::vector<int>>(
+                             std::vector<int>{9}),
+                         4)
+                  .ok());
+  stage.Commit();
+  const auto result = dfs.Read<int>("part");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result.value(), (std::vector<int>{9}));
+  // Both staged writes are charged on commit (same contract as two direct
+  // Dfs::Write calls), but only the last one is live.
+  EXPECT_EQ(dfs.bytes_written(), 16);
+  EXPECT_EQ(dfs.live_bytes(), 4);
+}
+
+TEST(DfsStageTest, CommittedWritesEqualLiveBytesAcrossAttempts) {
+  // The exactly-once invariant the chaos harness asserts end-to-end:
+  // commit each part once (failed attempts abort), and the write ledger
+  // equals the live datasets.
+  Dfs dfs;
+  for (int task = 0; task < 4; ++task) {
+    {
+      DfsStage failed(&dfs);  // Attempt 0 of each task dies uncommitted.
+      ASSERT_TRUE(failed
+                      .Write("job/part-" + std::to_string(task),
+                             std::make_shared<const std::vector<int>>(
+                                 std::vector<int>{task}),
+                             4)
+                      .ok());
+    }
+    DfsStage retry(&dfs);
+    ASSERT_TRUE(retry
+                    .Write("job/part-" + std::to_string(task),
+                           std::make_shared<const std::vector<int>>(
+                               std::vector<int>{task}),
+                           4)
+                    .ok());
+    retry.Commit();
+  }
+  EXPECT_EQ(dfs.bytes_written(), 16);
+  EXPECT_EQ(dfs.bytes_written(), dfs.live_bytes());
+  EXPECT_EQ(dfs.records_written(), dfs.live_records());
+}
+
 }  // namespace
 }  // namespace mwsj

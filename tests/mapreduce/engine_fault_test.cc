@@ -1,0 +1,312 @@
+// Fault injection and recovery semantics of the engine: deterministic
+// FaultPlan decisions, attempt-scoped discarding (emits, user counters,
+// DFS writes), bounded retry with injectable backoff clock, straggler
+// speculation, and retry-exhaustion aborts.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/str_format.h"
+#include "common/trace.h"
+#include "mapreduce/dfs.h"
+#include "mapreduce/engine.h"
+#include "mapreduce/fault.h"
+
+namespace mwsj {
+namespace {
+
+using FaultJob = MapReduceJob<int, int, int, std::pair<int, int>>;
+
+// A small deterministic job: 12 input records → 12 single-record map
+// chunks (task ids 0..11), 4 reducers (task ids 0..3), with a user
+// counter bumped once per map record and once per reduce group. Small on
+// purpose: explicit Inject calls can then target exact (task, attempt)
+// keys.
+struct JobRun {
+  std::vector<std::pair<int, int>> output;
+  JobStats stats;
+};
+
+JobRun RunFaultJob(const ExecutionContext& ctx) {
+  const std::vector<int> input = {5, 3, 11, 0, 7, 2, 9, 4, 1, 10, 6, 8};
+  FaultJob job("fault_job", 4);
+  job.set_partition([](const int& k) { return k; });
+  job.set_map([](const int& v, FaultJob::Emitter& emit) {
+    emit.IncrementCounter("mapped", 1);
+    emit.Emit(v % 4, v);
+  });
+  job.set_reduce([](const int& k, std::span<const int> vals,
+                    FaultJob::OutEmitter& out) {
+    out.IncrementCounter("groups", 1);
+    int sum = 0;
+    for (int v : vals) sum += v;
+    out.Emit({k, sum});
+  });
+  JobRun run;
+  run.stats = job.Run(std::span<const int>(input), &run.output, ctx);
+  return run;
+}
+
+TEST(FaultPlanTest, SeededPlanIsAPureFunctionOfItsKey) {
+  const FaultPlan a = FaultPlan::Seeded(99, 0.2, 0.2, 0.1);
+  const FaultPlan b = FaultPlan::Seeded(99, 0.2, 0.2, 0.1);
+  const FaultPlan other = FaultPlan::Seeded(100, 0.2, 0.2, 0.1);
+  int faults = 0, diverged = 0;
+  for (int phase = 0; phase < 2; ++phase) {
+    for (int64_t task = 0; task < 200; ++task) {
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        const FaultPhase p = static_cast<FaultPhase>(phase);
+        EXPECT_EQ(a.At(p, task, attempt), b.At(p, task, attempt));
+        if (a.At(p, task, attempt) != FaultKind::kNone) ++faults;
+        if (a.At(p, task, attempt) != other.At(p, task, attempt)) ++diverged;
+      }
+    }
+  }
+  // ~50% of 1200 keys should fault, and a different seed should disagree
+  // on a healthy fraction of them.
+  EXPECT_GT(faults, 400);
+  EXPECT_LT(faults, 800);
+  EXPECT_GT(diverged, 200);
+}
+
+TEST(FaultPlanTest, SeededFaultsAreBoundedByMaxFaultedAttempts) {
+  FaultPlan plan = FaultPlan::Seeded(7, 0.5, 0.3, 0.2);  // Faults everywhere.
+  for (int64_t task = 0; task < 100; ++task) {
+    EXPECT_EQ(plan.At(FaultPhase::kMap, task, 3), FaultKind::kNone);
+    EXPECT_EQ(plan.At(FaultPhase::kReduce, task, 7), FaultKind::kNone);
+  }
+  plan.set_max_faulted_attempts(1);
+  for (int64_t task = 0; task < 100; ++task) {
+    EXPECT_EQ(plan.At(FaultPhase::kMap, task, 1), FaultKind::kNone);
+  }
+}
+
+TEST(FaultPlanTest, InjectOverridesTheSeededLayer) {
+  FaultPlan plan;
+  plan.Inject(FaultPhase::kReduce, 2, 1, FaultKind::kFlakyIo);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(plan.At(FaultPhase::kReduce, 2, 1), FaultKind::kFlakyIo);
+  EXPECT_EQ(plan.At(FaultPhase::kReduce, 2, 0), FaultKind::kNone);
+  EXPECT_EQ(plan.At(FaultPhase::kMap, 2, 1), FaultKind::kNone);
+}
+
+TEST(FaultPlanTest, ParseRoundTripsAndRejectsBadSpecs) {
+  const StatusOr<FaultPlan> plan =
+      FaultPlan::Parse("seed=42,crash=0.25,flaky=0.1,slow=0.05,bound=2");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan.value().seed(), 42u);
+  EXPECT_FALSE(plan.value().empty());
+  FaultPlan same = FaultPlan::Seeded(42, 0.25, 0.1, 0.05);
+  same.set_max_faulted_attempts(2);
+  for (int64_t task = 0; task < 50; ++task) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      EXPECT_EQ(plan.value().At(FaultPhase::kMap, task, attempt),
+                same.At(FaultPhase::kMap, task, attempt));
+    }
+  }
+  EXPECT_FALSE(FaultPlan::Parse("crash=2.0").ok());       // Out of [0,1].
+  EXPECT_FALSE(FaultPlan::Parse("crash=0.6,flaky=0.6").ok());  // Sum > 1.
+  EXPECT_FALSE(FaultPlan::Parse("frobnicate=1").ok());    // Unknown key.
+  EXPECT_FALSE(FaultPlan::Parse("seed=abc").ok());        // Unparseable.
+}
+
+TEST(EngineFaultTest, ZeroFaultPlanMatchesPlanFreeRunExactly) {
+  const JobRun plain = RunFaultJob(ExecutionContext());
+  const FaultPlan zero = FaultPlan::Seeded(123, 0.0, 0.0, 0.0);
+  EXPECT_TRUE(zero.empty());
+  ExecutionContext ctx;
+  ctx.faults = &zero;
+  const JobRun planned = RunFaultJob(ctx);
+
+  EXPECT_EQ(plain.output, planned.output);
+  EXPECT_EQ(plain.stats.intermediate_records,
+            planned.stats.intermediate_records);
+  EXPECT_EQ(plain.stats.user_counters, planned.stats.user_counters);
+  // Task/attempt accounting is filled even without a plan (attempts ==
+  // tasks on a clean run) and must be identical in both runs.
+  EXPECT_EQ(plain.stats.map_faults.tasks, planned.stats.map_faults.tasks);
+  EXPECT_EQ(plain.stats.map_faults.attempts,
+            planned.stats.map_faults.attempts);
+  EXPECT_EQ(plain.stats.map_faults.tasks, plain.stats.map_faults.attempts);
+  EXPECT_FALSE(plain.stats.AnyFaults());
+  EXPECT_FALSE(planned.stats.AnyFaults());
+}
+
+TEST(EngineFaultTest, InjectedFaultsRecoverWithIdenticalOutputAndCounters) {
+  const JobRun baseline = RunFaultJob(ExecutionContext());
+
+  FaultPlan plan;
+  plan.Inject(FaultPhase::kMap, 0, 0, FaultKind::kCrash);
+  plan.Inject(FaultPhase::kMap, 5, 0, FaultKind::kFlakyIo);
+  plan.Inject(FaultPhase::kMap, 5, 1, FaultKind::kCrash);
+  plan.Inject(FaultPhase::kMap, 7, 0, FaultKind::kSlow);
+  plan.Inject(FaultPhase::kReduce, 1, 0, FaultKind::kFlakyIo);
+  plan.Inject(FaultPhase::kReduce, 3, 0, FaultKind::kSlow);
+  RetryPolicy retry;
+  retry.sleep = [](double) {};
+  ExecutionContext ctx;
+  ctx.faults = &plan;
+  ctx.retry = &retry;
+  const JobRun faulted = RunFaultJob(ctx);
+
+  // Exactly-once: output, shuffle accounting, and user counters are
+  // byte-identical to the fault-free run despite 6 faulted attempts.
+  EXPECT_EQ(faulted.output, baseline.output);
+  EXPECT_EQ(faulted.stats.intermediate_records,
+            baseline.stats.intermediate_records);
+  EXPECT_EQ(faulted.stats.intermediate_bytes,
+            baseline.stats.intermediate_bytes);
+  EXPECT_EQ(faulted.stats.per_reducer_records,
+            baseline.stats.per_reducer_records);
+  EXPECT_EQ(faulted.stats.user_counters, baseline.stats.user_counters);
+
+  // And the wasted work is all accounted: 12 map tasks, 4 faulted map
+  // attempts (crash + flaky + crash = 3 retries, 1 speculative), 4 reduce
+  // tasks with 1 retry + 1 speculative.
+  EXPECT_TRUE(faulted.stats.AnyFaults());
+  EXPECT_EQ(faulted.stats.map_faults.tasks, 12);
+  EXPECT_EQ(faulted.stats.map_faults.attempts, 12 + 4);
+  EXPECT_EQ(faulted.stats.map_faults.retries, 3);
+  EXPECT_EQ(faulted.stats.map_faults.speculative, 1);
+  EXPECT_EQ(faulted.stats.reduce_faults.tasks, 4);
+  EXPECT_EQ(faulted.stats.reduce_faults.attempts, 4 + 2);
+  EXPECT_EQ(faulted.stats.reduce_faults.retries, 1);
+  EXPECT_EQ(faulted.stats.reduce_faults.speculative, 1);
+  // The flaky map attempt processed (and discarded) half of a 1-record
+  // chunk = 0 records, but the speculative attempts re-emitted real pairs.
+  EXPECT_GT(faulted.stats.map_faults.wasted_records, 0);
+  EXPECT_GT(faulted.stats.reduce_faults.wasted_records, 0);
+}
+
+TEST(EngineFaultTest, BackoffFollowsExponentialScheduleOnVirtualClock) {
+  FaultPlan plan;
+  plan.Inject(FaultPhase::kMap, 3, 0, FaultKind::kCrash);
+  plan.Inject(FaultPhase::kMap, 3, 1, FaultKind::kCrash);
+  plan.Inject(FaultPhase::kMap, 3, 2, FaultKind::kCrash);
+  RetryPolicy retry;
+  retry.backoff_initial_seconds = 1.0;  // Would stall for 7s if real.
+  retry.backoff_multiplier = 2.0;
+  std::vector<double> sleeps;
+  retry.sleep = [&sleeps](double s) { sleeps.push_back(s); };
+  ExecutionContext ctx;
+  ctx.faults = &plan;
+  ctx.retry = &retry;
+  const JobRun run = RunFaultJob(ctx);
+
+  ASSERT_EQ(sleeps, (std::vector<double>{1.0, 2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(run.stats.map_faults.backoff_seconds, 7.0);
+  EXPECT_EQ(run.stats.map_faults.retries, 3);
+  // BackoffSeconds itself, for good measure.
+  EXPECT_DOUBLE_EQ(BackoffSeconds(retry, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(retry, 4), 16.0);
+}
+
+TEST(EngineFaultDeathTest, MapRetryExhaustionAbortsTheJob) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  FaultPlan plan;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    plan.Inject(FaultPhase::kMap, 2, attempt, FaultKind::kCrash);
+  }
+  RetryPolicy retry;
+  retry.sleep = [](double) {};
+  ExecutionContext ctx;
+  ctx.faults = &plan;
+  ctx.retry = &retry;
+  EXPECT_DEATH(RunFaultJob(ctx),
+               "MapReduceJob 'fault_job': map task 2 failed 4 attempts");
+}
+
+TEST(EngineFaultDeathTest, ReduceRetryExhaustionAbortsTheJob) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  FaultPlan plan;
+  plan.Inject(FaultPhase::kReduce, 1, 0, FaultKind::kCrash);
+  plan.Inject(FaultPhase::kReduce, 1, 1, FaultKind::kFlakyIo);
+  RetryPolicy retry;
+  retry.max_attempts = 2;  // Tight budget: two failures exhaust it.
+  retry.sleep = [](double) {};
+  ExecutionContext ctx;
+  ctx.faults = &plan;
+  ctx.retry = &retry;
+  EXPECT_DEATH(RunFaultJob(ctx),
+               "MapReduceJob 'fault_job': reduce task 1 failed 2 attempts");
+}
+
+TEST(EngineFaultTest, DfsPartFilesAreCommittedExactlyOnce) {
+  Dfs baseline_dfs;
+  ExecutionContext baseline_ctx;
+  baseline_ctx.dfs = &baseline_dfs;
+  const JobRun baseline = RunFaultJob(baseline_ctx);
+  ASSERT_TRUE(baseline_dfs.Exists("fault_job/part-0"));
+  ASSERT_TRUE(baseline_dfs.Exists("fault_job/part-3"));
+
+  FaultPlan plan = FaultPlan::Seeded(17, 0.2, 0.15, 0.1);
+  RetryPolicy retry;
+  retry.sleep = [](double) {};
+  Dfs faulted_dfs;
+  ExecutionContext ctx;
+  ctx.faults = &plan;
+  ctx.retry = &retry;
+  ctx.dfs = &faulted_dfs;
+  const JobRun faulted = RunFaultJob(ctx);
+
+  EXPECT_EQ(faulted.output, baseline.output);
+  // Every part file committed once, by the committing attempt only: the
+  // write ledger equals the live datasets and matches the fault-free run.
+  EXPECT_EQ(faulted_dfs.bytes_written(), baseline_dfs.bytes_written());
+  EXPECT_EQ(faulted_dfs.records_written(), baseline_dfs.records_written());
+  EXPECT_EQ(faulted_dfs.bytes_written(), faulted_dfs.live_bytes());
+  EXPECT_EQ(faulted_dfs.records_written(), faulted_dfs.live_records());
+}
+
+TEST(EngineFaultTest, TracerMarksFailedAndSpeculativeAttempts) {
+  FaultPlan plan;
+  plan.Inject(FaultPhase::kMap, 4, 0, FaultKind::kCrash);
+  plan.Inject(FaultPhase::kReduce, 0, 0, FaultKind::kSlow);
+  RetryPolicy retry;
+  retry.sleep = [](double) {};
+  Tracer tracer;
+  ExecutionContext ctx;
+  ctx.tracer = &tracer;
+  ctx.faults = &plan;
+  ctx.retry = &retry;
+  RunFaultJob(ctx);
+
+  const std::string json = tracer.ToJson();
+  EXPECT_NE(json.find("\"name\": \"map_attempt\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"reduce_attempt\""), std::string::npos);
+  EXPECT_NE(json.find("\"failed\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"speculative\": 1"), std::string::npos);
+  // Committing tasks keep their regular span names.
+  EXPECT_NE(json.find("\"name\": \"map_chunk\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"reduce_task\""), std::string::npos);
+}
+
+TEST(EngineFaultTest, SeededPlanIsThreadCountInvariant) {
+  FaultPlan plan = FaultPlan::Seeded(31, 0.15, 0.15, 0.1);
+  RetryPolicy retry;
+  retry.sleep = [](double) {};
+  ExecutionContext serial_ctx;
+  serial_ctx.faults = &plan;
+  serial_ctx.retry = &retry;
+  const JobRun serial = RunFaultJob(serial_ctx);
+
+  ThreadPool pool(4);
+  ExecutionContext pool_ctx = serial_ctx;
+  pool_ctx.pool = &pool;
+  const JobRun threaded = RunFaultJob(pool_ctx);
+
+  EXPECT_EQ(serial.output, threaded.output);
+  EXPECT_EQ(serial.stats.map_faults.attempts, threaded.stats.map_faults.attempts);
+  EXPECT_EQ(serial.stats.map_faults.retries, threaded.stats.map_faults.retries);
+  EXPECT_EQ(serial.stats.reduce_faults.attempts,
+            threaded.stats.reduce_faults.attempts);
+  EXPECT_EQ(serial.stats.reduce_faults.wasted_records,
+            threaded.stats.reduce_faults.wasted_records);
+  EXPECT_EQ(serial.stats.user_counters, threaded.stats.user_counters);
+}
+
+}  // namespace
+}  // namespace mwsj

@@ -1,0 +1,63 @@
+#ifndef MWSJ_TESTS_TESTING_CHAOS_H_
+#define MWSJ_TESTS_TESTING_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "core/runner.h"
+#include "testing/world.h"
+
+namespace mwsj::testing {
+
+/// Chaos-test harness for the engine's exactly-once fault recovery.
+///
+/// One chaos world runs a randomized join three ways — a brute-force
+/// oracle, a fault-free baseline, and under a seeded deterministic
+/// FaultPlan — and cross-checks that fault injection is invisible in
+/// everything except the fault accounting itself: byte-identical tuples,
+/// user counters, shuffle statistics, and DFS byte accounting.
+
+struct ChaosOptions {
+  /// Seed of the FaultPlan::Seeded plan applied to the faulted run.
+  uint64_t fault_seed = 1;
+  /// Per-attempt fault probabilities. The defaults are brutal compared to
+  /// any real cluster (~20% of attempts fault) so even a 9-task job
+  /// usually retries something.
+  double crash_prob = 0.08;
+  double flaky_prob = 0.08;
+  double slow_prob = 0.04;
+  /// Worker pool for all three runs; null = unthreaded. Fault plans are
+  /// keyed by (phase, task, attempt), so the outcome must not depend on
+  /// this.
+  ThreadPool* pool = nullptr;
+};
+
+/// What one chaos world observed. The fault tallies aggregate the faulted
+/// run's JobStats across jobs; callers typically sum them over many worlds
+/// and assert the plans actually fired (retries > 0).
+struct ChaosOutcome {
+  int64_t attempts = 0;
+  int64_t retries = 0;
+  int64_t speculative = 0;
+  int64_t wasted_records = 0;
+  double wasted_seconds = 0;
+  double backoff_seconds = 0;
+  int64_t num_tuples = 0;
+
+  /// Empty when the faulted run matched the brute-force oracle and the
+  /// fault-free baseline everywhere; else describes the first divergence.
+  std::string mismatch;
+  bool ok() const { return mismatch.empty(); }
+};
+
+/// Runs one chaos world for `algorithm`. Deterministic: the same
+/// (config, algorithm, options) triple always yields the same outcome,
+/// threaded or not. No real sleeps — the faulted run's retry policy
+/// injects a virtual backoff clock.
+ChaosOutcome RunChaosWorld(const WorldConfig& config, Algorithm algorithm,
+                           const ChaosOptions& options);
+
+}  // namespace mwsj::testing
+
+#endif  // MWSJ_TESTS_TESTING_CHAOS_H_

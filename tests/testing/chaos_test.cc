@@ -1,0 +1,144 @@
+// Randomized chaos property test: 100+ worlds of seeded fault plans swept
+// over every distributed algorithm, threaded and unthreaded. Each world
+// must produce byte-identical output, counters, and DFS accounting to a
+// fault-free run (and the brute-force oracle) — the engine's exactly-once
+// re-execution contract under crash, flaky-I/O, and straggler faults.
+//
+// MWSJ_CHAOS_SEED_BASE (env, default 0) shifts every world and fault seed;
+// CI runs a small matrix of bases so the suite keeps exploring new plans
+// while any failure stays reproducible from the logged config.
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "testing/chaos.h"
+
+namespace mwsj {
+namespace {
+
+using testing::ChaosOptions;
+using testing::ChaosOutcome;
+using testing::PredicateMix;
+using testing::QueryShape;
+using testing::WorldConfig;
+
+constexpr int kWorldsPerCase = 13;  // x (4 algorithms x {serial, pool}) = 104.
+
+uint64_t SeedBase() {
+  const char* env = std::getenv("MWSJ_CHAOS_SEED_BASE");
+  if (env == nullptr || *env == '\0') return 0;
+  return std::strtoull(env, nullptr, 10);
+}
+
+class ChaosTest
+    : public ::testing::TestWithParam<std::tuple<Algorithm, bool>> {};
+
+TEST_P(ChaosTest, ExactlyOnceUnderSeededFaultPlans) {
+  const Algorithm algorithm = std::get<0>(GetParam());
+  const bool threaded = std::get<1>(GetParam());
+  const uint64_t base = SeedBase();
+
+  std::unique_ptr<ThreadPool> pool;
+  if (threaded) pool = std::make_unique<ThreadPool>(4);
+
+  constexpr QueryShape kShapes[] = {QueryShape::kChain3, QueryShape::kChain4,
+                                    QueryShape::kStar4, QueryShape::kCycle3};
+  constexpr PredicateMix kMixes[] = {PredicateMix::kOverlapOnly,
+                                     PredicateMix::kRangeOnly,
+                                     PredicateMix::kHybrid};
+
+  ChaosOutcome total;
+  for (int i = 0; i < kWorldsPerCase; ++i) {
+    WorldConfig config;
+    config.shape = kShapes[i % 4];
+    config.mix = kMixes[i % 3];
+    config.integer_coords = (i % 2 == 1);
+    config.seed = base * 1000003 + static_cast<uint64_t>(i) * 7919 + 13;
+
+    ChaosOptions options;
+    options.fault_seed = base * 6364136223846793005ull +
+                         static_cast<uint64_t>(i) * 104729 + 1;
+    options.pool = pool.get();
+
+    const ChaosOutcome outcome =
+        testing::RunChaosWorld(config, algorithm, options);
+    EXPECT_TRUE(outcome.ok())
+        << AlgorithmName(algorithm) << (threaded ? " (pool)" : " (serial)")
+        << " world " << i << " seed " << config.seed << " fault_seed "
+        << options.fault_seed << ": " << outcome.mismatch;
+    if (!outcome.ok()) break;
+
+    total.attempts += outcome.attempts;
+    total.retries += outcome.retries;
+    total.speculative += outcome.speculative;
+    total.wasted_records += outcome.wasted_records;
+    total.backoff_seconds += outcome.backoff_seconds;
+  }
+
+  // The sweep is only meaningful if the plans actually fired: across 13
+  // worlds at ~20% per-attempt fault probability, every case must see
+  // retries, stragglers, and discarded work.
+  EXPECT_GT(total.retries, 0) << "fault plans never fired";
+  EXPECT_GT(total.speculative, 0) << "no straggler was ever re-executed";
+  EXPECT_GT(total.wasted_records, 0) << "no attempt output was discarded";
+  EXPECT_GT(total.backoff_seconds, 0) << "retries never backed off";
+}
+
+std::string CaseName(
+    const ::testing::TestParamInfo<std::tuple<Algorithm, bool>>& info) {
+  // AlgorithmName() strings ("2-way Cascade", "C-Rep") are not valid gtest
+  // identifiers; map to clean ones.
+  std::string name;
+  switch (std::get<0>(info.param)) {
+    case Algorithm::kTwoWayCascade: name = "Cascade"; break;
+    case Algorithm::kAllReplicate: name = "AllReplicate"; break;
+    case Algorithm::kControlledReplicate: name = "CRep"; break;
+    case Algorithm::kControlledReplicateInLimit: name = "CRepL"; break;
+    default: name = "Unknown"; break;
+  }
+  return name + (std::get<1>(info.param) ? "Pool" : "Serial");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeededFaultPlans, ChaosTest,
+    ::testing::Combine(::testing::Values(Algorithm::kTwoWayCascade,
+                                         Algorithm::kAllReplicate,
+                                         Algorithm::kControlledReplicate,
+                                         Algorithm::kControlledReplicateInLimit),
+                       ::testing::Bool()),
+    CaseName);
+
+// The same fault plan must recover identically with and without a worker
+// pool: the plan is keyed by (phase, task, attempt), never by thread.
+TEST(ChaosDeterminism, PoolInvariantFaultAccounting) {
+  WorldConfig config;
+  config.mix = PredicateMix::kHybrid;
+  config.seed = SeedBase() * 31 + 5;
+
+  ChaosOptions serial_options;
+  serial_options.fault_seed = SeedBase() + 42;
+  const ChaosOutcome serial = testing::RunChaosWorld(
+      config, Algorithm::kControlledReplicate, serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.mismatch;
+
+  ThreadPool pool(4);
+  ChaosOptions pool_options = serial_options;
+  pool_options.pool = &pool;
+  const ChaosOutcome threaded = testing::RunChaosWorld(
+      config, Algorithm::kControlledReplicate, pool_options);
+  ASSERT_TRUE(threaded.ok()) << threaded.mismatch;
+
+  EXPECT_EQ(serial.attempts, threaded.attempts);
+  EXPECT_EQ(serial.retries, threaded.retries);
+  EXPECT_EQ(serial.speculative, threaded.speculative);
+  EXPECT_EQ(serial.wasted_records, threaded.wasted_records);
+  EXPECT_EQ(serial.num_tuples, threaded.num_tuples);
+  EXPECT_DOUBLE_EQ(serial.backoff_seconds, threaded.backoff_seconds);
+}
+
+}  // namespace
+}  // namespace mwsj

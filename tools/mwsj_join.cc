@@ -7,6 +7,7 @@
 //             [--grid 8x8] [--partitioning uniform|equidepth]
 //             [--distinct-ids] [--count-only] [--optimize-order]
 //             [--estimate] [--verify] [--explain] [--threads N]
+//             [--faults seed=42,crash=0.05,flaky=0.05,slow=0.02]
 //             [--output tuples.csv] [--stats-json stats.json]
 //             [--trace trace.json]
 //
@@ -14,6 +15,10 @@
 // extension. Prints the run's statistics to stdout; with --output, writes
 // the result tuples as CSV. --threads N runs the engine on a worker pool
 // (N=0 picks the hardware concurrency); output is identical either way.
+// --faults SPEC injects a seeded deterministic fault plan (crash/flaky/
+// slow task attempts, see mapreduce/fault.h) into every engine job; the
+// output stays byte-identical to a fault-free run while the per-job retry
+// and wasted-work accounting is printed and exported via --stats-json.
 // --trace PATH records every engine phase, per-chunk/per-reducer task, and
 // algorithm stage as spans in Chrome trace-event JSON; open the file in
 // https://ui.perfetto.dev or chrome://tracing.
@@ -35,6 +40,7 @@
 #include "core/verification.h"
 #include "io/dataset_io.h"
 #include "mapreduce/cost_model.h"
+#include "mapreduce/fault.h"
 #include "mapreduce/stats_json.h"
 #include "query/parser.h"
 #include "stats/grid_histogram.h"
@@ -48,6 +54,7 @@ int Usage(const char* argv0) {
                "  [--grid RxC] [--partitioning uniform|equidepth]\n"
                "  [--distinct-ids] [--count-only] [--optimize-order]\n"
                "  [--estimate] [--verify] [--explain] [--threads N]\n"
+               "  [--faults seed=S,crash=P,flaky=P,slow=P[,bound=N]]\n"
                "  [--output PATH] [--stats-json PATH] [--trace PATH]\n",
                argv0);
   return 2;
@@ -62,6 +69,8 @@ int main(int argc, char** argv) {
   std::string output_path;
   std::string stats_json_path;
   std::string trace_path;
+  std::string faults_spec;
+  bool have_faults = false;
   bool estimate = false;
   bool verify = false;
   bool explain = false;
@@ -134,6 +143,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       trace_path = v;
+    } else if (arg == "--faults") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      faults_spec = v;
+      have_faults = true;
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      faults_spec = arg.substr(std::strlen("--faults="));
+      have_faults = true;
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_path = arg.substr(std::strlen("--trace="));
       if (trace_path.empty()) return Usage(argv[0]);
@@ -216,6 +233,19 @@ int main(int argc, char** argv) {
     tracer = std::make_unique<mwsj::Tracer>();
     options.context.tracer = tracer.get();
   }
+  mwsj::FaultPlan fault_plan;
+  if (have_faults) {
+    auto parsed = mwsj::FaultPlan::Parse(faults_spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--faults: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    fault_plan = std::move(parsed).value();
+    options.context.faults = &fault_plan;
+    std::printf("fault plan: %s (seed %llu)\n", faults_spec.c_str(),
+                static_cast<unsigned long long>(fault_plan.seed()));
+  }
 
   const auto result = mwsj::RunSpatialJoin(query.value(), relations, options);
   if (!result.ok()) {
@@ -250,6 +280,24 @@ int main(int argc, char** argv) {
                 " (slowest map chunk %.3fs, slowest reducer %.3fs)\n",
                 job.map_seconds, job.shuffle_seconds, job.reduce_seconds,
                 job.MaxMapChunkSeconds(), job.MaxReducerSeconds());
+    if (job.AnyFaults()) {
+      std::printf(
+          "      faults map=%lld/%lld attempts reduce=%lld/%lld attempts"
+          " (retries %lld, speculative %lld, wasted %lld records in %.3fs,"
+          " backoff %.3fs)\n",
+          static_cast<long long>(job.map_faults.attempts),
+          static_cast<long long>(job.map_faults.tasks),
+          static_cast<long long>(job.reduce_faults.attempts),
+          static_cast<long long>(job.reduce_faults.tasks),
+          static_cast<long long>(job.map_faults.retries +
+                                 job.reduce_faults.retries),
+          static_cast<long long>(job.map_faults.speculative +
+                                 job.reduce_faults.speculative),
+          static_cast<long long>(job.map_faults.wasted_records +
+                                 job.reduce_faults.wasted_records),
+          job.map_faults.wasted_seconds + job.reduce_faults.wasted_seconds,
+          job.map_faults.backoff_seconds + job.reduce_faults.backoff_seconds);
+    }
   }
   const mwsj::CostModel model;
   std::printf("modeled cluster time: %s\n",
