@@ -1,0 +1,79 @@
+#ifndef MWSJ_COMMON_MUTEX_H_
+#define MWSJ_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace mwsj {
+
+/// Annotated drop-in replacements for `std::mutex` / `std::lock_guard` /
+/// `std::condition_variable`, giving Clang's `-Wthread-safety` analysis the
+/// capability attributes the standard types lack. Zero-overhead: every
+/// member is an inline forward to the wrapped std type.
+///
+/// `Mutex` is BasicLockable (lock/unlock/try_lock), so it also works with
+/// `std::unique_lock` and `std::condition_variable_any` — but prefer
+/// `MutexLock` and `CondVar`, which keep the analysis informed; an
+/// unannotated `std::unique_lock<Mutex>` makes the analysis lose track of
+/// the critical section.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII critical section over `Mutex`; the analysis treats the guard's
+/// scope as the region where the mutex is held.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable usable with `Mutex`. `Wait` takes the mutex the
+/// caller holds (enforced by `REQUIRES`); as with `std::condition_variable`
+/// the predicate must be re-checked in a loop around the wait, and that
+/// explicit `while (!pred) cv.Wait(mu);` shape — rather than the
+/// `wait(lock, lambda)` overload — is what lets the analysis verify the
+/// predicate's guarded reads.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires `mu` before
+  /// returning. Spurious wakeups are possible; loop on the predicate.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // The caller's MutexLock keeps ownership.
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mwsj
+
+#endif  // MWSJ_COMMON_MUTEX_H_

@@ -1,0 +1,75 @@
+#ifndef MWSJ_COMMON_THREAD_ANNOTATIONS_H_
+#define MWSJ_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis annotations (-Wthread-safety).
+///
+/// The macros attach lock-discipline contracts to data and functions so the
+/// *compiler* rejects races the chaos/TSan suite could only hope to catch
+/// dynamically: which mutex guards which field (`GUARDED_BY`), which locks a
+/// function needs held (`REQUIRES`), acquires (`ACQUIRE`), releases
+/// (`RELEASE`), or must not hold (`EXCLUDES`). They expand to Clang
+/// `capability` attributes under Clang and to nothing under GCC/MSVC, so the
+/// annotated code builds everywhere while CI's Clang job builds the library
+/// with `-Wthread-safety -Werror=thread-safety`.
+///
+/// The standard library's mutex types carry no capability attributes (with
+/// libstdc++ the analysis cannot see through `std::mutex` /
+/// `std::lock_guard` at all), so annotated code must use the `mwsj::Mutex` /
+/// `mwsj::MutexLock` / `mwsj::CondVar` wrappers from common/mutex.h —
+/// they are the capability-bearing types these macros are written against.
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && (!defined(SWIG))
+#define MWSJ_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define MWSJ_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" in diagnostics).
+#define CAPABILITY(x) MWSJ_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type whose lifetime equals a critical section.
+#define SCOPED_CAPABILITY MWSJ_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Field `x` may only be read/written while holding the named mutex.
+#define GUARDED_BY(x) MWSJ_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer field: the *pointed-to* data is protected by the named mutex.
+#define PT_GUARDED_BY(x) MWSJ_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// The caller must hold the named mutexes (exclusively) to call this.
+#define REQUIRES(...) \
+  MWSJ_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// The caller must hold the named mutexes at least shared.
+#define REQUIRES_SHARED(...) \
+  MWSJ_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// This function acquires the named mutexes and does not release them.
+#define ACQUIRE(...) \
+  MWSJ_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// This function releases the named mutexes (which must be held on entry).
+#define RELEASE(...) \
+  MWSJ_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// This function acquires the named mutexes iff it returns `b`.
+#define TRY_ACQUIRE(b, ...) \
+  MWSJ_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(b, __VA_ARGS__))
+
+/// The caller must NOT hold the named mutexes (deadlock prevention for
+/// functions that acquire them internally).
+#define EXCLUDES(...) \
+  MWSJ_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Returns a reference to the mutex guarding this object.
+#define RETURN_CAPABILITY(x) \
+  MWSJ_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: disables analysis inside one function. Use only for code
+/// whose locking pattern the analysis cannot express, with a comment why.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  MWSJ_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // MWSJ_COMMON_THREAD_ANNOTATIONS_H_

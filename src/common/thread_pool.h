@@ -1,13 +1,14 @@
 #ifndef MWSJ_COMMON_THREAD_POOL_H_
 #define MWSJ_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mwsj {
 
@@ -16,6 +17,10 @@ namespace mwsj {
 /// blocks until the queue drains. The pool is intentionally minimal — no
 /// futures, no priorities — because the engine only ever runs
 /// fork-join-style batches.
+///
+/// Lock discipline (compile-time checked under Clang `-Wthread-safety`):
+/// `mu_` guards the queue and the in-flight/shutdown state; workers take it
+/// only to pop/account, never while running a task.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers. `num_threads == 0` selects
@@ -25,26 +30,26 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  ~ThreadPool();
+  ~ThreadPool() EXCLUDES(mu_);
 
   /// Enqueues a task for execution on some worker.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  // Queued + currently-running tasks.
-  bool shutdown_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mu_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t in_flight_ GUARDED_BY(mu_) = 0;  // Queued + currently-running tasks.
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // Written only in the constructor.
 };
 
 /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <fstream>
 
+#include "common/mutex.h"
 #include "common/str_format.h"
 
 namespace mwsj {
@@ -69,7 +70,7 @@ Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
   auto buffer = std::make_unique<ThreadBuffer>();
   ThreadBuffer* raw = buffer.get();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     raw->tid = static_cast<int>(buffers_.size());
     buffers_.push_back(std::move(buffer));
   }
@@ -83,6 +84,8 @@ void Tracer::BeginSpan(std::string_view name, std::string_view category) {
   ThreadBuffer* buffer = BufferForThisThread();
   buffer->events.push_back(
       Event{'B', ts, std::string(name), std::string(category), {}});
+  buffer->committed.store(static_cast<int64_t>(buffer->events.size()),
+                          std::memory_order_release);
 }
 
 void Tracer::EndSpan(std::string_view args_json) {
@@ -90,6 +93,8 @@ void Tracer::EndSpan(std::string_view args_json) {
   const double ts = NowMicros();
   ThreadBuffer* buffer = BufferForThisThread();
   buffer->events.push_back(Event{'E', ts, {}, {}, std::string(args_json)});
+  buffer->committed.store(static_cast<int64_t>(buffer->events.size()),
+                          std::memory_order_release);
 }
 
 void Tracer::Instant(std::string_view name, std::string_view category,
@@ -100,19 +105,23 @@ void Tracer::Instant(std::string_view name, std::string_view category,
   buffer->events.push_back(Event{'i', ts, std::string(name),
                                  std::string(category),
                                  std::string(args_json)});
+  buffer->committed.store(static_cast<int64_t>(buffer->events.size()),
+                          std::memory_order_release);
 }
 
 int64_t Tracer::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int64_t total = 0;
   for (const auto& buffer : buffers_) {
-    total += static_cast<int64_t>(buffer->events.size());
+    // The atomic count, not events.size(): emitting threads append to their
+    // buffers without holding mu_, so reading the vector here would race.
+    total += buffer->committed.load(std::memory_order_acquire);
   }
   return total;
 }
 
 std::string Tracer::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out = "{\"traceEvents\": [";
   bool first = true;
   for (const auto& buffer : buffers_) {

@@ -1,15 +1,17 @@
 #ifndef MWSJ_COMMON_TRACE_H_
 #define MWSJ_COMMON_TRACE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace mwsj {
 
@@ -60,18 +62,20 @@ class Tracer {
   void Instant(std::string_view name, std::string_view category,
                std::string_view args_json = {});
 
-  /// Total events recorded so far across all threads. Takes the registry
-  /// lock; intended for tests, not hot paths.
-  int64_t event_count() const;
+  /// Total events recorded so far across all threads. Safe to call while
+  /// other threads are emitting: sums each buffer's atomically published
+  /// committed-event count instead of touching the (unsynchronized) event
+  /// vectors. Takes the registry lock; intended for tests, not hot paths.
+  int64_t event_count() const EXCLUDES(mu_);
 
   /// Serializes every recorded event as a Chrome trace JSON document:
   /// `{"traceEvents": [...], "displayTimeUnit": "ms"}`. Deterministic for
   /// a deterministic event sequence (events grouped by tid in registration
   /// order, each thread's events in emission order).
-  std::string ToJson() const;
+  std::string ToJson() const EXCLUDES(mu_);
 
   /// Writes ToJson() to `path`.
-  Status WriteJson(const std::string& path) const;
+  Status WriteJson(const std::string& path) const EXCLUDES(mu_);
 
  private:
   struct Event {
@@ -83,10 +87,15 @@ class Tracer {
   };
   struct ThreadBuffer {
     int tid = 0;
+    /// Appended only by the owning thread; read by export after quiescence.
     std::vector<Event> events;
+    /// Count of fully constructed events, published with release by the
+    /// owning thread after each append so event_count() can read it (with
+    /// acquire) concurrently with emission.
+    std::atomic<int64_t> committed{0};
   };
 
-  ThreadBuffer* BufferForThisThread();
+  ThreadBuffer* BufferForThisThread() EXCLUDES(mu_);
   double NowMicros() const {
     return std::chrono::duration<double, std::micro>(
                std::chrono::steady_clock::now() - epoch_)
@@ -97,8 +106,8 @@ class Tracer {
   const uint64_t id_;  // Process-unique, never reused: keys the TLS cache.
   const std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mu_;  // Guards buffers_ (registration and export).
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable Mutex mu_;  // Guards buffers_ (registration and export).
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ GUARDED_BY(mu_);
 };
 
 /// RAII span: begins on construction, ends on destruction. Null or

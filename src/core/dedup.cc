@@ -1,3 +1,10 @@
+// mwsj-lint: hot-path
+// mwsj-lint: alloc-free
+//
+// Reference-point dedup kernels: called once per candidate pair/tuple, so
+// they must stay free of std::function indirection and heap allocation.
+// Shared state is limited to relaxed atomics (statistics, not
+// synchronization); there is no lock to annotate.
 #include "core/dedup.h"
 
 #include <algorithm>

@@ -1,3 +1,10 @@
+// mwsj-lint: hot-path
+// mwsj-lint: alloc-free
+//
+// Cell-transform kernels: one call per input rectangle per round. Output
+// cells append into caller-owned vectors; no naked new/malloc, no
+// std::function. Shared state is limited to relaxed atomics (statistics,
+// not synchronization); there is no lock to annotate.
 #include "grid/transform.h"
 
 #include <algorithm>

@@ -1,3 +1,9 @@
+// mwsj-lint: hot-path
+// mwsj-lint: alloc-free
+//
+// The multiway binding recursion is the innermost loop of every reducer:
+// emits are templated (no std::function per candidate) and probes reuse
+// BindScratch, so this file must stay free of both.
 #include "localjoin/multiway.h"
 
 #include <algorithm>

@@ -1,3 +1,9 @@
+// mwsj-lint: hot-path
+// mwsj-lint: alloc-free
+//
+// R-tree probes run once per candidate rectangle with caller-owned
+// QueryScratch; the query path must stay allocation-free and without
+// std::function indirection.
 #include "localjoin/rtree.h"
 
 #include <algorithm>

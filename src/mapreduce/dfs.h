@@ -4,13 +4,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <typeindex>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace mwsj {
 
@@ -37,12 +38,12 @@ class Dfs {
   template <typename T>
   Status Write(const std::string& name,
                std::shared_ptr<const std::vector<T>> records,
-               int64_t record_bytes = sizeof(T)) {
+               int64_t record_bytes = sizeof(T)) EXCLUDES(mu_) {
     if (records == nullptr) {
       return Status::InvalidArgument("null record vector for dataset '" +
                                      name + "'");
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     Entry e;
     e.data = std::static_pointer_cast<const void>(records);
     e.type = std::type_index(typeid(T));
@@ -59,8 +60,8 @@ class Dfs {
   /// mismatch.
   template <typename T>
   StatusOr<std::shared_ptr<const std::vector<T>>> Read(
-      const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
+      const std::string& name) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     auto it = datasets_.find(name);
     if (it == datasets_.end()) {
       return Status::NotFound("no dataset named '" + name + "'");
@@ -74,31 +75,31 @@ class Dfs {
     return std::static_pointer_cast<const std::vector<T>>(it->second.data);
   }
 
-  bool Exists(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool Exists(const std::string& name) const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return datasets_.count(name) > 0;
   }
 
   /// Removes a dataset; missing names are a no-op (idempotent cleanup).
-  void Remove(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Remove(const std::string& name) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     datasets_.erase(name);
   }
 
-  int64_t bytes_written() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  int64_t bytes_written() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return bytes_written_;
   }
-  int64_t bytes_read() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  int64_t bytes_read() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return bytes_read_;
   }
-  int64_t records_written() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  int64_t records_written() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return records_written_;
   }
-  int64_t records_read() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  int64_t records_read() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return records_read_;
   }
 
@@ -106,14 +107,14 @@ class Dfs {
   /// attempt staging: a discarded attempt changes neither these nor
   /// bytes_written() — phantom bytes from failed attempts never appear in
   /// any counter (dfs_test.cc checks this).
-  int64_t live_bytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  int64_t live_bytes() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     int64_t total = 0;
     for (const auto& [name, e] : datasets_) total += e.bytes;
     return total;
   }
-  int64_t live_records() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  int64_t live_records() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     int64_t total = 0;
     for (const auto& [name, e] : datasets_) total += e.records;
     return total;
@@ -131,19 +132,19 @@ class Dfs {
 
   /// Installs a staged entry, charging its write cost. Only DfsStage
   /// (i.e. a successful attempt's Commit) reaches this.
-  void CommitEntry(const std::string& name, Entry e) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void CommitEntry(const std::string& name, Entry e) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     bytes_written_ += e.bytes;
     records_written_ += e.records;
     datasets_[name] = std::move(e);
   }
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> datasets_;
-  int64_t bytes_written_ = 0;
-  int64_t bytes_read_ = 0;
-  int64_t records_written_ = 0;
-  int64_t records_read_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> datasets_ GUARDED_BY(mu_);
+  int64_t bytes_written_ GUARDED_BY(mu_) = 0;
+  int64_t bytes_read_ GUARDED_BY(mu_) = 0;
+  int64_t records_written_ GUARDED_BY(mu_) = 0;
+  int64_t records_read_ GUARDED_BY(mu_) = 0;
 };
 
 /// Attempt-scoped staging for DFS writes — the OutputCommitter of the

@@ -9,7 +9,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -18,7 +17,9 @@
 #include <vector>
 
 #include "common/execution_context.h"
+#include "common/mutex.h"
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "mapreduce/counters.h"
@@ -194,8 +195,9 @@ class MapReduceJob {
   /// double-counted when its attempt is re-executed under a fault plan.
   /// Task bodies must use Emitter/OutEmitter::IncrementCounter instead;
   /// this method is for driver-side accounting outside task attempts.
-  void IncrementCounter(const std::string& name, int64_t delta) {
-    std::lock_guard<std::mutex> lock(counter_mu_);
+  void IncrementCounter(const std::string& name, int64_t delta)
+      EXCLUDES(counter_mu_) {
+    MutexLock lock(&counter_mu_);
     user_counters_[name] += delta;
   }
 
@@ -216,9 +218,10 @@ class MapReduceJob {
 
  private:
   /// Folds a committed attempt's counter deltas into the job counters.
-  void MergeCounters(const std::map<std::string, int64_t>& deltas) {
+  void MergeCounters(const std::map<std::string, int64_t>& deltas)
+      EXCLUDES(counter_mu_) {
     if (deltas.empty()) return;
-    std::lock_guard<std::mutex> lock(counter_mu_);
+    MutexLock lock(&counter_mu_);
     for (const auto& [name, delta] : deltas) user_counters_[name] += delta;
   }
 
@@ -231,8 +234,8 @@ class MapReduceJob {
   int64_t input_record_bytes_ = static_cast<int64_t>(sizeof(In));
   int64_t output_record_bytes_ = static_cast<int64_t>(sizeof(Out));
 
-  std::mutex counter_mu_;
-  std::map<std::string, int64_t> user_counters_;
+  Mutex counter_mu_;
+  std::map<std::string, int64_t> user_counters_ GUARDED_BY(counter_mu_);
 };
 
 template <typename In, typename K, typename V, typename Out>
@@ -251,7 +254,7 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
 
   // A reused job object starts each run with fresh user counters.
   {
-    std::lock_guard<std::mutex> lock(counter_mu_);
+    MutexLock lock(&counter_mu_);
     user_counters_.clear();
   }
 
@@ -684,7 +687,7 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
   stats.reduce_output_bytes = stats.reduce_output_records * output_record_bytes_;
 
   {
-    std::lock_guard<std::mutex> lock(counter_mu_);
+    MutexLock lock(&counter_mu_);
     stats.user_counters = user_counters_;
   }
   stats.wall_seconds = job_watch.ElapsedSeconds();

@@ -3,9 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -155,6 +157,37 @@ TEST(TracerTest, ConcurrentEmissionFromPoolThreads) {
                                                 "the JSON structure";
   EXPECT_EQ(CountOccurrences(json, "\"ph\": \"B\""), kTasks * kSpansPerTask);
   EXPECT_EQ(CountOccurrences(json, "\"ph\": \"E\""), kTasks * kSpansPerTask);
+}
+
+TEST(TracerTest, EventCountIsSafeDuringConcurrentEmission) {
+  // Regression for a lock-discipline bug the -Wthread-safety annotation
+  // pass surfaced: event_count() held the registry mutex but read each
+  // thread buffer's event vector, which emitting threads append to without
+  // that mutex — a data race under concurrent polling. It now sums the
+  // atomically published per-buffer counts, so polling mid-emission is
+  // legal (this test runs under the TSan CI jobs, which pin the fix).
+  Tracer tracer;
+  ThreadPool pool(4);
+  constexpr int kTasks = 16;
+  constexpr int kSpansPerTask = 200;
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> max_polled{0};
+  std::thread poller([&tracer, &done, &max_polled] {
+    while (!done.load(std::memory_order_acquire)) {
+      const int64_t count = tracer.event_count();
+      ASSERT_GE(count, max_polled.load(std::memory_order_relaxed))
+          << "event_count went backwards under concurrent emission";
+      max_polled.store(count, std::memory_order_relaxed);
+    }
+  });
+  ParallelFor(&pool, kTasks, [&tracer](size_t) {
+    for (int i = 0; i < kSpansPerTask; ++i) {
+      TraceSpan span(&tracer, "polled_span", "test");
+    }
+  });
+  done.store(true, std::memory_order_release);
+  poller.join();
+  EXPECT_EQ(tracer.event_count(), kTasks * kSpansPerTask * 2);
 }
 
 TEST(TracerTest, SequentialTracersReuseThreadsSafely) {

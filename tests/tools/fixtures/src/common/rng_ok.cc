@@ -1,0 +1,12 @@
+// Golden fixture: std::mt19937 is allowed inside src/common — that is
+// where the seeded PRNG and its cross-checks live.
+#include <random>
+
+namespace mwsj {
+
+unsigned CrossCheckDraw() {
+  std::mt19937 reference(123);
+  return reference();
+}
+
+}  // namespace mwsj

@@ -1,0 +1,10 @@
+// mwsj-lint: alloc-free
+// Golden fixture: violates exactly alloc-in-alloc-free.
+
+namespace mwsj {
+
+int* MakeScratch(int n) {
+  return new int[n];
+}
+
+}  // namespace mwsj

@@ -1,0 +1,11 @@
+// Golden fixture: violates exactly rng-outside-common (line 6).
+#include <random>
+
+namespace mwsj {
+
+int UnseededDraw() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}
+
+}  // namespace mwsj

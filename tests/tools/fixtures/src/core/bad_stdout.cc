@@ -1,0 +1,10 @@
+// Golden fixture: violates exactly stdout-in-library.
+#include <iostream>
+
+namespace mwsj {
+
+void ReportProgress(int done) {
+  std::cout << "done: " << done << "\n";
+}
+
+}  // namespace mwsj

@@ -1,0 +1,15 @@
+// Golden fixture: violates exactly trace-span-temporary.
+
+namespace mwsj {
+
+class Tracer;
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, const char* name, const char* category);
+};
+
+void TraceOneBatch(Tracer* tracer) {
+  TraceSpan(tracer, "batch", "stage");  // Dies immediately: zero-length span.
+}
+
+}  // namespace mwsj

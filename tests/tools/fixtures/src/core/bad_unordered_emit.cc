@@ -1,0 +1,18 @@
+// Golden fixture: violates exactly unordered-emit.
+#include <cstdint>
+#include <unordered_map>
+
+namespace mwsj {
+
+struct Emitter {
+  void Emit(int64_t key, int64_t value);
+};
+
+void FlushCounts(const std::unordered_map<int64_t, int64_t>& counts,
+                 Emitter& emitter) {
+  for (const auto& [key, value] : counts) {
+    emitter.Emit(key, value);
+  }
+}
+
+}  // namespace mwsj

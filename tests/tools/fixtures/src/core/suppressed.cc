@@ -1,0 +1,21 @@
+// mwsj-lint: hot-path
+// Golden fixture: every violation carries an allow() suppression, so the
+// lint must exit 0. Exercises same-line and previous-line placement and
+// the comma-separated form.
+#include <functional>
+#include <iostream>
+#include <random>
+
+namespace mwsj {
+
+// mwsj-lint: allow(rng-outside-common)
+std::mt19937 g_generator(7);
+
+void Log(int v) {
+  std::cout << v << "\n";  // mwsj-lint: allow(stdout-in-library)
+}
+
+// mwsj-lint: allow(hot-path-std-function, stdout-in-library)
+void Visit(const std::function<void(int)>& fn) { fn(0); }
+
+}  // namespace mwsj

@@ -1,0 +1,10 @@
+// Golden fixture: stdout is the CLI contract — tools/ is exempt from
+// stdout-in-library.
+#include <cstdio>
+#include <iostream>
+
+int main() {
+  std::cout << "report\n";
+  printf("table row\n");
+  return 0;
+}

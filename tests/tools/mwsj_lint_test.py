@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Tests for tools/mwsj_lint.py against the golden fixtures.
+
+Run via ctest (tools_mwsj_lint_test) or directly:
+    python3 tests/tools/mwsj_lint_test.py
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+import unittest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+LINT = REPO_ROOT / "tools" / "mwsj_lint.py"
+FIXTURES = REPO_ROOT / "tests" / "tools" / "fixtures"
+
+DIAG_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): \[(?P<rule>[a-z0-9\-]+)\] ")
+
+# fixture file (relative to the fixture root) -> the one rule it violates.
+BAD_FIXTURES = {
+    "src/core/bad_rng.cc": "rng-outside-common",
+    "src/core/bad_stdout.cc": "stdout-in-library",
+    "src/core/bad_unordered_emit.cc": "unordered-emit",
+    "src/core/bad_hot_path.cc": "hot-path-std-function",
+    "src/core/bad_trace_span.cc": "trace-span-temporary",
+    "src/core/bad_alloc_free.cc": "alloc-in-alloc-free",
+}
+
+CLEAN_FIXTURES = [
+    "src/core/clean.cc",
+    "src/core/suppressed.cc",
+    "src/common/rng_ok.cc",
+    "tools/stdout_ok.cc",
+]
+
+
+def run_lint(*args):
+    return subprocess.run(
+        [sys.executable, str(LINT), *args],
+        capture_output=True, text=True, cwd=REPO_ROOT, check=False)
+
+
+def parse_diags(stdout):
+    diags = []
+    for line in stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if m:
+            diags.append((m.group("path"), int(m.group("line")),
+                          m.group("rule")))
+    return diags
+
+
+class MwsjLintFixtureTest(unittest.TestCase):
+    def lint_fixture(self, rel):
+        return run_lint("--root", str(FIXTURES), str(FIXTURES / rel))
+
+    def test_each_bad_fixture_violates_exactly_its_rule(self):
+        for rel, rule in BAD_FIXTURES.items():
+            with self.subTest(fixture=rel):
+                proc = self.lint_fixture(rel)
+                self.assertEqual(proc.returncode, 1,
+                                 f"{rel}: expected exit 1, got "
+                                 f"{proc.returncode}\n{proc.stdout}"
+                                 f"{proc.stderr}")
+                diags = parse_diags(proc.stdout)
+                self.assertEqual(len(diags), 1,
+                                 f"{rel}: expected exactly one diagnostic, "
+                                 f"got: {proc.stdout}")
+                path, line, got_rule = diags[0]
+                self.assertEqual(got_rule, rule, f"{rel}: wrong rule id")
+                self.assertTrue(path.endswith(rel),
+                                f"{rel}: diagnostic names wrong file {path}")
+                self.assertGreater(line, 0)
+
+    def test_clean_and_suppressed_fixtures_pass(self):
+        for rel in CLEAN_FIXTURES:
+            with self.subTest(fixture=rel):
+                proc = self.lint_fixture(rel)
+                self.assertEqual(
+                    proc.returncode, 0,
+                    f"{rel}: expected clean, got:\n{proc.stdout}")
+                self.assertEqual(parse_diags(proc.stdout), [])
+
+    def test_whole_fixture_tree_reports_every_bad_rule(self):
+        proc = run_lint("--root", str(FIXTURES), str(FIXTURES))
+        self.assertEqual(proc.returncode, 1)
+        diags = parse_diags(proc.stdout)
+        self.assertEqual(sorted({d[2] for d in diags}),
+                         sorted(set(BAD_FIXTURES.values())),
+                         "tree lint must flag each rule exactly via its "
+                         f"fixture; got:\n{proc.stdout}")
+        self.assertEqual(len(diags), len(BAD_FIXTURES),
+                         "each bad fixture must contribute exactly one "
+                         f"diagnostic; got:\n{proc.stdout}")
+
+    def test_suppression_removed_reveals_violation(self):
+        # The suppressed fixture really contains violations: linting a copy
+        # with the allow() comments stripped must fail. Guards against the
+        # suppression syntax silently matching everything.
+        src = (FIXTURES / "src/core/suppressed.cc").read_text()
+        stripped = re.sub(r"//\s*mwsj-lint:\s*allow\([^)]*\)", "", src)
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            target = pathlib.Path(tmp) / "src" / "core" / "unsuppressed.cc"
+            target.parent.mkdir(parents=True)
+            target.write_text(stripped)
+            proc = run_lint("--root", tmp, str(target))
+        self.assertEqual(proc.returncode, 1)
+        rules = {d[2] for d in parse_diags(proc.stdout)}
+        self.assertEqual(rules, {"rng-outside-common", "stdout-in-library",
+                                 "hot-path-std-function"})
+
+    def test_list_rules_names_every_rule(self):
+        proc = run_lint("--list-rules")
+        self.assertEqual(proc.returncode, 0)
+        for rule in set(BAD_FIXTURES.values()):
+            self.assertIn(rule, proc.stdout)
+
+    def test_missing_path_is_usage_error(self):
+        proc = run_lint("no/such/dir")
+        self.assertEqual(proc.returncode, 2)
+
+    def test_real_tree_is_clean(self):
+        # The gating invariant: src/ and tools/ must lint clean. Mirrors the
+        # mwsj_lint_tree ctest and the CI static-analysis job.
+        proc = run_lint("src", "tools")
+        self.assertEqual(proc.returncode, 0,
+                         f"src/ or tools/ has lint violations:\n"
+                         f"{proc.stdout}")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,433 @@
+#!/usr/bin/env python3
+"""mwsj_lint — repo-specific invariant checker for the mwsj tree.
+
+Enforces source-level invariants the compiler cannot (determinism, seeded
+randomness, hot-path discipline) with file:line diagnostics and stable rule
+IDs. Complements, not replaces, Clang's -Wthread-safety and clang-tidy: the
+rules here encode *this repo's* correctness argument — the paper's
+C-Rep/C-Rep-L exactly-once tuple accounting depends on deterministic
+iteration and seeded PRNGs, and the PR-3 kernel work depends on hot paths
+staying free of type-erased calls and allocation.
+
+Usage:
+    mwsj_lint.py [--root DIR] [--list-rules] [paths...]
+
+Paths default to `src tools` under --root (default: the repo root inferred
+from this script's location). Rule applicability is decided from each file's
+path *relative to the root*, so fixture trees can be linted with
+`--root tests/tools/fixtures`.
+
+Suppression: a violating line is ignored when it, or the line directly
+above it, carries `// mwsj-lint: allow(<rule-id>)`.
+
+File markers (anywhere in the file, conventionally the header comment):
+    // mwsj-lint: hot-path     enables rule hot-path-std-function
+    // mwsj-lint: alloc-free   enables rule alloc-in-alloc-free
+
+Exit status: 0 when clean, 1 when violations were found, 2 on usage error.
+
+The rule table lives in tools/mwsj_lint_rules.md; keep both in sync.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import pathlib
+import re
+import sys
+
+CXX_SUFFIXES = {".h", ".cc"}
+
+ALLOW_RE = re.compile(r"//\s*mwsj-lint:\s*allow\(([a-z0-9\-,\s]+)\)")
+MARKER_RE = re.compile(r"//\s*mwsj-lint:\s*(hot-path|alloc-free)\b")
+
+
+@dataclasses.dataclass
+class Violation:
+    path: pathlib.Path
+    line: int  # 1-based.
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclasses.dataclass
+class SourceFile:
+    """One parsed C++ file: raw lines plus comment/string-stripped lines.
+
+    Rules match against `code` so identifiers inside comments or string
+    literals (e.g. the word printf in an attribute or a doc comment) never
+    trigger; suppressions and markers are read from `raw`.
+    """
+
+    path: pathlib.Path       # As given on the command line (for diagnostics).
+    rel: pathlib.PurePosixPath  # Relative to --root (for rule applicability).
+    raw: list[str]
+    code: list[str]
+    markers: set[str]
+    allows: dict[int, set[str]]  # 0-based line -> allowed rule ids.
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Replaces comment and string-literal *contents* with spaces.
+
+    Newlines are preserved so line numbers survive. A simple state machine
+    is plenty for this codebase (no raw strings with quotes in delimiters,
+    no trigraphs).
+    """
+    out = []
+    i, n = 0, len(text)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR = range(5)
+    state = NORMAL
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = STRING
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = CHAR
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                state = NORMAL
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in (STRING, CHAR):
+            quote = '"' if state == STRING else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = NORMAL
+                out.append(quote)
+            elif c == "\n":  # Unterminated literal; recover.
+                state = NORMAL
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def parse_file(path: pathlib.Path, rel: pathlib.PurePosixPath) -> SourceFile:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    raw = text.splitlines()
+    code = strip_comments_and_strings(text).splitlines()
+    # splitlines() drops a trailing partial line difference; pad defensively.
+    while len(code) < len(raw):
+        code.append("")
+    markers: set[str] = set()
+    allows: dict[int, set[str]] = {}
+    for idx, line in enumerate(raw):
+        for m in MARKER_RE.finditer(line):
+            markers.add(m.group(1))
+        m = ALLOW_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            allows.setdefault(idx, set()).update(rules)
+    return SourceFile(path=path, rel=rel, raw=raw, code=code,
+                      markers=markers, allows=allows)
+
+
+def is_suppressed(f: SourceFile, line_idx: int, rule: str) -> bool:
+    for idx in (line_idx, line_idx - 1):
+        if idx in f.allows and rule in f.allows[idx]:
+            return True
+    return False
+
+
+def in_dir(rel: pathlib.PurePosixPath, top: str) -> bool:
+    return rel.parts[:1] == (top,)
+
+
+def under(rel: pathlib.PurePosixPath, *parts: str) -> bool:
+    return rel.parts[: len(parts)] == parts
+
+
+# ---------------------------------------------------------------------------
+# Rules. Each returns a list of (line_idx, message).
+
+
+def rule_rng(f: SourceFile):
+    """rng-outside-common: unseeded/libstdc++ randomness outside src/common.
+
+    Datasets, shuffles, fault plans, and property tests must be reproducible
+    across platforms and standard-library versions, so everything draws from
+    the repo's seeded xoshiro PRNG (common/random.h). <random> engines and
+    libc rand() may only appear inside src/common (where the PRNG itself and
+    its tests live).
+    """
+    if under(f.rel, "src", "common"):
+        return []
+    pat = re.compile(
+        r"std::(mt19937(?:_64)?|minstd_rand0?|default_random_engine|"
+        r"random_device)\b|(?<![\w:])s?rand\s*\(")
+    out = []
+    for idx, line in enumerate(f.code):
+        m = pat.search(line)
+        if m:
+            out.append((idx, f"'{m.group(0).strip()}' outside src/common; "
+                             "use the seeded mwsj::Rng (common/random.h)"))
+    return out
+
+
+def rule_stdout(f: SourceFile):
+    """stdout-in-library: no std::cout/printf in src/ library code.
+
+    Library code reports through Status, JobStats, and the tracer; stdout
+    belongs to the CLI tools (tools/ is exempt). fprintf(stderr, ...) on
+    abort paths is allowed.
+    """
+    if not in_dir(f.rel, "src"):
+        return []
+    pat = re.compile(r"std::cout\b|(?<![\w:])(?:std::)?printf\s*\(")
+    out = []
+    for idx, line in enumerate(f.code):
+        m = pat.search(line)
+        if m:
+            out.append((idx, f"'{m.group(0).strip()}' in library code; "
+                             "return a Status or report via stats/trace "
+                             "(stdout is reserved for tools/)"))
+    return out
+
+
+def rule_unordered_emit(f: SourceFile):
+    """unordered-emit: unordered-container iteration feeding an emit path.
+
+    Iterating std::unordered_map/unordered_set produces a platform- and
+    seed-dependent order; if that order reaches an Emit()/output path the
+    job output is nondeterministic, breaking the byte-identical replay the
+    chaos suite (and the paper's exactly-once argument) depends on. Sort
+    keys first, or iterate the sorted source collection instead.
+    """
+    decl_re = re.compile(
+        r"std::unordered_(?:map|set|multimap|multiset)\s*"
+        r"<(?:[^<>;]|<[^<>;]*>)*>\s*(?:const\s*)?[&*]?\s*(\w+)")
+    names = set()
+    for line in f.code:
+        for m in decl_re.finditer(line):
+            names.add(m.group(1))
+    if not names:
+        return []
+    out = []
+    emit_re = re.compile(r"\bEmit\s*\(")
+    for idx, line in enumerate(f.code):
+        m = re.search(r"for\s*\([^;)]*:\s*\*?(\w+)\s*\)", line)
+        if not m or m.group(1) not in names:
+            continue
+        message = (f"iteration over unordered container '{m.group(1)}' "
+                   "feeds an Emit path; unordered iteration order is "
+                   "nondeterministic — sort before emitting")
+        # Single-line braceless body: the emit sits on the for line itself.
+        if emit_re.search(line[m.end():]):
+            out.append((idx, message))
+            continue
+        # Scan the loop body (balanced braces from the first `{`) for emits.
+        depth = 0
+        seen_open = False
+        j = idx
+        while j < len(f.code):
+            body_line = f.code[j]
+            if seen_open and emit_re.search(body_line):
+                out.append((idx, message))
+                break
+            depth += body_line.count("{") - body_line.count("}")
+            if "{" in body_line:
+                seen_open = True
+            if seen_open and depth <= 0:
+                break
+            if not seen_open and j > idx:  # Braceless loop body: one stmt.
+                if emit_re.search(body_line):
+                    out.append((idx, message))
+                break
+            j += 1
+    return out
+
+
+def rule_hot_path(f: SourceFile):
+    """hot-path-std-function: no std::function in files marked hot-path.
+
+    A `// mwsj-lint: hot-path` marker declares that every call in the file
+    sits on a per-candidate/per-tuple path where std::function's type
+    erasure (indirect call + possible allocation) is measurable; use
+    templates or function pointers (see localjoin/multiway.cc's templated
+    emit).
+    """
+    if "hot-path" not in f.markers:
+        return []
+    out = []
+    for idx, line in enumerate(f.code):
+        if re.search(r"std::function\b", line):
+            out.append((idx, "std::function in a file marked "
+                             "'mwsj-lint: hot-path'; use a template "
+                             "parameter or function pointer"))
+    return out
+
+
+def rule_trace_span(f: SourceFile):
+    """trace-span-temporary: TraceSpan must be a named local.
+
+    `TraceSpan(tracer, ...)` as a bare temporary is destroyed at the end of
+    the full expression, producing a zero-length span that silently measures
+    nothing. Name it (`TraceSpan span(tracer, ...);`) so it lives for the
+    scope it is meant to measure.
+    """
+    out = []
+    pat = re.compile(r"(?:^\s*|[;{}]\s*)TraceSpan\s*[({]([^)}]*)")
+    # First "argument" looks like a parameter declaration (a type), so the
+    # line is a constructor/function declaration, not a temporary.
+    decl_arg = re.compile(r"\s*(?:const\b|\w+\s*[*&])")
+    for idx, line in enumerate(f.code):
+        m = pat.search(line)
+        if not m:
+            continue
+        args = m.group(1)
+        if not args.strip() or decl_arg.match(args):
+            continue  # Default/copy/ctor declaration, not a use.
+        if "= delete" in line or "= default" in line:
+            continue
+        out.append((idx, "TraceSpan constructed as a temporary dies at "
+                         "the end of the statement (zero-length span); "
+                         "bind it to a named local"))
+    return out
+
+
+def rule_alloc_free(f: SourceFile):
+    """alloc-in-alloc-free: no naked new/malloc in alloc-free kernels.
+
+    A `// mwsj-lint: alloc-free` marker pins the PR-3 kernel contract
+    (allocs_per_probe == 0): per-call heap allocation is forbidden. Naked
+    `new` and the malloc family are rejected; owned containers obtained
+    from caller-provided scratch are the sanctioned pattern.
+    """
+    if "alloc-free" not in f.markers:
+        return []
+    pat = re.compile(r"(?<![\w:])new\b(?!\s*\()|"
+                     r"(?<![\w:])(?:m|c|re)alloc\s*\(")
+    out = []
+    for idx, line in enumerate(f.code):
+        m = pat.search(line)
+        if m:
+            out.append((idx, f"'{m.group(0).strip()}' in a file marked "
+                             "'mwsj-lint: alloc-free'; kernels must not "
+                             "heap-allocate per call (use caller-owned "
+                             "scratch)"))
+    return out
+
+
+RULES = [
+    ("rng-outside-common", rule_rng),
+    ("stdout-in-library", rule_stdout),
+    ("unordered-emit", rule_unordered_emit),
+    ("hot-path-std-function", rule_hot_path),
+    ("trace-span-temporary", rule_trace_span),
+    ("alloc-in-alloc-free", rule_alloc_free),
+]
+
+
+def lint_file(f: SourceFile) -> list[Violation]:
+    violations = []
+    for rule_id, fn in RULES:
+        for idx, message in fn(f):
+            if is_suppressed(f, idx, rule_id):
+                continue
+            violations.append(Violation(f.path, idx + 1, rule_id, message))
+    violations.sort(key=lambda v: (str(v.path), v.line, v.rule))
+    return violations
+
+
+def collect_files(root: pathlib.Path, paths: list[str]):
+    for p in paths:
+        path = pathlib.Path(p)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_dir():
+            files = sorted(q for q in path.rglob("*") if
+                           q.suffix in CXX_SUFFIXES and q.is_file())
+        elif path.is_file():
+            files = [path]
+        else:
+            raise FileNotFoundError(p)
+        for q in files:
+            try:
+                rel = pathlib.PurePosixPath(q.resolve().relative_to(
+                    root.resolve()).as_posix())
+            except ValueError:
+                rel = pathlib.PurePosixPath(q.name)
+            yield q, rel
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mwsj_lint.py",
+        description="Repo-specific determinism/hot-path invariant checker.")
+    parser.add_argument("--root", default=None,
+                        help="tree root for rule applicability "
+                             "(default: repo root containing this script)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: src tools)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, fn in RULES:
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{rule_id:24s} {doc}")
+        return 0
+
+    root = (pathlib.Path(args.root) if args.root
+            else pathlib.Path(__file__).resolve().parent.parent)
+    paths = args.paths or ["src", "tools"]
+
+    violations: list[Violation] = []
+    checked = 0
+    try:
+        for path, rel in collect_files(root, paths):
+            checked += 1
+            violations.extend(lint_file(parse_file(path, rel)))
+    except FileNotFoundError as e:
+        print(f"mwsj_lint: no such file or directory: {e}", file=sys.stderr)
+        return 2
+
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"mwsj_lint: {len(violations)} violation(s) in "
+              f"{checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"mwsj_lint: {checked} file(s) clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
