@@ -3,9 +3,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "common/random.h"
 #include "geometry/polygon.h"
 #include "geometry/rect.h"
+#include "simd/simd.h"
 
 namespace mwsj {
 namespace {
@@ -88,6 +91,146 @@ void BM_PolygonMinDistance(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PolygonMinDistance);
+
+// --- Batched SIMD filter kernels -------------------------------------------
+// One kernel call filters a whole SoA-resident relation against a probe
+// rectangle; items_per_second counts rectangles tested. Each ISA variant is
+// benchmarked through KernelsFor() so the rows are directly comparable on
+// the same machine.
+
+simd::SoaRects MakeSoaRects(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  simd::SoaRects soa;
+  soa.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.Uniform(0, 900);
+    const double y = rng.Uniform(0, 900);
+    soa.PushBack(x, y, x + rng.Uniform(1, 100), y + rng.Uniform(1, 100));
+  }
+  return soa;
+}
+
+void RunOverlapBatch(benchmark::State& state, simd::Isa isa) {
+  if (!simd::IsaAvailable(isa)) {
+    state.SkipWithError("ISA not available on this machine");
+    return;
+  }
+  const simd::KernelTable& kernels = simd::KernelsFor(isa);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const simd::SoaRects soa = MakeSoaRects(n, 11);
+  std::vector<uint32_t> out(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels.overlap_filter(
+        soa.min_x.data(), soa.min_y.data(), soa.max_x.data(),
+        soa.max_y.data(), n, 300.0, 300.0, 600.0, 600.0, out.data()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+void RunWithinDistanceBatch(benchmark::State& state, simd::Isa isa) {
+  if (!simd::IsaAvailable(isa)) {
+    state.SkipWithError("ISA not available on this machine");
+    return;
+  }
+  const simd::KernelTable& kernels = simd::KernelsFor(isa);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const simd::SoaRects soa = MakeSoaRects(n, 12);
+  std::vector<uint32_t> out(n);
+  const double d = 40.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels.within_filter(
+        soa.min_x.data(), soa.min_y.data(), soa.max_x.data(),
+        soa.max_y.data(), n, 300.0, 300.0, 600.0, 600.0, d * d, out.data()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+void RunSortKeyIdxBatch(benchmark::State& state, simd::Isa isa) {
+  if (!simd::IsaAvailable(isa)) {
+    state.SkipWithError("ISA not available on this machine");
+    return;
+  }
+  const simd::KernelTable& kernels = simd::KernelsFor(isa);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(13);
+  std::vector<uint64_t> keys(n);
+  for (auto& k : keys) {
+    k = simd::OrderedKeyFromDouble(rng.Uniform(0, 1000));
+  }
+  std::vector<uint64_t> scratch_keys(n);
+  std::vector<uint32_t> idx(n);
+  for (auto _ : state) {
+    scratch_keys = keys;
+    for (size_t i = 0; i < n; ++i) idx[i] = static_cast<uint32_t>(i);
+    kernels.sort_key_idx(scratch_keys.data(), idx.data(), n);
+    benchmark::DoNotOptimize(idx.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+void BM_OverlapBatch_Scalar(benchmark::State& state) {
+  RunOverlapBatch(state, simd::Isa::kScalar);
+}
+void BM_OverlapBatch_Sse(benchmark::State& state) {
+  RunOverlapBatch(state, simd::Isa::kSse);
+}
+void BM_OverlapBatch_Avx2(benchmark::State& state) {
+  RunOverlapBatch(state, simd::Isa::kAvx2);
+}
+BENCHMARK(BM_OverlapBatch_Scalar)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_OverlapBatch_Sse)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_OverlapBatch_Avx2)->Arg(1024)->Arg(65536);
+
+void BM_WithinDistanceBatch_Scalar(benchmark::State& state) {
+  RunWithinDistanceBatch(state, simd::Isa::kScalar);
+}
+void BM_WithinDistanceBatch_Sse(benchmark::State& state) {
+  RunWithinDistanceBatch(state, simd::Isa::kSse);
+}
+void BM_WithinDistanceBatch_Avx2(benchmark::State& state) {
+  RunWithinDistanceBatch(state, simd::Isa::kAvx2);
+}
+BENCHMARK(BM_WithinDistanceBatch_Scalar)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_WithinDistanceBatch_Sse)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_WithinDistanceBatch_Avx2)->Arg(1024)->Arg(65536);
+
+// The pre-SIMD engine sort: std::stable_sort of an index array with an
+// indirect comparator over the key column. The kernel rows below replace
+// this with packed (key, index) sorts.
+void BM_SortKeyIdx_StableSortBaseline(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(13);
+  std::vector<double> keys(n);
+  for (auto& k : keys) k = rng.Uniform(0, 1000);
+  std::vector<uint32_t> idx(n);
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) idx[i] = static_cast<uint32_t>(i);
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&keys](uint32_t a, uint32_t b) {
+                       return keys[a] < keys[b];
+                     });
+    benchmark::DoNotOptimize(idx.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SortKeyIdx_StableSortBaseline)->Arg(65536);
+
+void BM_SortKeyIdx_Scalar(benchmark::State& state) {
+  RunSortKeyIdxBatch(state, simd::Isa::kScalar);
+}
+void BM_SortKeyIdx_Sse(benchmark::State& state) {
+  RunSortKeyIdxBatch(state, simd::Isa::kSse);
+}
+void BM_SortKeyIdx_Avx2(benchmark::State& state) {
+  RunSortKeyIdxBatch(state, simd::Isa::kAvx2);
+}
+BENCHMARK(BM_SortKeyIdx_Scalar)->Arg(65536);
+BENCHMARK(BM_SortKeyIdx_Sse)->Arg(65536);
+BENCHMARK(BM_SortKeyIdx_Avx2)->Arg(65536);
 
 }  // namespace
 }  // namespace mwsj

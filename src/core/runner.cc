@@ -9,6 +9,7 @@
 #include "core/controlled_replicate.h"
 #include "core/optimizer.h"
 #include "localjoin/brute_force.h"
+#include "query/bounds.h"
 
 namespace mwsj {
 
@@ -73,6 +74,12 @@ StatusOr<JoinRunResult> RunSpatialJoin(
   }
 
   const Rect space = options.space.value_or(ComputeBoundingSpace(relations));
+  // Reject range distances / data extents that would overflow the grid
+  // transforms (EnlargeByDistance to ±inf routes a rectangle to no cell,
+  // silently dropping its join results).
+  if (Status bounds_ok = ValidateQueryBounds(query, space); !bounds_ok.ok()) {
+    return bounds_ok;
+  }
   if (options.space.has_value()) {
     for (size_t r = 0; r < relations.size(); ++r) {
       for (const Rect& rect : relations[r]) {

@@ -13,6 +13,11 @@ double Rect::Diagonal() const {
   return std::sqrt(l * l + b * b);
 }
 
+bool Rect::IsFinite() const {
+  return std::isfinite(min_x_) && std::isfinite(min_y_) &&
+         std::isfinite(max_x_) && std::isfinite(max_y_);
+}
+
 Rect Rect::EnlargeByFactor(double k) const {
   const double grow_x = length() * (k - 1) / 2;
   const double grow_y = breadth() * (k - 1) / 2;
@@ -37,16 +42,43 @@ inline double AxisGap(double a_lo, double a_hi, double b_lo, double b_hi) {
 
 }  // namespace
 
-double MinDistance(const Rect& a, const Rect& b) {
+double MinDistanceSquared(const Rect& a, const Rect& b) {
   const double dx = AxisGap(a.min_x(), a.max_x(), b.min_x(), b.max_x());
   const double dy = AxisGap(a.min_y(), a.max_y(), b.min_y(), b.max_y());
-  return std::sqrt(dx * dx + dy * dy);
+  return dx * dx + dy * dy;
+}
+
+double MinDistanceSquared(const Rect& r, const Point& p) {
+  const double dx = AxisGap(r.min_x(), r.max_x(), p.x, p.x);
+  const double dy = AxisGap(r.min_y(), r.max_y(), p.y, p.y);
+  return dx * dx + dy * dy;
+}
+
+double MinDistance(const Rect& a, const Rect& b) {
+  // hypot, not sqrt(MinDistanceSquared): gaps beyond ~1.34e154 overflow the
+  // squared form to inf, and callers (kNN ordering, the huge-d fallback in
+  // WithinDistance) need the true magnitude at any representable distance.
+  const double dx = AxisGap(a.min_x(), a.max_x(), b.min_x(), b.max_x());
+  const double dy = AxisGap(a.min_y(), a.max_y(), b.min_y(), b.max_y());
+  return std::hypot(dx, dy);
 }
 
 double MinDistance(const Rect& r, const Point& p) {
   const double dx = AxisGap(r.min_x(), r.max_x(), p.x, p.x);
   const double dy = AxisGap(r.min_y(), r.max_y(), p.y, p.y);
-  return std::sqrt(dx * dx + dy * dy);
+  return std::hypot(dx, dy);
+}
+
+bool WithinDistance(const Rect& a, const Rect& b, double d) {
+  if (d < 0) return false;
+  const double d_sq = d * d;
+  if (!std::isfinite(d_sq)) {
+    // d·d overflowed (d > ~1.34e154): the squared comparison would read
+    // inf <= inf for any real gap beyond ~1.34e154 and overclaim. At these
+    // magnitudes no representable tie exists, so the sqrt form is safe.
+    return MinDistance(a, b) <= d;
+  }
+  return MinDistanceSquared(a, b) <= d_sq;
 }
 
 std::optional<Rect> Intersection(const Rect& a, const Rect& b) {

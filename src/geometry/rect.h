@@ -60,8 +60,14 @@ class Rect {
   double Diagonal() const;
 
   /// True when the rectangle's extents are ordered (min <= max on both
-  /// axes). Degenerate (zero-area) rectangles are valid.
+  /// axes). Degenerate (zero-area) rectangles are valid. A rectangle with
+  /// any NaN coordinate is invalid (every comparison on NaN is false).
   bool IsValid() const { return min_x_ <= max_x_ && min_y_ <= max_y_; }
+
+  /// True when all four coordinates are finite (no NaN, no ±inf). The
+  /// branch-free predicates silently return false on NaN and the grid
+  /// transforms overflow on inf, so ingest rejects non-finite rectangles.
+  bool IsFinite() const;
 
   bool Contains(const Point& p) const {
     return p.x >= min_x_ && p.x <= max_x_ && p.y >= min_y_ && p.y <= max_y_;
@@ -115,8 +121,18 @@ inline bool Overlaps(const Rect& a, const Rect& b) {
          a.min_y() <= b.max_y() && b.min_y() <= a.max_y();
 }
 
+/// Squared minimum Euclidean distance between the closed rectangles (0 when
+/// they overlap). This is the primitive the hot-path predicates compare
+/// against: dx² + dy² and d² are each a single rounding away from exact, so
+/// rectangles at exactly distance d compare equal — the sqrt in MinDistance
+/// can round the boundary either way (sqrt(fl(d·d)) ≠ d for many doubles).
+double MinDistanceSquared(const Rect& a, const Rect& b);
+
+/// Squared minimum Euclidean distance from rectangle `r` to point `p`.
+double MinDistanceSquared(const Rect& r, const Point& p);
+
 /// Minimum Euclidean distance between the closed rectangles (0 when they
-/// overlap).
+/// overlap). Use for ordering (kNN); predicates compare the squared form.
 double MinDistance(const Rect& a, const Rect& b);
 
 /// Minimum Euclidean distance from rectangle `r` to point `p`.
@@ -124,9 +140,13 @@ double MinDistance(const Rect& r, const Point& p);
 
 /// The paper's Range(r1, r2, d) predicate: true when some point of r1 is
 /// within distance d of some point of r2, i.e. MinDistance <= d.
-inline bool WithinDistance(const Rect& a, const Rect& b, double d) {
-  return MinDistance(a, b) <= d;
-}
+///
+/// Compares MinDistanceSquared against d·d so exact-distance-d ties are
+/// decided without a sqrt (which both misrounds the boundary and costs a
+/// hard-to-pipeline instruction on the filter hot path). A negative d can
+/// match nothing; d so large that d·d overflows falls back to the sqrt
+/// form, where the magnitudes make boundary rounding moot.
+bool WithinDistance(const Rect& a, const Rect& b, double d);
 
 /// Intersection rectangle, or nullopt when the rectangles do not overlap.
 /// The intersection of touching rectangles is a degenerate rectangle whose

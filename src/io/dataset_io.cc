@@ -1,5 +1,6 @@
 #include "io/dataset_io.h"
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -65,11 +66,27 @@ StatusOr<std::vector<Rect>> ReadRectsCsv(const std::string& path) {
           "'%s' line %zu: expected 'x,y,l,b' numbers", path.c_str(),
           line_number));
     }
+    // NaN passes every branch-free predicate comparison as false, so an
+    // unvalidated NaN rectangle silently drops join results instead of
+    // failing; reject non-finite fields (and dimensions that only turn
+    // non-finite after the corner arithmetic) at parse time.
+    if (!std::isfinite(x) || !std::isfinite(y) || !std::isfinite(l) ||
+        !std::isfinite(b)) {
+      return Status::InvalidArgument(StrFormat(
+          "'%s' line %zu: non-finite coordinate (NaN or inf)", path.c_str(),
+          line_number));
+    }
     if (l < 0 || b < 0) {
       return Status::InvalidArgument(StrFormat(
           "'%s' line %zu: negative dimensions", path.c_str(), line_number));
     }
-    rects.push_back(Rect::FromXYLB(x, y, l, b));
+    const Rect r = Rect::FromXYLB(x, y, l, b);
+    if (!r.IsFinite() || !r.IsValid()) {
+      return Status::InvalidArgument(StrFormat(
+          "'%s' line %zu: corners overflow to a non-finite or inverted "
+          "rectangle", path.c_str(), line_number));
+    }
+    rects.push_back(r);
   }
   return rects;
 }
@@ -114,10 +131,15 @@ StatusOr<std::vector<Rect>> ReadRectsBinary(const std::string& path) {
           static_cast<unsigned long long>(count)));
     }
     const Rect r(fields[0], fields[1], fields[2], fields[3]);
+    if (!r.IsFinite()) {
+      return Status::InvalidArgument(StrFormat(
+          "'%s': record %llu has a non-finite coordinate (NaN or inf)",
+          path.c_str(), static_cast<unsigned long long>(i)));
+    }
     if (!r.IsValid()) {
       return Status::InvalidArgument(StrFormat(
-          "'%s': record %llu is not a valid rectangle", path.c_str(),
-          static_cast<unsigned long long>(i)));
+          "'%s': record %llu is not a valid rectangle (min > max)",
+          path.c_str(), static_cast<unsigned long long>(i)));
     }
     rects.push_back(r);
   }

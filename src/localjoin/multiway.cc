@@ -78,10 +78,18 @@ MultiwayLocalJoin::MultiwayLocalJoin(
   }
 
   // Index every relation probed at depth > 0, unless it is small enough
-  // that a linear scan beats building (and probing) a tree.
+  // that a linear scan beats building (and probing) a tree; small ones get
+  // an SoA mirror so the scan is one batch-kernel call per probe.
+  small_soa_.resize(static_cast<size_t>(m));
   for (size_t k = 1; k < order_.size(); ++k) {
     const int r = order_[k];
     if (relations_[static_cast<size_t>(r)].size() < kLinearScanThreshold) {
+      auto& soa = small_soa_[static_cast<size_t>(r)];
+      soa.Reserve(relations_[static_cast<size_t>(r)].size());
+      for (const LocalRect& lr : relations_[static_cast<size_t>(r)]) {
+        soa.PushBack(lr.rect.min_x(), lr.rect.min_y(), lr.rect.max_x(),
+                     lr.rect.max_y());
+      }
       continue;
     }
     auto& rects = rects_[static_cast<size_t>(r)];

@@ -1,6 +1,7 @@
 #ifndef MWSJ_LOCALJOIN_MULTIWAY_H_
 #define MWSJ_LOCALJOIN_MULTIWAY_H_
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -10,6 +11,7 @@
 #include "geometry/rect.h"
 #include "localjoin/rtree.h"
 #include "query/query.h"
+#include "simd/simd.h"
 
 namespace mwsj {
 
@@ -116,13 +118,45 @@ class MultiwayLocalJoin {
         scratch.assignment[static_cast<size_t>(anchor_relation_[depth])];
     const RTree* tree = trees_[static_cast<size_t>(r)].get();
     if (tree == nullptr) {
-      // Small relation: no tree was built; test the anchor condition
-      // directly against each rectangle.
-      for (const LocalRect& candidate : relation) {
-        if (!anchor.predicate.Evaluate(candidate.rect, anchor_rect->rect)) {
-          continue;
+      // Small relation: no tree was built; one batch-kernel call tests the
+      // anchor condition against the whole relation's SoA mirror. Matches
+      // come back in ascending index order — the order the scalar loop
+      // visited.
+      const simd::SoaRects& soa = small_soa_[static_cast<size_t>(r)];
+      const Rect& q = anchor_rect->rect;
+      const double d = anchor.predicate.distance();
+      const double d_sq = d * d;
+      if (!anchor.predicate.is_overlap() &&
+          !(d >= 0 && std::isfinite(d_sq))) {
+        // Degenerate distance (negative, or d·d overflows): scalar
+        // evaluation carries the exact semantics.
+        for (const LocalRect& candidate : relation) {
+          if (anchor.predicate.Evaluate(candidate.rect, q)) {
+            try_candidate(candidate);
+          }
         }
-        try_candidate(candidate);
+        return;
+      }
+      std::vector<int32_t>& candidates = scratch.candidates[depth];
+      if (candidates.size() < soa.size()) {
+        candidates.resize(soa.size());
+      }
+      // int32_t and uint32_t may alias (signed/unsigned of one type), and
+      // the indices stay below the relation size, far under 2^31.
+      uint32_t* out = reinterpret_cast<uint32_t*>(candidates.data());
+      const simd::KernelTable& kernels = simd::ActiveKernels();
+      const size_t hits =
+          anchor.predicate.is_overlap()
+              ? kernels.overlap_filter(soa.min_x.data(), soa.min_y.data(),
+                                       soa.max_x.data(), soa.max_y.data(),
+                                       soa.size(), q.min_x(), q.min_y(),
+                                       q.max_x(), q.max_y(), out)
+              : kernels.within_filter(soa.min_x.data(), soa.min_y.data(),
+                                      soa.max_x.data(), soa.max_y.data(),
+                                      soa.size(), q.min_x(), q.min_y(),
+                                      q.max_x(), q.max_y(), d_sq, out);
+      for (size_t t = 0; t < hits; ++t) {
+        try_candidate(relation[out[t]]);
       }
       return;
     }
@@ -144,6 +178,9 @@ class MultiwayLocalJoin {
   std::vector<std::span<const LocalRect>> relations_;
   std::vector<std::vector<Rect>> rects_;  // Per relation, index-aligned.
   std::vector<std::unique_ptr<RTree>> trees_;
+  // SoA mirrors of the small (tree-less) relations probed at depth > 0,
+  // consumed by the batch anchor filter in Bind.
+  std::vector<simd::SoaRects> small_soa_;
 
   // Binding plan: order_[k] is the relation bound at depth k; for k > 0,
   // anchor_condition_[k] connects it to the already-bound

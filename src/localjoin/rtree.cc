@@ -127,27 +127,98 @@ RTree::RTree(const std::vector<Rect>& rects, int leaf_capacity)
       nodes_[static_cast<size_t>(level_offset[j]) + i] = nd;
     }
   }
+
+  // SoA mirrors for the batch filters: one kernel call covers a node's
+  // child slots (leaf entries or child-node MBRs) as a contiguous range.
+  leaf_soa_.Reserve(leaf_rects_.size());
+  for (const Rect& r : leaf_rects_) {
+    leaf_soa_.PushBack(r.min_x(), r.min_y(), r.max_x(), r.max_y());
+  }
+  node_soa_.Reserve(nodes_.size());
+  for (const Node& nd : nodes_) {
+    node_soa_.PushBack(nd.mbr.min_x(), nd.mbr.min_y(), nd.mbr.max_x(),
+                       nd.mbr.max_y());
+  }
 }
 
 template <typename Visit>
 void RTree::Query(const Rect& probe, double d, QueryScratch* scratch,
                   const Visit& visit) const {
   if (nodes_.empty()) return;
+  const bool overlap = d < 0;  // Sentinel from CollectOverlapping.
+  const double d_sq = d * d;
+  if (!overlap && !std::isfinite(d_sq)) {
+    QueryHugeDistance(probe, d, scratch, visit);
+    return;
+  }
+  const simd::KernelTable& kernels = simd::ActiveKernels();
+  std::vector<int32_t>& stack = scratch->stack;
+  std::vector<uint32_t>& matches = scratch->matches;
+  stack.clear();
+
+  // Children are batch-tested before they are pushed, so the root needs
+  // its own test. The squared compare is tie-exact and consistent with
+  // WithinDistance; for internal MBRs it is also conservative — a node's
+  // per-axis gaps never exceed its children's, and fl() of the monotone
+  // gap→dx²+dy² pipeline preserves ≤, so no matching child is pruned.
+  const Node& root = nodes_[0];
+  const bool root_hit = overlap
+                            ? Overlaps(root.mbr, probe)
+                            : MinDistanceSquared(root.mbr, probe) <= d_sq;
+  if (!root_hit) return;
+  stack.push_back(0);
+
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    const size_t base = static_cast<size_t>(node.child_begin);
+    const size_t width =
+        static_cast<size_t>(node.child_end - node.child_begin);
+    if (matches.size() < width) matches.resize(width);
+    const simd::SoaRects& soa = node.is_leaf ? leaf_soa_ : node_soa_;
+    const size_t hits =
+        overlap ? kernels.overlap_filter(
+                      soa.min_x.data() + base, soa.min_y.data() + base,
+                      soa.max_x.data() + base, soa.max_y.data() + base,
+                      width, probe.min_x(), probe.min_y(), probe.max_x(),
+                      probe.max_y(), matches.data())
+                : kernels.within_filter(
+                      soa.min_x.data() + base, soa.min_y.data() + base,
+                      soa.max_x.data() + base, soa.max_y.data() + base,
+                      width, probe.min_x(), probe.min_y(), probe.max_x(),
+                      probe.max_y(), d_sq, matches.data());
+    if (node.is_leaf) {
+      // Ascending slot order — the order the scalar leaf scan visited.
+      for (size_t t = 0; t < hits; ++t) {
+        visit(entries_[base + matches[t]]);
+      }
+    } else {
+      // Push matching children ascending: pops then visit them in the
+      // same descending order the filter-on-pop traversal produced.
+      for (size_t t = 0; t < hits; ++t) {
+        stack.push_back(static_cast<int32_t>(base + matches[t]));
+      }
+    }
+  }
+}
+
+template <typename Visit>
+void RTree::QueryHugeDistance(const Rect& probe, double d,
+                              QueryScratch* scratch,
+                              const Visit& visit) const {
   std::vector<int32_t>& stack = scratch->stack;
   stack.clear();
   stack.push_back(0);
   while (!stack.empty()) {
     const Node& node = nodes_[static_cast<size_t>(stack.back())];
     stack.pop_back();
-    const bool hit = (d < 0) ? Overlaps(node.mbr, probe)
-                             : MinDistance(node.mbr, probe) <= d;
-    if (!hit) continue;
+    // MinDistance (hypot) never overflows, so `<= d` stays exact where the
+    // squared form would collapse to inf <= inf.
+    if (!(MinDistance(node.mbr, probe) <= d)) continue;
     if (node.is_leaf) {
       for (int32_t i = node.child_begin; i < node.child_end; ++i) {
         const Rect& r = leaf_rects_[static_cast<size_t>(i)];
-        const bool match =
-            (d < 0) ? Overlaps(r, probe) : MinDistance(r, probe) <= d;
-        if (match) visit(entries_[static_cast<size_t>(i)]);
+        if (MinDistance(r, probe) <= d) visit(entries_[static_cast<size_t>(i)]);
       }
     } else {
       for (int32_t c = node.child_begin; c < node.child_end; ++c) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "geometry/rect.h"
+#include "simd/simd.h"
 
 namespace mwsj {
 
@@ -26,6 +27,9 @@ class RTree {
   /// threads.
   struct QueryScratch {
     std::vector<int32_t> stack;
+    // Batch-filter output buffer (child slots of one node); sized to the
+    // widest node on first use, no allocation afterwards.
+    std::vector<uint32_t> matches;
   };
 
   /// Builds the tree over `rects` (indices into this vector are the probe
@@ -67,10 +71,21 @@ class RTree {
   void Query(const Rect& probe, double d, QueryScratch* scratch,
              const Visit& visit) const;
 
+  /// Scalar traversal for probes whose d·d overflows (kNN's unbounded +inf
+  /// pass): the batch kernels compare squared distances, which would read
+  /// inf <= inf there.
+  template <typename Visit>
+  void QueryHugeDistance(const Rect& probe, double d, QueryScratch* scratch,
+                         const Visit& visit) const;
+
   size_t size_ = 0;
   std::vector<int32_t> entries_;  // Leaf entry indices, grouped per leaf.
   std::vector<Rect> leaf_rects_;  // entries_[i]'s MBR, index-aligned.
   std::vector<Node> nodes_;       // nodes_[0] is the root (when non-empty).
+  // SoA mirrors of leaf_rects_ and the node MBRs for the batch filters:
+  // a probe tests all child slots of a node with one kernel call.
+  simd::SoaRects leaf_soa_;
+  simd::SoaRects node_soa_;
 };
 
 }  // namespace mwsj

@@ -24,6 +24,7 @@
 #include "common/trace.h"
 #include "mapreduce/counters.h"
 #include "mapreduce/dfs.h"
+#include "simd/simd.h"
 #include "mapreduce/fault.h"
 
 namespace mwsj {
@@ -536,10 +537,7 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
                            std::is_copy_constructible_v<V>) {
         std::vector<uint32_t> idx(n);
         for (size_t i = 0; i < n; ++i) idx[i] = static_cast<uint32_t>(i);
-        std::stable_sort(idx.begin(), idx.end(),
-                         [&in](uint32_t a, uint32_t b) {
-                           return in.keys[a] < in.keys[b];
-                         });
+        simd::StableSortIndexByKey(in.keys, &idx);
         std::vector<K> sorted_keys;
         std::vector<V> sorted_values;
         sorted_keys.reserve(n);
@@ -631,10 +629,7 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
         // values one contiguous run.
         std::vector<uint32_t> idx(n);
         for (size_t i = 0; i < n; ++i) idx[i] = static_cast<uint32_t>(i);
-        std::stable_sort(idx.begin(), idx.end(),
-                         [&in](uint32_t a, uint32_t b) {
-                           return in.keys[a] < in.keys[b];
-                         });
+        simd::StableSortIndexByKey(in.keys, &idx);
         std::vector<K> sorted_keys;
         std::vector<V> sorted_values;
         sorted_keys.reserve(n);

@@ -1,10 +1,53 @@
 #include "query/bounds.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <queue>
 
+#include "common/str_format.h"
+
 namespace mwsj {
+
+Status ValidateQueryBounds(const Query& query, const Rect& space) {
+  for (size_t ci = 0; ci < query.conditions().size(); ++ci) {
+    const double d = query.conditions()[ci].predicate.distance();
+    if (std::isnan(d) || d < 0) {
+      return Status::InvalidArgument(StrFormat(
+          "condition %zu: range distance %g is not a valid distance", ci, d));
+    }
+    if (d > kMaxQueryDistance) {
+      return Status::InvalidArgument(StrFormat(
+          "condition %zu: range distance %g exceeds the supported maximum "
+          "%g (enlargement would overflow to inf and break cell routing)",
+          ci, d, kMaxQueryDistance));
+    }
+  }
+  if (!space.IsFinite()) {
+    return Status::InvalidArgument(
+        "data bounding space has a non-finite corner");
+  }
+  // The replication bounds sum edge distances with rectangle diagonals
+  // (bounds.h): near-DBL_MAX coordinates can overflow them even when every
+  // individual distance passes. Check the worst case: every relation's
+  // d_max capped by the space diagonal.
+  const double space_diagonal = space.Diagonal();
+  if (!std::isfinite(space_diagonal) ||
+      space_diagonal > kMaxQueryDistance) {
+    return Status::InvalidArgument(StrFormat(
+        "data bounding space diagonal %g exceeds the supported maximum %g",
+        space_diagonal, kMaxQueryDistance));
+  }
+  for (const double bound : ComputeReplicationBounds(query, space_diagonal)) {
+    if (!std::isfinite(bound) || bound > kMaxQueryDistance) {
+      return Status::InvalidArgument(StrFormat(
+          "replication bound %g (from the query's distances and the data "
+          "extent) exceeds the supported maximum %g",
+          bound, kMaxQueryDistance));
+    }
+  }
+  return Status::OK();
+}
 
 std::vector<double> ComputeReplicationBounds(
     const Query& query, const std::vector<double>& diagonal_bounds) {

@@ -3,9 +3,25 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "query/query.h"
 
 namespace mwsj {
+
+/// Largest range distance / replication bound the execution layers accept.
+/// Two constraints meet here: Rect::EnlargeByDistance(d) must not push a
+/// coordinate to ±inf (which breaks grid-cell routing — an inf-cornered
+/// rectangle projects to no cell), and the squared-distance predicates
+/// compare against d·d, which overflows above ~1.34e154. 1e150 leaves
+/// headroom under both while being astronomically above any real dataset.
+inline constexpr double kMaxQueryDistance = 1e150;
+
+/// Rejects queries whose range distances — or the replication bounds they
+/// induce together with `space` (the data's bounding rectangle) — are NaN,
+/// infinite, or large enough to overflow EnlargeByDistance / the grid
+/// transforms into ±inf. Call before routing; the per-record ingest checks
+/// guarantee finite rectangles, this guards the query side.
+Status ValidateQueryBounds(const Query& query, const Rect& space);
 
 /// Per-relation replication-distance bounds for Controlled-Replicate in
 /// Limit (§7.9 for overlap, §8 for range, footnote 3 for general graphs).

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "geometry/rect.h"
 
 namespace mwsj {
@@ -64,6 +67,62 @@ TEST(RectTest, WithinDistanceIsInclusive) {
   const Rect b = Rect::FromXYLB(3, 1, 1, 1);
   EXPECT_TRUE(WithinDistance(a, b, 2.0));   // Exactly 2 apart.
   EXPECT_FALSE(WithinDistance(a, b, 1.999));
+}
+
+TEST(RectTest, MinDistanceSquaredMatchesMinDistance) {
+  const Rect a = Rect::FromXYLB(0, 1, 1, 1);      // [0,1]x[0,1]
+  const Rect diag = Rect::FromXYLB(4, 6, 1, 1);   // [4,5]x[5,6]
+  EXPECT_DOUBLE_EQ(MinDistanceSquared(a, diag), 25);  // 3-4-5 triangle.
+  EXPECT_DOUBLE_EQ(MinDistanceSquared(a, a), 0);
+  EXPECT_DOUBLE_EQ(MinDistanceSquared(a, Point{4, 5}), 25);
+  EXPECT_DOUBLE_EQ(MinDistanceSquared(a, Point{0.5, 0.5}), 0);
+}
+
+TEST(RectTest, WithinDistanceExactBoundaryTies) {
+  // Rectangles whose gap is *exactly* d must satisfy Range(d). The old
+  // sqrt-then-compare form failed whenever sqrt(fl(d·d)) rounds above d;
+  // the squared comparison fl(gap·gap) <= fl(d·d) is tie-exact because the
+  // gap equals d bit-for-bit. Sweep awkward magnitudes (non-representable
+  // fractions, irrational-ish values, very large and very small scales).
+  const double ds[] = {0.1,         1.0 / 3.0, 0.7,   1.4142135623730951,
+                       2.718281828, 1e-12,     1e150, 123456789.123456789};
+  for (const double d : ds) {
+    // Anchor the facing edges at 0 and d so the axis gap is d bit-exactly
+    // (fl(d - 0) == d; an offset like 1+d would round the gap away).
+    const Rect a(-1, 0, 0, 1);
+    const Rect tie(d, 0, d + 1, 1);
+    EXPECT_TRUE(WithinDistance(a, tie, d)) << "d=" << d;
+    const Rect beyond(std::nextafter(d, 1e308), 0, d + 2, 1);
+    EXPECT_FALSE(WithinDistance(a, beyond, d)) << "d=" << d;
+  }
+}
+
+TEST(RectTest, WithinDistanceNegativeAndHugeD) {
+  const Rect a(0, 0, 1, 1);
+  const Rect b(3, 0, 4, 1);
+  EXPECT_FALSE(WithinDistance(a, b, -1.0));  // Negative d matches nothing.
+  EXPECT_FALSE(WithinDistance(a, a, -1e-300));
+  EXPECT_TRUE(WithinDistance(a, a, -0.0));  // -0 == 0: behaves as d = 0.
+  EXPECT_TRUE(WithinDistance(a, b, 0.0) == Overlaps(a, b));
+  // d·d overflows to inf: the sqrt fallback must keep the comparison sane
+  // instead of reading inf <= inf for any farther pair.
+  const Rect far_rect(1e200, 0, 2e200, 1);
+  EXPECT_FALSE(WithinDistance(a, far_rect, 1e155));
+  EXPECT_TRUE(WithinDistance(a, far_rect, 1e201));
+  EXPECT_TRUE(
+      WithinDistance(a, far_rect, std::numeric_limits<double>::infinity()));
+}
+
+TEST(RectTest, IsFiniteRejectsNaNAndInf) {
+  EXPECT_TRUE(Rect(0, 0, 1, 1).IsFinite());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(Rect(nan, 0, 1, 1).IsFinite());
+  EXPECT_FALSE(Rect(0, nan, 1, 1).IsFinite());
+  EXPECT_FALSE(Rect(0, 0, inf, 1).IsFinite());
+  EXPECT_FALSE(Rect(0, 0, 1, -inf).IsFinite());
+  // NaN also fails IsValid: every comparison on NaN is false.
+  EXPECT_FALSE(Rect(nan, 0, nan, 1).IsValid());
 }
 
 TEST(RectTest, MinDistanceToPoint) {

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "common/random.h"
 #include "io/dataset_io.h"
@@ -100,6 +101,51 @@ TEST_F(DatasetIoTest, CsvRejectsBadHeaderAndRows) {
     out << "x,y,l,b\n1,2,-3,4\n";  // Negative length.
   }
   EXPECT_EQ(ReadRectsCsv(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatasetIoTest, CsvRejectsNonFiniteCoordinates) {
+  // NaN makes every branch-free predicate comparison false, so a NaN MBR
+  // that survives ingest silently deletes join results. The reader must
+  // reject it and name the offending line.
+  const std::string path = Track(TempPath("nan.csv"));
+  {
+    std::ofstream out(path);
+    out << "x,y,l,b\n1,2,3,4\nnan,2,3,4\n";
+  }
+  const auto nan_result = ReadRectsCsv(path);
+  EXPECT_EQ(nan_result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(nan_result.status().message().find("line 3"), std::string::npos)
+      << nan_result.status().ToString();
+  {
+    std::ofstream out(path);
+    out << "x,y,l,b\n1,2,inf,4\n";
+  }
+  EXPECT_EQ(ReadRectsCsv(path).status().code(), StatusCode::kInvalidArgument);
+  {
+    // Finite fields whose corner arithmetic overflows: x + l == inf.
+    std::ofstream out(path);
+    out << "x,y,l,b\n1e308,2,1e308,4\n";
+  }
+  EXPECT_EQ(ReadRectsCsv(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatasetIoTest, BinaryRejectsNaNAndInvertedRecords) {
+  const std::string path = Track(TempPath("nan.bin"));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // Write records through the raw writer: Rect carries whatever bits the
+  // caller supplies, so a hostile/buggy producer can serialize NaN or
+  // min > max; the reader is the validation boundary.
+  ASSERT_TRUE(
+      WriteRectsBinary(path, {Rect(0, 0, 1, 1), Rect(nan, 0, 1, 1)}).ok());
+  const auto nan_result = ReadRectsBinary(path);
+  EXPECT_EQ(nan_result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(nan_result.status().message().find("record 1"), std::string::npos)
+      << nan_result.status().ToString();
+
+  ASSERT_TRUE(WriteRectsBinary(path, {Rect(2, 0, 1, 1)}).ok());  // min > max.
+  const auto inverted = ReadRectsBinary(path);
+  EXPECT_EQ(inverted.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(inverted.status().message().find("record 0"), std::string::npos);
 }
 
 TEST_F(DatasetIoTest, CsvToleratesCrlfAndBlankLines) {

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "query/bounds.h"
 
 namespace mwsj {
@@ -83,6 +86,49 @@ TEST(BoundsTest, PerRelationDiagonalsTightenTheBound) {
   EXPECT_DOUBLE_EQ(bounds[0], 1);  // Through tiny R2 only.
   EXPECT_DOUBLE_EQ(bounds[2], 1);
   EXPECT_DOUBLE_EQ(bounds[1], 0);  // R2 touches both neighbors directly.
+}
+
+TEST(BoundsValidationTest, AcceptsOrdinaryQueries) {
+  const Query q = MakeChainQuery(3, Predicate::Range(100)).value();
+  EXPECT_TRUE(ValidateQueryBounds(q, Rect(0, 0, 1000, 1000)).ok());
+  const Query ov = MakeChainQuery(4, Predicate::Overlap()).value();
+  EXPECT_TRUE(ValidateQueryBounds(ov, Rect(-1e6, -1e6, 1e6, 1e6)).ok());
+}
+
+TEST(BoundsValidationTest, RejectsOverflowingRangeDistance) {
+  // EnlargeByDistance(1e300) pushes corners to ±inf, which routes the
+  // rectangle to no grid cell and silently drops its join results.
+  const Query q = MakeChainQuery(3, Predicate::Range(1e300)).value();
+  const Status s = ValidateQueryBounds(q, Rect(0, 0, 1000, 1000));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  const Query inf_q =
+      MakeChainQuery(2, Predicate::Range(std::numeric_limits<double>::infinity()))
+          .value();
+  EXPECT_EQ(ValidateQueryBounds(inf_q, Rect(0, 0, 1, 1)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BoundsValidationTest, RejectsNearDblMaxDataExtent) {
+  // Even with modest distances, inputs near DBL_MAX overflow the summed
+  // replication bounds (edge weight + diagonal chains).
+  const Query q = MakeChainQuery(3, Predicate::Range(10)).value();
+  const Rect huge(-1e308, -1e308, 1e308, 1e308);  // Diagonal overflows.
+  EXPECT_EQ(ValidateQueryBounds(q, huge).code(),
+            StatusCode::kInvalidArgument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(ValidateQueryBounds(q, Rect(nan, 0, 1, 1)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BoundsValidationTest, BoundaryDistanceIsAccepted) {
+  const Query q = MakeChainQuery(2, Predicate::Range(kMaxQueryDistance)).value();
+  EXPECT_TRUE(ValidateQueryBounds(q, Rect(0, 0, 1, 1)).ok());
+  const Query over =
+      MakeChainQuery(2, Predicate::Range(std::nextafter(kMaxQueryDistance,
+                                                        1e308)))
+          .value();
+  EXPECT_EQ(ValidateQueryBounds(over, Rect(0, 0, 1, 1)).code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(BoundsTest, HybridChainAddsOnlyRangeWeights) {
