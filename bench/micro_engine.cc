@@ -97,8 +97,8 @@ void BM_ShuffleHeavyFanout(benchmark::State& state) {
       out.Emit(static_cast<int64_t>(vals.size()));
     });
     std::vector<int64_t> output;
-    const JobStats stats =
-        job.Run(std::span<const int64_t>(input), &output, pool.get());
+    const JobStats stats = job.Run(std::span<const int64_t>(input), &output,
+                                   ExecutionContext(pool.get()));
     benchmark::DoNotOptimize(stats.intermediate_records);
   }
   state.SetItemsProcessed(state.iterations() * 100'000 * 16);

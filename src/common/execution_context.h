@@ -1,6 +1,7 @@
 #ifndef MWSJ_COMMON_EXECUTION_CONTEXT_H_
 #define MWSJ_COMMON_EXECUTION_CONTEXT_H_
 
+#include <cstdint>
 #include <string>
 
 namespace mwsj {
@@ -27,7 +28,12 @@ class Tracer;
 ///                attempt faults; null uses the engine's built-in default;
 ///   * `dfs`    — optional distributed-file-system model; when set, each
 ///                job commits its reduce output as `<job>/part-<r>` files
-///                through attempt-scoped staging.
+///                through attempt-scoped staging;
+///   * `job_id` — scheduler-assigned id when several jobs share one pool
+///                (core/scheduler.h); -1 means a standalone run. When set,
+///                trace spans, JobStats, engine error messages, and DFS
+///                part paths carry the id so concurrent jobs stay
+///                attributable.
 ///
 /// The context is a cheap value type holding non-owning pointers; the
 /// caller keeps pool and tracer alive for the duration of the run.
@@ -38,6 +44,7 @@ struct ExecutionContext {
   const FaultPlan* faults = nullptr;
   const RetryPolicy* retry = nullptr;
   Dfs* dfs = nullptr;
+  int64_t job_id = -1;
 
   ExecutionContext() = default;
   /// Explicit so a raw `ThreadPool*` (or nullptr) passed to a function

@@ -58,10 +58,37 @@ void ThreadPool::WorkerLoop() {
 
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t)>& fn) {
-  for (size_t i = 0; i < n; ++i) {
-    pool->Submit([i, &fn] { fn(i); });
+  if (pool == nullptr || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
   }
-  pool->Wait();
+  // Per-call completion state. The old implementation waited with
+  // ThreadPool::Wait(), which blocks until the *whole pool* drains; with
+  // several jobs interleaved on one pool that would make every batch wait
+  // on every other job's tasks (and livelock if another job keeps
+  // submitting). Each batch instead counts down its own `remaining`.
+  struct BatchState {
+    Mutex mu;
+    CondVar done;
+    size_t remaining GUARDED_BY(mu);
+  };
+  BatchState state;
+  {
+    MutexLock lock(&state.mu);
+    state.remaining = n;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    pool->Submit([i, &fn, &state] {
+      fn(i);
+      // Notify while holding the lock: `state` lives on the caller's
+      // stack, and a caller woken spuriously after the count hits zero
+      // would otherwise destroy it before the NotifyAll.
+      MutexLock lock(&state.mu);
+      if (--state.remaining == 0) state.done.NotifyAll();
+    });
+  }
+  MutexLock lock(&state.mu);
+  while (state.remaining != 0) state.done.Wait(state.mu);
 }
 
 }  // namespace mwsj

@@ -12,11 +12,11 @@
 
 namespace mwsj {
 
-/// A fixed-size worker pool. The map-reduce engine uses one pool for the map
-/// phase and one for the reduce phase; tasks are closures and `Wait()`
-/// blocks until the queue drains. The pool is intentionally minimal — no
-/// futures, no priorities — because the engine only ever runs
-/// fork-join-style batches.
+/// A fixed-size worker pool. The pool is shared by every job the scheduler
+/// admits: map/shuffle/reduce tasks from concurrent jobs interleave in one
+/// FIFO queue, and each fork-join batch tracks its own completion (see
+/// ParallelFor) instead of draining the whole pool. The pool is
+/// intentionally minimal — no futures, no priorities.
 ///
 /// Lock discipline (compile-time checked under Clang `-Wthread-safety`):
 /// `mu_` guards the queue and the in-flight/shutdown state; workers take it
@@ -35,7 +35,10 @@ class ThreadPool {
   /// Enqueues a task for execution on some worker.
   void Submit(std::function<void()> task) EXCLUDES(mu_);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished — *pool-wide*, across
+  /// all submitters. With several concurrent jobs on one pool this waits
+  /// for everyone's tasks, so per-batch code must use ParallelFor (which
+  /// tracks its own completion) instead.
   void Wait() EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
@@ -52,7 +55,11 @@ class ThreadPool {
   std::vector<std::thread> workers_;  // Written only in the constructor.
 };
 
-/// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+/// Runs `fn(i)` for i in [0, n) across the pool and waits for completion of
+/// *this call's* tasks only. Completion is tracked per call (not via
+/// ThreadPool::Wait), so concurrent callers sharing one pool — the
+/// scheduler's interleaved jobs — neither wait on each other's tasks nor
+/// starve. A null pool (or n <= 1) runs inline on the calling thread.
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t)>& fn);
 

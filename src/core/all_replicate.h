@@ -5,7 +5,6 @@
 
 #include "common/execution_context.h"
 #include "common/status.h"
-#include "common/thread_pool.h"
 #include "core/records.h"
 #include "grid/grid_partition.h"
 #include "query/query.h"
@@ -23,17 +22,8 @@ namespace mwsj {
 /// stays empty; num_tuples is still exact).
 StatusOr<JoinRunResult> AllReplicateJoin(
     const Query& query, const GridPartition& grid,
-    const std::vector<std::vector<Rect>>& relations, bool count_only,
-    const ExecutionContext& ctx);
-
-/// Deprecated shim: pass an ExecutionContext instead of a bare pool.
-inline StatusOr<JoinRunResult> AllReplicateJoin(
-    const Query& query, const GridPartition& grid,
     const std::vector<std::vector<Rect>>& relations, bool count_only = false,
-    ThreadPool* pool = nullptr) {
-  return AllReplicateJoin(query, grid, relations, count_only,
-                          ExecutionContext(pool));
-}
+    const ExecutionContext& ctx = ExecutionContext());
 
 }  // namespace mwsj
 

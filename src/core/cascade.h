@@ -5,7 +5,6 @@
 
 #include "common/execution_context.h"
 #include "common/status.h"
-#include "common/thread_pool.h"
 #include "core/records.h"
 #include "grid/grid_partition.h"
 #include "query/query.h"
@@ -36,17 +35,8 @@ namespace mwsj {
 StatusOr<JoinRunResult> CascadeJoin(
     const Query& query, const GridPartition& grid,
     const std::vector<std::vector<Rect>>& relations,
-    std::vector<int> join_order, bool count_only, const ExecutionContext& ctx);
-
-/// Deprecated shim: pass an ExecutionContext instead of a bare pool.
-inline StatusOr<JoinRunResult> CascadeJoin(
-    const Query& query, const GridPartition& grid,
-    const std::vector<std::vector<Rect>>& relations,
     std::vector<int> join_order = {}, bool count_only = false,
-    ThreadPool* pool = nullptr) {
-  return CascadeJoin(query, grid, relations, std::move(join_order), count_only,
-                     ExecutionContext(pool));
-}
+    const ExecutionContext& ctx = ExecutionContext());
 
 }  // namespace mwsj
 

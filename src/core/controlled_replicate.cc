@@ -315,6 +315,25 @@ StatusOr<JoinRunResult> ControlledReplicateJoin(
 
   JoinRunResult result;
 
+  // Round-1 marking is a resident artifact when a catalog and base key are
+  // attached: the marking depends only on (query, grid, datasets) — all
+  // pinned by the key — and never on the limit options, so C-Rep and
+  // C-Rep-L jobs over the same inputs share one artifact. On a hit the
+  // input assembly and the whole split+mark round are skipped.
+  const std::string round1_key =
+      options.catalog != nullptr && !options.artifact_key.empty()
+          ? options.artifact_key + "|crep_round1"
+          : std::string();
+  std::shared_ptr<const std::vector<MarkedRect>> marked_shared;
+  if (!round1_key.empty()) {
+    marked_shared = options.catalog->Get<std::vector<MarkedRect>>(round1_key);
+    if (marked_shared != nullptr) {
+      ++result.stats.catalog_hits;
+    } else {
+      ++result.stats.catalog_misses;
+    }
+  }
+
   // Per-relation replication bounds for C-Rep-L, from the data's diagonal
   // upper bounds and the join graph (§7.9, §8, footnote 3).
   std::vector<double> limit_bounds;
@@ -332,15 +351,17 @@ StatusOr<JoinRunResult> ControlledReplicateJoin(
       limit_bounds = ComputeReplicationBounds(query, diagonals);
     }
 
-    {
-      size_t total = 0;
-      for (const auto& rel : relations) total += rel.size();
-      input.reserve(total);
-    }
-    for (size_t r = 0; r < relations.size(); ++r) {
-      for (size_t i = 0; i < relations[r].size(); ++i) {
-        input.push_back(RelRect{relations[r][i], static_cast<int64_t>(i),
-                                static_cast<int32_t>(r)});
+    if (marked_shared == nullptr) {
+      {
+        size_t total = 0;
+        for (const auto& rel : relations) total += rel.size();
+        input.reserve(total);
+      }
+      for (size_t r = 0; r < relations.size(); ++r) {
+        for (size_t i = 0; i < relations[r].size(); ++i) {
+          input.push_back(RelRect{relations[r][i], static_cast<int64_t>(i),
+                                  static_cast<int32_t>(r)});
+        }
       }
     }
     setup_span.AddArg("input_records", static_cast<int64_t>(input.size()));
@@ -381,18 +402,39 @@ StatusOr<JoinRunResult> ControlledReplicateJoin(
     }
   });
 
-  std::vector<MarkedRect> marked_rects;
   {
     TraceSpan round_span(tracer, "crep_round1", "stage");
-    const TransformCounters before = SnapshotTransformCounters();
-    result.stats.Add(
-        round1.Run(std::span<const RelRect>(input), &marked_rects, ctx));
-    const TransformCounters delta =
-        TransformCountersDelta(before, SnapshotTransformCounters());
-    round_span.AddArg("split_calls", delta.split_calls);
-    int64_t marked_count = 0;
-    for (const MarkedRect& r : marked_rects) marked_count += r.marked ? 1 : 0;
-    round_span.AddArg("marked_records", marked_count);
+    if (marked_shared != nullptr) {
+      // Resident marking: the round is a lookup, not a job.
+      round_span.AddArg("cached", int64_t{1});
+      int64_t marked_count = 0;
+      for (const MarkedRect& r : *marked_shared) {
+        marked_count += r.marked ? 1 : 0;
+      }
+      round_span.AddArg("marked_records", marked_count);
+    } else {
+      std::vector<MarkedRect> marked_rects;
+      const TransformCounters before = SnapshotTransformCounters();
+      result.stats.Add(
+          round1.Run(std::span<const RelRect>(input), &marked_rects, ctx));
+      const TransformCounters delta =
+          TransformCountersDelta(before, SnapshotTransformCounters());
+      round_span.AddArg("split_calls", delta.split_calls);
+      int64_t marked_count = 0;
+      for (const MarkedRect& r : marked_rects) {
+        marked_count += r.marked ? 1 : 0;
+      }
+      round_span.AddArg("marked_records", marked_count);
+      auto built = std::make_shared<const std::vector<MarkedRect>>(
+          std::move(marked_rects));
+      // First-wins Put: a concurrent identical job may have stored the
+      // artifact already; every consumer then shares the resident copy.
+      marked_shared =
+          round1_key.empty()
+              ? built
+              : options.catalog->Put<std::vector<MarkedRect>>(round1_key,
+                                                              built);
+    }
   }
 
   // -------------------------------------------------------------------
@@ -471,8 +513,8 @@ StatusOr<JoinRunResult> ControlledReplicateJoin(
   TraceSpan round2_span(tracer, "crep_round2", "stage");
   const TransformCounters transform_before = SnapshotTransformCounters();
   const DedupCounters dedup_before = SnapshotDedupCounters();
-  JobStats round2_stats = round2.Run(std::span<const MarkedRect>(marked_rects),
-                                     &result.tuples, ctx);
+  JobStats round2_stats = round2.Run(
+      std::span<const MarkedRect>(*marked_shared), &result.tuples, ctx);
   const TransformCounters transform_delta =
       TransformCountersDelta(transform_before, SnapshotTransformCounters());
   const DedupCounters dedup_delta =

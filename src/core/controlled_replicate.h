@@ -1,11 +1,12 @@
 #ifndef MWSJ_CORE_CONTROLLED_REPLICATE_H_
 #define MWSJ_CORE_CONTROLLED_REPLICATE_H_
 
+#include <string>
 #include <vector>
 
 #include "common/execution_context.h"
 #include "common/status.h"
-#include "common/thread_pool.h"
+#include "core/dataset_catalog.h"
 #include "core/records.h"
 #include "grid/grid_partition.h"
 #include "grid/transform.h"
@@ -30,6 +31,15 @@ struct ControlledReplicateOptions {
 
   /// Count output tuples without materializing them (see JoinRunResult).
   bool count_only = false;
+
+  /// Optional resident-artifact catalog plus the base key covering the
+  /// canonical query, the dataset epochs, and the grid (composed by
+  /// ExecuteSpatialJoin). When both are set, the round-1 marking output —
+  /// which depends only on those inputs, never on the limit options — is
+  /// reused across jobs: a repeat query skips the whole split+mark round,
+  /// and C-Rep / C-Rep-L share one artifact. Empty key disables reuse.
+  DatasetCatalog* catalog = nullptr;
+  std::string artifact_key;
 };
 
 /// The Controlled-Replicate framework (§7, §8, §9): two map-reduce rounds.
@@ -74,17 +84,8 @@ struct ControlledReplicateOptions {
 StatusOr<JoinRunResult> ControlledReplicateJoin(
     const Query& query, const GridPartition& grid,
     const std::vector<std::vector<Rect>>& relations,
-    const ControlledReplicateOptions& options, const ExecutionContext& ctx);
-
-/// Deprecated shim: pass an ExecutionContext instead of a bare pool.
-inline StatusOr<JoinRunResult> ControlledReplicateJoin(
-    const Query& query, const GridPartition& grid,
-    const std::vector<std::vector<Rect>>& relations,
     const ControlledReplicateOptions& options = {},
-    ThreadPool* pool = nullptr) {
-  return ControlledReplicateJoin(query, grid, relations, options,
-                                 ExecutionContext(pool));
-}
+    const ExecutionContext& ctx = ExecutionContext());
 
 /// Round-1 marking decision, exposed for unit tests that replay the
 /// paper's §7.7 walkthrough: given the rectangles split onto cell `cell`,

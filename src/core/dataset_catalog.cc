@@ -1,0 +1,118 @@
+#include "core/dataset_catalog.h"
+
+#include <utility>
+
+#include "common/str_format.h"
+
+namespace mwsj {
+
+int64_t DatasetCatalog::PutDataset(
+    const std::string& name, std::shared_ptr<const std::vector<Rect>> data) {
+  MutexLock lock(&mu_);
+  auto [it, inserted] = datasets_.try_emplace(name);
+  if (!inserted) ++it->second.epoch;
+  it->second.data = std::move(data);
+  return it->second.epoch;
+}
+
+int64_t DatasetCatalog::PutDataset(const std::string& name,
+                                   std::vector<Rect> data) {
+  return PutDataset(
+      name, std::make_shared<const std::vector<Rect>>(std::move(data)));
+}
+
+std::shared_ptr<const std::vector<Rect>> DatasetCatalog::GetDataset(
+    const std::string& name) const {
+  MutexLock lock(&mu_);
+  const auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : it->second.data;
+}
+
+int64_t DatasetCatalog::EpochOf(const std::string& name) const {
+  MutexLock lock(&mu_);
+  const auto it = datasets_.find(name);
+  return it == datasets_.end() ? -1 : it->second.epoch;
+}
+
+StatusOr<DatasetCatalog::RelationBundle> DatasetCatalog::GetRelationBundle(
+    const std::vector<std::string>& names) {
+  // Resolve every name and its epoch under one lock acquisition so the
+  // bundle key and the bundle contents describe the same data versions.
+  std::vector<std::shared_ptr<const std::vector<Rect>>> resolved;
+  resolved.reserve(names.size());
+  std::string data_key = "data[";
+  {
+    MutexLock lock(&mu_);
+    for (size_t i = 0; i < names.size(); ++i) {
+      const auto it = datasets_.find(names[i]);
+      if (it == datasets_.end()) {
+        return Status::NotFound(
+            StrFormat("dataset '%s' is not in the catalog", names[i].c_str()));
+      }
+      resolved.push_back(it->second.data);
+      if (i > 0) data_key += ',';
+      // Length-prefixed, like Query::CanonicalForm, so names containing
+      // the separators cannot forge another bundle's key.
+      data_key += StrFormat("%zu:", names[i].size());
+      data_key += names[i];
+      data_key += StrFormat("@%lld", static_cast<long long>(it->second.epoch));
+    }
+  }
+  data_key += ']';
+
+  RelationBundle bundle;
+  bundle.data_key = data_key;
+  const std::string bundle_key = "bundle|" + data_key;
+  if (auto resident = Get<std::vector<std::vector<Rect>>>(bundle_key)) {
+    bundle.relations = std::move(resident);
+    bundle.cache_hit = true;
+    return bundle;
+  }
+  // Assemble outside the lock (the copies can be large); Put is
+  // first-wins, so a concurrent assembler costs a duplicate copy once but
+  // every later consumer shares a single resident bundle.
+  auto assembled = std::make_shared<std::vector<std::vector<Rect>>>();
+  assembled->reserve(resolved.size());
+  for (const auto& data : resolved) assembled->push_back(*data);
+  bundle.relations = Put<std::vector<std::vector<Rect>>>(
+      bundle_key,
+      std::shared_ptr<const std::vector<std::vector<Rect>>>(
+          std::move(assembled)));
+  bundle.cache_hit = false;
+  return bundle;
+}
+
+std::vector<std::string> DatasetCatalog::DatasetNames() const {
+  MutexLock lock(&mu_);
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& [name, dataset] : datasets_) names.push_back(name);
+  return names;
+}
+
+std::pair<std::shared_ptr<const void>, const std::type_info*>
+DatasetCatalog::GetArtifact(const std::string& key) {
+  MutexLock lock(&mu_);
+  const auto it = artifacts_.find(key);
+  if (it == artifacts_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return {nullptr, &typeid(void)};
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return {it->second.value, it->second.type};
+}
+
+std::pair<std::shared_ptr<const void>, const std::type_info*>
+DatasetCatalog::PutArtifact(const std::string& key,
+                            std::shared_ptr<const void> value,
+                            const std::type_info* type) {
+  MutexLock lock(&mu_);
+  auto [it, inserted] = artifacts_.try_emplace(key);
+  if (inserted) {
+    it->second.value = std::move(value);
+    it->second.type = type;
+  }
+  return {it->second.value, it->second.type};
+}
+
+}  // namespace mwsj

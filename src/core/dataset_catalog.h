@@ -1,0 +1,139 @@
+#ifndef MWSJ_CORE_DATASET_CATALOG_H_
+#define MWSJ_CORE_DATASET_CATALOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "geometry/rect.h"
+
+namespace mwsj {
+
+/// Keeps ingested relations and derived partitioning artifacts resident
+/// between jobs, so a repeat query skips the work a cold run pays for:
+/// assembling per-relation inputs, building the reducer grid, and — for the
+/// Controlled-Replicate family — the whole round-1 marking job (the paper's
+/// split+mark round), following the map-side-join insight that inputs
+/// already partitioned by a prior round should not be re-partitioned.
+///
+/// Three layers, all first-wins and immutable once stored:
+///
+///   * **Datasets** — named rectangle sets with a monotonically increasing
+///     *epoch*. Re-putting a name bumps its epoch, which changes every key
+///     derived from the dataset, so stale artifacts are never served (they
+///     age out by never being requested again).
+///   * **Relation bundles** — the `vector<vector<Rect>>` a runner consumes,
+///     assembled once per distinct (name@epoch, ...) list and shared by
+///     every subsequent job over the same inputs.
+///   * **Artifacts** — a typed key→value cache for derived immutable
+///     values (grid partitionings, C-Rep round-1 markings). Keys embed the
+///     query canonical form, the dataset epochs, and the artifact kind, so
+///     a key can never alias across queries, data versions, or types; a
+///     type check backs that up at retrieval.
+///
+/// Thread-safe; all values are shared immutable snapshots, so readers never
+/// block each other beyond the map lookup. Global hit/miss counters
+/// aggregate across jobs; per-run attribution is the caller's job (the
+/// runner counts its own lookups into RunStats).
+class DatasetCatalog {
+ public:
+  DatasetCatalog() = default;
+  DatasetCatalog(const DatasetCatalog&) = delete;
+  DatasetCatalog& operator=(const DatasetCatalog&) = delete;
+
+  /// Registers (or replaces) dataset `name` and returns its new epoch.
+  /// Epochs start at 0 and increase by 1 per Put of the same name.
+  int64_t PutDataset(const std::string& name,
+                     std::shared_ptr<const std::vector<Rect>> data)
+      EXCLUDES(mu_);
+  int64_t PutDataset(const std::string& name, std::vector<Rect> data)
+      EXCLUDES(mu_);
+
+  /// The current data for `name`, or null when absent.
+  std::shared_ptr<const std::vector<Rect>> GetDataset(
+      const std::string& name) const EXCLUDES(mu_);
+
+  /// The current epoch of `name`, or -1 when absent.
+  int64_t EpochOf(const std::string& name) const EXCLUDES(mu_);
+
+  /// A runner-ready view over the named datasets, in request order.
+  struct RelationBundle {
+    /// One entry per requested name; shared across jobs, never mutated.
+    std::shared_ptr<const std::vector<std::vector<Rect>>> relations;
+    /// Epoch-qualified identity of the inputs, in request order:
+    /// "data[<len>:<name>@<epoch>,...]". Artifact keys derive from this,
+    /// so any dataset replacement invalidates them implicitly.
+    std::string data_key;
+    /// True when the assembled bundle was already resident.
+    bool cache_hit = false;
+  };
+
+  /// Assembles (or retrieves) the bundle for `names`. The epochs captured
+  /// in `data_key` are the ones the returned data actually has — resolved
+  /// atomically, so a concurrent PutDataset cannot tear the bundle.
+  /// Returns NotFound when any name is absent.
+  StatusOr<RelationBundle> GetRelationBundle(
+      const std::vector<std::string>& names) EXCLUDES(mu_);
+
+  /// Retrieves artifact `key`, or null on miss (or on a type mismatch,
+  /// which key discipline should make impossible).
+  template <typename T>
+  std::shared_ptr<const T> Get(const std::string& key) EXCLUDES(mu_) {
+    auto [value, type] = GetArtifact(key);
+    if (value == nullptr || *type != typeid(T)) return nullptr;
+    return std::static_pointer_cast<const T>(value);
+  }
+
+  /// Stores artifact `key` first-wins: if a concurrent job already stored
+  /// the key, the resident value is returned and `value` is dropped, so
+  /// every consumer shares one immutable object.
+  template <typename T>
+  std::shared_ptr<const T> Put(const std::string& key,
+                               std::shared_ptr<const T> value) EXCLUDES(mu_) {
+    auto [resident, type] = PutArtifact(
+        key, std::static_pointer_cast<const void>(std::move(value)),
+        &typeid(T));
+    if (*type != typeid(T)) return nullptr;
+    return std::static_pointer_cast<const T>(resident);
+  }
+
+  /// Datasets currently registered.
+  std::vector<std::string> DatasetNames() const EXCLUDES(mu_);
+
+  /// Cross-job reuse totals (bundle + artifact lookups).
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Dataset {
+    std::shared_ptr<const std::vector<Rect>> data;
+    int64_t epoch = 0;
+  };
+  struct Artifact {
+    std::shared_ptr<const void> value;
+    const std::type_info* type = nullptr;
+  };
+
+  std::pair<std::shared_ptr<const void>, const std::type_info*> GetArtifact(
+      const std::string& key) EXCLUDES(mu_);
+  std::pair<std::shared_ptr<const void>, const std::type_info*> PutArtifact(
+      const std::string& key, std::shared_ptr<const void> value,
+      const std::type_info* type) EXCLUDES(mu_);
+
+  mutable Mutex mu_;
+  std::map<std::string, Dataset> datasets_ GUARDED_BY(mu_);
+  std::map<std::string, Artifact> artifacts_ GUARDED_BY(mu_);
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+};
+
+}  // namespace mwsj
+
+#endif  // MWSJ_CORE_DATASET_CATALOG_H_

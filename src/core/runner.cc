@@ -1,6 +1,8 @@
 #include "core/runner.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "common/str_format.h"
 #include "common/trace.h"
@@ -8,6 +10,7 @@
 #include "core/cascade.h"
 #include "core/controlled_replicate.h"
 #include "core/optimizer.h"
+#include "core/scheduler.h"
 #include "localjoin/brute_force.h"
 #include "query/bounds.h"
 
@@ -64,7 +67,7 @@ void FilterDistinctIds(std::vector<IdTuple>* tuples) {
 
 }  // namespace
 
-StatusOr<JoinRunResult> RunSpatialJoin(
+StatusOr<JoinRunResult> ExecuteSpatialJoin(
     const Query& query, const std::vector<std::vector<Rect>>& relations,
     const RunnerOptions& options) {
   if (static_cast<int>(relations.size()) != query.num_relations()) {
@@ -91,35 +94,67 @@ StatusOr<JoinRunResult> RunSpatialJoin(
       }
     }
   }
-  // Effective execution context: prefer options.context; fall back to the
-  // deprecated bare pool field for old call sites.
   ExecutionContext ctx = options.context;
-  if (ctx.pool == nullptr) ctx.pool = options.pool;
   if (ctx.label.empty()) ctx.label = AlgorithmName(options.algorithm);
 
   TraceSpan run_span(ctx.tracer, ctx.label, "run");
+  if (ctx.job_id >= 0) run_span.AddArg("job", ctx.job_id);
 
-  TraceSpan grid_span(ctx.tracer, "grid_build", "stage");
-  StatusOr<GridPartition> grid = Status::Internal("unreachable");
-  if (options.partitioning == Partitioning::kEquiDepth) {
-    // Sample start points across all relations (bounded, round-robin).
-    std::vector<Rect> sample;
-    constexpr size_t kMaxSample = 20'000;
-    size_t total = 0;
-    for (const auto& rel : relations) total += rel.size();
-    const size_t stride = std::max<size_t>(1, total / kMaxSample);
-    size_t i = 0;
-    for (const auto& rel : relations) {
-      for (const Rect& r : rel) {
-        if (i++ % stride == 0) sample.push_back(r);
-      }
-    }
-    grid = GridPartition::CreateEquiDepth(space, options.grid_rows,
-                                          options.grid_cols, sample);
-  } else {
-    grid = GridPartition::Create(space, options.grid_rows, options.grid_cols);
+  // With a catalog and a base key, the grid is a resident artifact: the
+  // key extends the base (canonical query + dataset epochs) with every
+  // input the grid construction reads, so a hit is always byte-equivalent
+  // to rebuilding. Equi-depth grids depend on the data only through the
+  // datasets already pinned by the base key's epochs.
+  int64_t catalog_hits = 0;
+  int64_t catalog_misses = 0;
+  std::string grid_key;
+  if (options.catalog != nullptr && !options.artifact_key.empty()) {
+    grid_key = options.artifact_key +
+               StrFormat("|grid[%dx%d,p%d,space %.17g %.17g %.17g %.17g]",
+                         options.grid_rows, options.grid_cols,
+                         static_cast<int>(options.partitioning), space.min_x(),
+                         space.min_y(), space.max_x(), space.max_y());
   }
-  if (!grid.ok()) return grid.status();
+  TraceSpan grid_span(ctx.tracer, "grid_build", "stage");
+  std::shared_ptr<const GridPartition> grid_ptr;
+  if (!grid_key.empty()) {
+    grid_ptr = options.catalog->Get<GridPartition>(grid_key);
+    if (grid_ptr != nullptr) {
+      ++catalog_hits;
+      grid_span.AddArg("cached", int64_t{1});
+    } else {
+      ++catalog_misses;
+    }
+  }
+  if (grid_ptr == nullptr) {
+    StatusOr<GridPartition> grid = Status::Internal("unreachable");
+    if (options.partitioning == Partitioning::kEquiDepth) {
+      // Sample start points across all relations (bounded, round-robin).
+      std::vector<Rect> sample;
+      constexpr size_t kMaxSample = 20'000;
+      size_t total = 0;
+      for (const auto& rel : relations) total += rel.size();
+      const size_t stride = std::max<size_t>(1, total / kMaxSample);
+      size_t i = 0;
+      for (const auto& rel : relations) {
+        for (const Rect& r : rel) {
+          if (i++ % stride == 0) sample.push_back(r);
+        }
+      }
+      grid = GridPartition::CreateEquiDepth(space, options.grid_rows,
+                                            options.grid_cols, sample);
+    } else {
+      grid = GridPartition::Create(space, options.grid_rows, options.grid_cols);
+    }
+    if (!grid.ok()) return grid.status();
+    grid_ptr =
+        std::make_shared<const GridPartition>(std::move(grid.value()));
+    if (!grid_key.empty()) {
+      // First-wins: a concurrent identical job may have stored it already.
+      grid_ptr = options.catalog->Put<GridPartition>(grid_key, grid_ptr);
+    }
+  }
+  const GridPartition& grid_ref = *grid_ptr;
   grid_span.AddArg("rows", static_cast<int64_t>(options.grid_rows));
   grid_span.AddArg("cols", static_cast<int64_t>(options.grid_cols));
   grid_span.End();
@@ -145,20 +180,21 @@ StatusOr<JoinRunResult> RunSpatialJoin(
       if (order.empty() && options.optimize_cascade_order) {
         order = OptimizeCascadeOrder(query, relations);
       }
-      result = CascadeJoin(query, grid.value(), relations, std::move(order),
+      result = CascadeJoin(query, grid_ref, relations, std::move(order),
                            options.count_only, ctx);
       break;
     }
     case Algorithm::kAllReplicate:
-      result = AllReplicateJoin(query, grid.value(), relations,
+      result = AllReplicateJoin(query, grid_ref, relations,
                                 options.count_only, ctx);
       break;
     case Algorithm::kControlledReplicate: {
       ControlledReplicateOptions crep;
       crep.limit_replication = false;
       crep.count_only = options.count_only;
-      result = ControlledReplicateJoin(query, grid.value(), relations, crep,
-                                       ctx);
+      crep.catalog = options.catalog;
+      crep.artifact_key = grid_key;
+      result = ControlledReplicateJoin(query, grid_ref, relations, crep, ctx);
       break;
     }
     case Algorithm::kControlledReplicateInLimit: {
@@ -166,8 +202,9 @@ StatusOr<JoinRunResult> RunSpatialJoin(
       crep.limit_replication = true;
       crep.limit_metric = options.limit_metric;
       crep.count_only = options.count_only;
-      result = ControlledReplicateJoin(query, grid.value(), relations, crep,
-                                       ctx);
+      crep.catalog = options.catalog;
+      crep.artifact_key = grid_key;
+      result = ControlledReplicateJoin(query, grid_ref, relations, crep, ctx);
       break;
     }
   }
@@ -178,7 +215,34 @@ StatusOr<JoinRunResult> RunSpatialJoin(
     result.value().num_tuples =
         static_cast<int64_t>(result.value().tuples.size());
   }
+  result.value().stats.catalog_hits += catalog_hits;
+  result.value().stats.catalog_misses += catalog_misses;
   return result;
+}
+
+StatusOr<JoinRunResult> RunSpatialJoin(
+    const Query& query, const std::vector<std::vector<Rect>>& relations,
+    const RunnerOptions& options) {
+  // Honest submit + wait: a single-slot scheduler borrowing the caller's
+  // pool/tracer, one job borrowing the caller's relations. tag_job_id is
+  // off so traces, stats, and DFS paths stay byte-identical to the
+  // pre-scheduler blocking API.
+  SchedulerOptions sched_options;
+  sched_options.pool = options.context.pool;
+  sched_options.tracer = options.context.tracer;
+  sched_options.catalog = options.catalog;
+  sched_options.max_in_flight = 1;
+  sched_options.max_queued = 1;
+  JobScheduler scheduler(sched_options);
+
+  JobSpec spec;
+  spec.query = query;
+  spec.borrowed_relations = &relations;
+  spec.options = options;
+  spec.tag_job_id = false;
+  StatusOr<JobHandle> handle = scheduler.Submit(std::move(spec));
+  if (!handle.ok()) return handle.status();
+  return handle.value().Take();
 }
 
 }  // namespace mwsj

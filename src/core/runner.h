@@ -7,7 +7,7 @@
 
 #include "common/execution_context.h"
 #include "common/status.h"
-#include "common/thread_pool.h"
+#include "core/dataset_catalog.h"
 #include "core/records.h"
 #include "grid/grid_partition.h"
 #include "grid/transform.h"
@@ -70,12 +70,22 @@ struct RunnerOptions {
   /// synchronous), optional tracer, a run label for top-level spans, and
   /// the fault-injection plan / retry policy / DFS model every engine job
   /// of the run executes under (mapreduce/fault.h, mapreduce/dfs.h) —
-  /// `mwsj_join --faults=SPEC` plugs in here.
+  /// `mwsj_join --faults=SPEC` plugs in here. `context.job_id` is set by
+  /// the JobScheduler for submitted jobs.
   ExecutionContext context;
 
-  /// Deprecated: worker pool, superseded by `context.pool`. Honored only
-  /// when `context.pool` is null, so old call sites keep working.
-  ThreadPool* pool = nullptr;
+  /// Optional resident-artifact catalog (core/dataset_catalog.h). With a
+  /// non-empty `artifact_key`, the run reuses (or stores) its reducer
+  /// grid and — for the C-Rep family — the round-1 marking under keys
+  /// derived from it, and counts the lookups into RunStats
+  /// catalog_hits/catalog_misses.
+  DatasetCatalog* catalog = nullptr;
+
+  /// Base cache key identifying (canonical query, dataset epochs) —
+  /// normally composed by the JobScheduler from Query::CanonicalKey() and
+  /// the catalog bundle's data_key. Empty disables artifact reuse even
+  /// when a catalog is attached (inline relations have no sound key).
+  std::string artifact_key;
 };
 
 /// Runs the multi-way spatial join `query` over `relations` (one rectangle
@@ -87,7 +97,26 @@ struct RunnerOptions {
 /// Self-joins: register the same dataset once per role in the query and
 /// pass it once per role here (datasets are taken by const reference, so
 /// no copy is needed at the call site beyond the vector of vectors).
+///
+/// Since the scheduler redesign this is a *compatibility wrapper*: it
+/// spins up a single-slot JobScheduler on `options.context`'s pool/tracer,
+/// submits one job borrowing `relations`, and blocks on its handle —
+/// submit + wait, nothing more. Results, statuses, fault semantics, and
+/// every produced artifact (traces, stats_json, DFS paths) are identical
+/// to the pre-scheduler behavior. Deprecated for new multi-job callers:
+/// construct a JobScheduler (core/scheduler.h) and Submit() instead.
 StatusOr<JoinRunResult> RunSpatialJoin(
+    const Query& query, const std::vector<std::vector<Rect>>& relations,
+    const RunnerOptions& options);
+
+/// The execution pipeline behind every scheduled job: validates the query
+/// against the datasets and the declared space, builds (or retrieves from
+/// the catalog) the reducer grid, dispatches to the selected algorithm,
+/// and post-processes the tuples — synchronously, on the calling thread,
+/// with all parallelism coming from `options.context.pool`. The
+/// JobScheduler's drivers call this; everything else goes through
+/// RunSpatialJoin or the scheduler.
+StatusOr<JoinRunResult> ExecuteSpatialJoin(
     const Query& query, const std::vector<std::vector<Rect>>& relations,
     const RunnerOptions& options);
 

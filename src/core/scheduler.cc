@@ -1,0 +1,241 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/str_format.h"
+
+namespace mwsj {
+
+const char* JobStateName(JobState s) {
+  switch (s) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kSucceeded:
+      return "succeeded";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool IsTerminal(JobState s) {
+  return s == JobState::kSucceeded || s == JobState::kFailed ||
+         s == JobState::kCancelled;
+}
+
+}  // namespace
+
+JobState JobHandle::status() const {
+  MutexLock lock(&job_->mu);
+  return job_->state;
+}
+
+const StatusOr<JoinRunResult>& JobHandle::Wait() const {
+  MutexLock lock(&job_->mu);
+  while (!IsTerminal(job_->state)) job_->done.Wait(job_->mu);
+  // Terminal results are never written again, so handing out a reference
+  // after unlocking is safe.
+  return job_->result;
+}
+
+StatusOr<JoinRunResult> JobHandle::Take() {
+  MutexLock lock(&job_->mu);
+  while (!IsTerminal(job_->state)) job_->done.Wait(job_->mu);
+  StatusOr<JoinRunResult> out = std::move(job_->result);
+  job_->result = Status::FailedPrecondition("job result was already taken");
+  return out;
+}
+
+bool JobHandle::Cancel() {
+  MutexLock lock(&job_->mu);
+  if (job_->state != JobState::kQueued) return false;
+  // The job stays in the scheduler's queue; the driver that eventually
+  // pops it sees the terminal state and skips execution.
+  job_->state = JobState::kCancelled;
+  job_->result = Status::FailedPrecondition("job was cancelled while queued");
+  job_->done.NotifyAll();
+  return true;
+}
+
+JobScheduler::JobScheduler(const SchedulerOptions& options)
+    : options_(options) {
+  options_.max_in_flight = std::max(1, options_.max_in_flight);
+  options_.max_queued = std::max(1, options_.max_queued);
+  drivers_.reserve(static_cast<size_t>(options_.max_in_flight));
+  for (int i = 0; i < options_.max_in_flight; ++i) {
+    drivers_.emplace_back([this] { DriverLoop(); });
+  }
+}
+
+JobScheduler::~JobScheduler() {
+  {
+    MutexLock lock(&mu_);
+    shutdown_ = true;
+  }
+  work_available_.NotifyAll();
+  // Drivers drain the queue before exiting, so every accepted job reaches
+  // a terminal state and every handle's Wait() returns.
+  for (auto& d : drivers_) d.join();
+}
+
+StatusOr<JobHandle> JobScheduler::Submit(JobSpec spec) {
+  if (!spec.query.has_value()) {
+    return Status::InvalidArgument("JobSpec has no query");
+  }
+  const bool has_names = !spec.dataset_names.empty();
+  const bool has_inline = !spec.relations.empty();
+  const bool has_borrowed = spec.borrowed_relations != nullptr;
+  if ((has_names && (has_inline || has_borrowed)) ||
+      (has_inline && has_borrowed)) {
+    return Status::InvalidArgument(
+        "JobSpec must use exactly one input source (dataset_names, "
+        "relations, or borrowed_relations)");
+  }
+  if (has_names) {
+    DatasetCatalog* catalog = spec.options.catalog != nullptr
+                                  ? spec.options.catalog
+                                  : options_.catalog;
+    if (catalog == nullptr) {
+      return Status::FailedPrecondition(
+          "JobSpec names catalog datasets but no DatasetCatalog is "
+          "configured");
+    }
+    if (static_cast<int>(spec.dataset_names.size()) !=
+        spec.query->num_relations()) {
+      return Status::InvalidArgument(StrFormat(
+          "query has %d relations but %zu dataset names were supplied",
+          spec.query->num_relations(), spec.dataset_names.size()));
+    }
+  }
+
+  auto job = std::make_shared<scheduler_internal::Job>();
+  job->spec = std::move(spec);
+  {
+    MutexLock lock(&mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition(
+          "the scheduler is shutting down and admits no new jobs");
+    }
+    if (static_cast<int>(queue_.size()) >= options_.max_queued) {
+      ++counters_.rejected;
+      return Status::FailedPrecondition(
+          StrFormat("admission queue is full (%d jobs queued); retry after "
+                    "in-flight jobs finish",
+                    options_.max_queued));
+    }
+    job->id = next_id_++;
+    queue_.push_back(job);
+    ++counters_.submitted;
+  }
+  work_available_.NotifyOne();
+  return JobHandle(std::move(job));
+}
+
+void JobScheduler::Drain() {
+  MutexLock lock(&mu_);
+  while (!queue_.empty() || running_ != 0) idle_.Wait(mu_);
+}
+
+JobScheduler::Counters JobScheduler::counters() const {
+  MutexLock lock(&mu_);
+  return counters_;
+}
+
+void JobScheduler::DriverLoop() {
+  for (;;) {
+    std::shared_ptr<scheduler_internal::Job> job;
+    {
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) work_available_.Wait(mu_);
+      if (queue_.empty()) return;  // Shutdown with a drained queue.
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    RunJob(job.get());
+    {
+      MutexLock lock(&mu_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_.NotifyAll();
+    }
+  }
+}
+
+void JobScheduler::RunJob(scheduler_internal::Job* job) {
+  {
+    MutexLock lock(&job->mu);
+    if (job->state == JobState::kCancelled) {
+      MutexLock sched_lock(&mu_);
+      ++counters_.cancelled;
+      return;
+    }
+    job->state = JobState::kRunning;
+  }
+
+  // The per-job options inherit the scheduler's shared wiring; the spec's
+  // own label/faults/retry/dfs stay job-scoped.
+  RunnerOptions options = job->spec.options;
+  options.context.pool = options_.pool;
+  options.context.tracer = options_.tracer;
+  options.context.job_id = job->spec.tag_job_id ? job->id : -1;
+  if (options.catalog == nullptr) options.catalog = options_.catalog;
+
+  StatusOr<JoinRunResult> result = Status::Internal("job produced no result");
+  const std::vector<std::vector<Rect>>* relations = nullptr;
+  // Keeps a catalog bundle alive across the run.
+  std::shared_ptr<const std::vector<std::vector<Rect>>> bundle_data;
+  int64_t bundle_hits = 0;
+  int64_t bundle_misses = 0;
+  if (!job->spec.dataset_names.empty()) {
+    StatusOr<DatasetCatalog::RelationBundle> bundle =
+        options.catalog->GetRelationBundle(job->spec.dataset_names);
+    if (!bundle.ok()) {
+      result = bundle.status();
+    } else {
+      bundle_data = bundle.value().relations;
+      relations = bundle_data.get();
+      (bundle.value().cache_hit ? bundle_hits : bundle_misses) += 1;
+      // Base artifact key: canonical query form + epoch-qualified inputs.
+      // Everything derived (grid, C-Rep round 1) extends this key, so a
+      // dataset replacement or a different query can never alias.
+      options.artifact_key =
+          job->spec.query->CanonicalKey() + "|" + bundle.value().data_key;
+    }
+  } else {
+    relations = job->spec.borrowed_relations != nullptr
+                    ? job->spec.borrowed_relations
+                    : &job->spec.relations;
+  }
+  if (relations != nullptr) {
+    result = ExecuteSpatialJoin(*job->spec.query, *relations, options);
+    if (result.ok()) {
+      result.value().stats.catalog_hits += bundle_hits;
+      result.value().stats.catalog_misses += bundle_misses;
+    }
+  }
+
+  const bool ok = result.ok();
+  {
+    MutexLock lock(&job->mu);
+    job->result = std::move(result);
+    job->state = ok ? JobState::kSucceeded : JobState::kFailed;
+    job->done.NotifyAll();
+  }
+  {
+    MutexLock lock(&mu_);
+    if (ok) {
+      ++counters_.succeeded;
+    } else {
+      ++counters_.failed;
+    }
+  }
+}
+
+}  // namespace mwsj

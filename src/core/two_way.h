@@ -7,7 +7,6 @@
 #include <vector>
 
 #include "common/execution_context.h"
-#include "common/thread_pool.h"
 #include "core/records.h"
 #include "grid/grid_partition.h"
 #include "query/predicate.h"
@@ -31,21 +30,10 @@ struct TwoWayJoinOutcome {
 /// cell containing the start point of (left^e(d) ∩ right) emits the pair
 /// after confirming the exact Euclidean distance (enlarged-overlap alone is
 /// only a necessary condition — the paper's r2' counter-example).
-TwoWayJoinOutcome TwoWaySpatialJoin(const GridPartition& grid,
-                                    const Predicate& predicate,
-                                    std::span<const LocalRect> left,
-                                    std::span<const LocalRect> right,
-                                    const ExecutionContext& ctx);
-
-/// Deprecated shim: pass an ExecutionContext instead of a bare pool.
-inline TwoWayJoinOutcome TwoWaySpatialJoin(const GridPartition& grid,
-                                           const Predicate& predicate,
-                                           std::span<const LocalRect> left,
-                                           std::span<const LocalRect> right,
-                                           ThreadPool* pool = nullptr) {
-  return TwoWaySpatialJoin(grid, predicate, left, right,
-                           ExecutionContext(pool));
-}
+TwoWayJoinOutcome TwoWaySpatialJoin(
+    const GridPartition& grid, const Predicate& predicate,
+    std::span<const LocalRect> left, std::span<const LocalRect> right,
+    const ExecutionContext& ctx = ExecutionContext());
 
 }  // namespace mwsj
 

@@ -44,6 +44,11 @@ struct PhaseFaultStats {
 /// cost model converts them into modeled cluster time.
 struct JobStats {
   std::string job_name;
+  /// Scheduler-assigned id of the submission this job ran under
+  /// (core/scheduler.h); -1 for standalone (non-scheduled) runs. Lets a
+  /// stats document from a shared pool attribute each MR job to its
+  /// submission even when job names repeat across submissions.
+  int64_t job_id = -1;
 
   int64_t map_input_records = 0;
   int64_t map_input_bytes = 0;
@@ -99,6 +104,13 @@ struct RunStats {
 
   /// Measured in-process wall time across all jobs.
   double total_wall_seconds = 0;
+
+  /// DatasetCatalog reuse accounting for this run: how many cached
+  /// artifacts (grid partitioning, C-Rep round-1 marking, relation
+  /// bundles) were found resident vs. built from scratch. Both zero when
+  /// the run had no catalog attached.
+  int64_t catalog_hits = 0;
+  int64_t catalog_misses = 0;
 
   /// Sum of user counter `name` across jobs.
   int64_t UserCounter(const std::string& name) const;

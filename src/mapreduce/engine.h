@@ -95,21 +95,26 @@ class MapReduceJob {
     Emitter(std::vector<std::pair<K, V>>* pairs, std::vector<uint32_t>* route,
             const PartitionFn* partition, const SizeFn* value_size,
             const std::string* job_name, int num_reducers,
-            std::map<std::string, int64_t>* counters)
+            std::map<std::string, int64_t>* counters, int64_t job_id = -1)
         : pairs_(pairs), route_(route), partition_(partition),
           value_size_(value_size), job_name_(job_name),
-          num_reducers_(num_reducers), counters_(counters) {}
+          num_reducers_(num_reducers), counters_(counters), job_id_(job_id) {}
     void Emit(K key, V value) {
       const int r = (*partition_)(key);
       // An out-of-range partition result would corrupt the counting sort
-      // out of bounds; fail fast with the job and key instead.
+      // out of bounds; fail fast with the job and key instead. With many
+      // scheduled jobs sharing one pool, the same job *name* can be in
+      // flight several times over — the id suffix names the offender
+      // unambiguously.
       if (r < 0 || r >= num_reducers_) [[unlikely]] {
+        const std::string job_suffix =
+            job_id_ >= 0 ? " (job #" + std::to_string(job_id_) + ")" : "";
         std::fprintf(stderr,
                      "MapReduceJob '%s': partition function returned %d for "
-                     "key %s, outside the valid reducer range [0, %d)\n",
+                     "key %s, outside the valid reducer range [0, %d)%s\n",
                      job_name_->c_str(), r,
-                     engine_internal::DescribeKey(key).c_str(),
-                     num_reducers_);
+                     engine_internal::DescribeKey(key).c_str(), num_reducers_,
+                     job_suffix.c_str());
         std::abort();
       }
       bytes_ += (*value_size_)(value);
@@ -133,6 +138,7 @@ class MapReduceJob {
     const std::string* job_name_;
     int num_reducers_;
     std::map<std::string, int64_t>* counters_;
+    int64_t job_id_ = -1;
     int64_t bytes_ = 0;
   };
 
@@ -206,16 +212,12 @@ class MapReduceJob {
   /// `ctx.pool` may be null for synchronous single-threaded execution;
   /// `ctx.tracer` (optional) records the job span, the map/shuffle/reduce
   /// phase spans, and one task span per map chunk / shuffle merge /
-  /// reduce task.
+  /// reduce task. When `ctx.job_id >= 0` (scheduler-submitted runs) every
+  /// span carries a "job" arg, JobStats records the id, and DFS part files
+  /// are staged under a per-job `job-<id>/` prefix so concurrent jobs with
+  /// the same job name never collide.
   JobStats Run(std::span<const In> input, std::vector<Out>* output,
-               const ExecutionContext& ctx);
-
-  /// Deprecated shim for pre-ExecutionContext call sites; forwards to the
-  /// context overload with no tracer attached.
-  JobStats Run(std::span<const In> input, std::vector<Out>* output,
-               ThreadPool* pool = nullptr) {
-    return Run(input, output, ExecutionContext(pool));
-  }
+               const ExecutionContext& ctx = ExecutionContext());
 
  private:
   /// Folds a committed attempt's counter deltas into the job counters.
@@ -245,10 +247,19 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
                                           const ExecutionContext& ctx) {
   ThreadPool* const pool = ctx.pool;
   Tracer* const tracer = ctx.tracer;
+  const int64_t job_id = ctx.job_id;
+  // Tags a span with the scheduler-assigned job id, so interleaved task
+  // spans from concurrent jobs on one pool stay attributable. Standalone
+  // runs (job_id < 0) keep their trace output byte-identical to before.
+  auto tag_job = [job_id](TraceSpan& span) {
+    if (job_id >= 0) span.AddArg("job", job_id);
+  };
   TraceSpan job_span(tracer, name_, "job");
+  tag_job(job_span);
   Stopwatch job_watch;
   JobStats stats;
   stats.job_name = name_;
+  stats.job_id = job_id;
   stats.num_reducers = num_reducers_;
   stats.map_input_records = static_cast<int64_t>(input.size());
   stats.map_input_bytes = stats.map_input_records * input_record_bytes_;
@@ -293,12 +304,15 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
   // A task exhausting its retry budget fails the whole job, matching
   // Hadoop's mapred.*.max.attempts behavior; the engine has no partial-
   // output mode, so fail fast like the partition-range check above.
-  auto retries_exhausted = [this, &retry](FaultPhase phase, size_t task) {
+  auto retries_exhausted = [this, &retry, job_id](FaultPhase phase,
+                                                  size_t task) {
+    const std::string job_suffix =
+        job_id >= 0 ? " (job #" + std::to_string(job_id) + ")" : "";
     std::fprintf(stderr,
                  "MapReduceJob '%s': %s task %zu failed %d attempts, "
-                 "aborting job\n",
+                 "aborting job%s\n",
                  name_.c_str(), FaultPhaseName(phase), task,
-                 retry.max_attempts);
+                 retry.max_attempts, job_suffix.c_str());
     std::abort();
   };
 
@@ -341,7 +355,7 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
       raw->reserve(hi - lo);
       route->reserve(hi - lo);
       Emitter emitter(raw, route, &partition, &value_size, &name_,
-                      num_reducers_, counters);
+                      num_reducers_, counters, job_id);
       for (size_t i = lo; i < lo + limit; ++i) map_(input[i], emitter);
       return emitter.bytes();
     };
@@ -353,6 +367,7 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
       ++shard.faults.attempts;
       if (fault == FaultKind::kCrash || fault == FaultKind::kFlakyIo) {
         TraceSpan attempt_span(tracer, "map_attempt", "task");
+        tag_job(attempt_span);
         attempt_span.AddArg("chunk", static_cast<int64_t>(c));
         attempt_span.AddArg("attempt", static_cast<int64_t>(attempt));
         attempt_span.AddArg("failed", int64_t{1});
@@ -377,6 +392,7 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
       }
       // Committing attempt (fault-free, or a straggler that still wins).
       TraceSpan chunk_span(tracer, "map_chunk", "task");
+      tag_job(chunk_span);
       Stopwatch chunk_watch;
       std::vector<std::pair<K, V>> raw;
       std::vector<uint32_t> route;
@@ -406,6 +422,7 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
         // so a speculative duplicate ran alongside it. The duplicate's
         // identical output is discarded and charged as wasted work.
         TraceSpan spec_span(tracer, "map_attempt", "task");
+        tag_job(spec_span);
         spec_span.AddArg("chunk", static_cast<int64_t>(c));
         spec_span.AddArg("attempt", static_cast<int64_t>(attempt + 1));
         spec_span.AddArg("failed", int64_t{1});
@@ -426,6 +443,7 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
   };
   {
     TraceSpan map_phase(tracer, "map", "phase");
+    tag_job(map_phase);
     map_phase.AddArg("chunks", static_cast<int64_t>(num_chunks));
     if (pool != nullptr && num_chunks > 1) {
       ParallelFor(pool, num_chunks, run_chunk);
@@ -457,6 +475,7 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
   std::vector<ReducerInbox> inbox(num_reducers);
   auto merge_reducer = [&](size_t r) {
     TraceSpan merge_span(tracer, "shuffle_merge", "task");
+    tag_job(merge_span);
     size_t total = 0;
     for (size_t c = 0; c < num_chunks; ++c) {
       total += shards[c].offsets[r + 1] - shards[c].offsets[r];
@@ -476,6 +495,7 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
   };
   {
     TraceSpan shuffle_phase(tracer, "shuffle", "phase");
+    tag_job(shuffle_phase);
     if (pool != nullptr && num_reducers > 1) {
       ParallelFor(pool, num_reducers, merge_reducer);
     } else {
@@ -492,6 +512,11 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
   stats.shuffle_seconds = phase_watch.ElapsedSeconds();
 
   // ---- Reduce phase: group by key within each reducer, in key order.
+  // Scheduler-submitted jobs stage DFS part files under a per-job prefix:
+  // two concurrent submissions of the same algorithm share the job *name*,
+  // and without the prefix their committers would race on one path.
+  const std::string dfs_part_prefix =
+      job_id >= 0 ? "job-" + std::to_string(job_id) + "/" + name_ : name_;
   phase_watch.Reset();
   std::vector<std::vector<Out>> reducer_out(static_cast<size_t>(num_reducers_));
   stats.per_reducer_seconds.assign(static_cast<size_t>(num_reducers_), 0.0);
@@ -554,8 +579,8 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
         if constexpr (std::is_copy_constructible_v<Out>) {
           DfsStage stage(ctx.dfs);
           auto part = std::make_shared<const std::vector<Out>>(scratch);
-          (void)stage.Write(name_ + "/part-" + std::to_string(r), part,
-                            output_record_bytes_);
+          (void)stage.Write(dfs_part_prefix + "/part-" + std::to_string(r),
+                            part, output_record_bytes_);
           // No Commit: the stage's destructor discards the part file, so
           // the Dfs never sees this attempt's bytes.
         }
@@ -573,6 +598,7 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
       ++rf.attempts;
       if (fault == FaultKind::kCrash || fault == FaultKind::kFlakyIo) {
         TraceSpan attempt_span(tracer, "reduce_attempt", "task");
+        tag_job(attempt_span);
         attempt_span.AddArg("reducer", static_cast<int64_t>(r));
         attempt_span.AddArg("attempt", static_cast<int64_t>(attempt));
         attempt_span.AddArg("failed", int64_t{1});
@@ -593,6 +619,7 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
         // Straggler: run the speculative duplicate first (non-destructive,
         // discarded), then let the original attempt commit below.
         TraceSpan spec_span(tracer, "reduce_attempt", "task");
+        tag_job(spec_span);
         spec_span.AddArg("reducer", static_cast<int64_t>(r));
         spec_span.AddArg("attempt", static_cast<int64_t>(attempt + 1));
         spec_span.AddArg("failed", int64_t{1});
@@ -606,6 +633,7 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
       }
       // Committing attempt: may consume the inbox destructively.
       TraceSpan reduce_span(tracer, "reduce_task", "task");
+      tag_job(reduce_span);
       reduce_span.AddArg("reducer", static_cast<int64_t>(r));
       reduce_span.AddArg("records", static_cast<int64_t>(n));
       if (faults != nullptr) {
@@ -649,8 +677,8 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
         if constexpr (std::is_copy_constructible_v<Out>) {
           DfsStage stage(ctx.dfs);
           auto part = std::make_shared<const std::vector<Out>>(reducer_out[r]);
-          (void)stage.Write(name_ + "/part-" + std::to_string(r), part,
-                            output_record_bytes_);
+          (void)stage.Write(dfs_part_prefix + "/part-" + std::to_string(r),
+                            part, output_record_bytes_);
           stage.Commit();
         }
       }
@@ -661,6 +689,7 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
   };
   {
     TraceSpan reduce_phase(tracer, "reduce", "phase");
+    tag_job(reduce_phase);
     if (pool != nullptr && num_reducers_ > 1) {
       ParallelFor(pool, static_cast<size_t>(num_reducers_), run_reducer);
     } else {

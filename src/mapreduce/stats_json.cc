@@ -55,13 +55,26 @@ std::string PhaseFaultsToJson(const PhaseFaultStats& f) {
 
 std::string RunStatsToJson(const RunStats& stats) {
   std::string out = "{";
-  out += StrFormat("\"total_wall_seconds\": %.6f, \"jobs\": [",
-                   stats.total_wall_seconds);
+  out += StrFormat("\"total_wall_seconds\": %.6f", stats.total_wall_seconds);
+  // Catalog reuse accounting appears only when a DatasetCatalog was
+  // actually consulted, so catalog-less stats documents are unchanged.
+  if (stats.catalog_hits > 0 || stats.catalog_misses > 0) {
+    out += StrFormat(", \"catalog\": {\"hits\": %lld, \"misses\": %lld}",
+                     static_cast<long long>(stats.catalog_hits),
+                     static_cast<long long>(stats.catalog_misses));
+  }
+  out += ", \"jobs\": [";
   for (size_t j = 0; j < stats.jobs.size(); ++j) {
     const JobStats& job = stats.jobs[j];
     if (j > 0) out += ", ";
     out += "{";
     out += StrFormat("\"name\": \"%s\"", EscapeJson(job.job_name).c_str());
+    // Present only for scheduler-submitted jobs; standalone runs keep the
+    // pre-scheduler document byte-identical.
+    if (job.job_id >= 0) {
+      out += StrFormat(", \"job_id\": %lld",
+                       static_cast<long long>(job.job_id));
+    }
     out += StrFormat(", \"map_input_records\": %lld",
                      static_cast<long long>(job.map_input_records));
     out += StrFormat(", \"map_input_bytes\": %lld",

@@ -12,9 +12,11 @@ namespace mwsj {
 ///
 /// {
 ///   "total_wall_seconds": 1.23,
+///   "catalog": {"hits": 2, "misses": 1},        // only with a DatasetCatalog
 ///   "jobs": [
 ///     {
 ///       "name": "crep_round1_mark",
+///       "job_id": 7,                            // only for scheduled jobs
 ///       "map_input_records": 100, "map_input_bytes": 4800,
 ///       "intermediate_records": 130, "intermediate_bytes": 6240,
 ///       "reduce_output_records": 100, "reduce_output_bytes": 4800,
@@ -43,6 +45,11 @@ namespace mwsj {
 /// phase, the number of parallel tasks it dispatched, and the slowest
 /// task — the same quantities the tracer records as spans (common/trace.h),
 /// folded into the stats document so dashboards need no trace file.
+///
+/// "catalog" is present only for runs that consulted a DatasetCatalog
+/// (core/dataset_catalog.h): resident artifacts reused vs. built from
+/// scratch. "job_id" is present only for scheduler-submitted jobs
+/// (core/scheduler.h) and attributes each MR job to its submission.
 ///
 /// "faults" is present only for jobs where fault injection actually fired
 /// (a retry, speculative attempt, or wasted work was recorded): per phase,

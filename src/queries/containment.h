@@ -8,7 +8,6 @@
 
 #include "common/execution_context.h"
 #include "common/status.h"
-#include "common/thread_pool.h"
 #include "geometry/rect.h"
 #include "grid/grid_partition.h"
 #include "mapreduce/counters.h"
@@ -29,17 +28,10 @@ struct ContainmentResult {
 /// substrate: points are Projected (each reaches exactly one reducer — no
 /// duplicate avoidance needed), rectangles are Split, and each reducer
 /// probes an R-tree of its rectangles with its points.
-StatusOr<ContainmentResult> ContainmentJoin(const GridPartition& grid,
-                                            std::span<const Point> points,
-                                            std::span<const Rect> rects,
-                                            const ExecutionContext& ctx);
-
-/// Deprecated shim: pass an ExecutionContext instead of a bare pool.
-inline StatusOr<ContainmentResult> ContainmentJoin(
+StatusOr<ContainmentResult> ContainmentJoin(
     const GridPartition& grid, std::span<const Point> points,
-    std::span<const Rect> rects, ThreadPool* pool = nullptr) {
-  return ContainmentJoin(grid, points, rects, ExecutionContext(pool));
-}
+    std::span<const Rect> rects,
+    const ExecutionContext& ctx = ExecutionContext());
 
 }  // namespace mwsj
 

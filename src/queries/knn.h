@@ -7,7 +7,6 @@
 
 #include "common/execution_context.h"
 #include "common/status.h"
-#include "common/thread_pool.h"
 #include "geometry/rect.h"
 #include "grid/grid_partition.h"
 #include "mapreduce/counters.h"
@@ -52,15 +51,7 @@ struct KnnResult {
 StatusOr<KnnResult> KnnJoin(const GridPartition& grid,
                             std::span<const Point> points,
                             std::span<const Rect> rects, int k,
-                            const ExecutionContext& ctx);
-
-/// Deprecated shim: pass an ExecutionContext instead of a bare pool.
-inline StatusOr<KnnResult> KnnJoin(const GridPartition& grid,
-                                   std::span<const Point> points,
-                                   std::span<const Rect> rects, int k,
-                                   ThreadPool* pool = nullptr) {
-  return KnnJoin(grid, points, rects, k, ExecutionContext(pool));
-}
+                            const ExecutionContext& ctx = ExecutionContext());
 
 }  // namespace mwsj
 

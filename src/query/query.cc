@@ -2,10 +2,24 @@
 
 #include <algorithm>
 #include <deque>
+#include <numeric>
+#include <tuple>
 
 #include "common/str_format.h"
 
 namespace mwsj {
+
+namespace {
+
+/// Full-precision predicate rendering for canonicalization. ToString()'s
+/// %g is for humans and would alias distances that differ below six
+/// significant digits; %.17g round-trips every double.
+std::string CanonicalPredicate(const Predicate& p) {
+  if (p.is_overlap()) return "Ov";
+  return StrFormat("Ra(%.17g)", p.distance());
+}
+
+}  // namespace
 
 std::string Predicate::ToString() const {
   if (is_overlap()) return "Ov";
@@ -56,6 +70,91 @@ std::string Query::ToString() const {
     out += relation_names_[static_cast<size_t>(c.right)];
   }
   return out;
+}
+
+std::string Query::CanonicalForm() const {
+  const size_t n = relation_names_.size();
+  // Local structure signature per relation: the sorted multiset of
+  // (predicate, neighbor name) over its incident conditions. It orders
+  // duplicate-named relations (self-join spellings) that plain name
+  // sorting cannot, so registration order stops leaking into the form.
+  std::vector<std::string> signature(n);
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<std::string> incident;
+    incident.reserve(adjacency_[r].size());
+    for (const int ci : adjacency_[r]) {
+      const JoinCondition& c = conditions_[static_cast<size_t>(ci)];
+      const int other = (c.left == static_cast<int>(r)) ? c.right : c.left;
+      incident.push_back(CanonicalPredicate(c.predicate) + "~" +
+                         relation_names_[static_cast<size_t>(other)]);
+    }
+    std::sort(incident.begin(), incident.end());
+    for (const std::string& s : incident) {
+      signature[r] += s;
+      signature[r] += ';';
+    }
+  }
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto& na = relation_names_[static_cast<size_t>(a)];
+    const auto& nb = relation_names_[static_cast<size_t>(b)];
+    if (na != nb) return na < nb;
+    return signature[static_cast<size_t>(a)] <
+           signature[static_cast<size_t>(b)];
+  });
+  std::vector<int> rank(n);
+  for (size_t i = 0; i < n; ++i) {
+    rank[static_cast<size_t>(order[i])] = static_cast<int>(i);
+  }
+
+  // Conditions under the new labels, endpoints in (lo, hi) order — both
+  // predicate kinds are symmetric — and the list itself sorted.
+  std::vector<std::tuple<int, int, std::string>> canon;
+  canon.reserve(conditions_.size());
+  for (const JoinCondition& c : conditions_) {
+    const int a = rank[static_cast<size_t>(c.left)];
+    const int b = rank[static_cast<size_t>(c.right)];
+    canon.emplace_back(std::min(a, b), std::max(a, b),
+                       CanonicalPredicate(c.predicate));
+  }
+  std::sort(canon.begin(), canon.end());
+
+  // Length-prefixed names make the rendering injective even for names
+  // containing the separators.
+  std::string out = "rels[";
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& name = relation_names_[static_cast<size_t>(order[i])];
+    if (i > 0) out += ',';
+    out += StrFormat("%zu:", name.size());
+    out += name;
+  }
+  out += "] conds[";
+  for (size_t i = 0; i < canon.size(); ++i) {
+    if (i > 0) out += ',';
+    out += StrFormat("%d %s %d", std::get<0>(canon[i]),
+                     std::get<2>(canon[i]).c_str(), std::get<1>(canon[i]));
+  }
+  out += ']';
+  return out;
+}
+
+uint64_t Query::CanonicalHash() const {
+  // FNV-1a, 64-bit: stable across processes and standard libraries,
+  // unlike std::hash.
+  const std::string form = CanonicalForm();
+  uint64_t h = 14695981039346656037ULL;
+  for (const char c : form) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string Query::CanonicalKey() const {
+  return StrFormat("q%016llx|", static_cast<unsigned long long>(
+                                    CanonicalHash())) +
+         CanonicalForm();
 }
 
 int QueryBuilder::AddRelation(std::string name) {

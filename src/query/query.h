@@ -1,6 +1,7 @@
 #ifndef MWSJ_QUERY_QUERY_H_
 #define MWSJ_QUERY_QUERY_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,28 @@ class Query {
   bool Matches(const std::vector<Rect>& assignment) const;
 
   std::string ToString() const;
+
+  /// Order-normalized rendering of the query, identical for every spelling
+  /// of the same query: relations are relabeled in sorted-name order (ties
+  /// between duplicate names — self-joins — broken by each relation's
+  /// sorted incident-edge signature), condition endpoints are put in
+  /// (lo, hi) index order (both predicates are symmetric), and the
+  /// condition list is sorted. Relation names are length-prefixed so no
+  /// name content can forge a separator, and range distances print with
+  /// full precision (%.17g) so distinct distances never alias. Distinct
+  /// queries always render distinct forms; symmetric self-join spellings
+  /// that the name+signature relabeling cannot distinguish may render
+  /// different forms (a safe cache miss, never a false hit).
+  std::string CanonicalForm() const;
+
+  /// FNV-1a 64-bit hash of CanonicalForm(); stable across runs, builds,
+  /// and processes (no std::hash involved).
+  uint64_t CanonicalHash() const;
+
+  /// The cache key the DatasetCatalog (and a future result cache) indexes
+  /// on: the collision-free CanonicalForm prefixed with its hash for cheap
+  /// bucketing and log readability.
+  std::string CanonicalKey() const;
 
  private:
   friend class QueryBuilder;

@@ -1,0 +1,87 @@
+// DatasetCatalog: epochs, bundle assembly and identity keys, and the
+// first-wins typed artifact cache.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataset_catalog.h"
+
+namespace mwsj {
+namespace {
+
+std::vector<Rect> OneRect(double x) {
+  return {Rect(x, 0.0, x + 1.0, 1.0)};
+}
+
+TEST(DatasetCatalogTest, PutBumpsEpochAndReplacesData) {
+  DatasetCatalog catalog;
+  EXPECT_EQ(catalog.EpochOf("roads"), -1);
+  EXPECT_EQ(catalog.GetDataset("roads"), nullptr);
+
+  EXPECT_EQ(catalog.PutDataset("roads", OneRect(1)), 0);
+  EXPECT_EQ(catalog.EpochOf("roads"), 0);
+  ASSERT_NE(catalog.GetDataset("roads"), nullptr);
+  EXPECT_EQ(catalog.GetDataset("roads")->at(0).min_x(), 1.0);
+
+  EXPECT_EQ(catalog.PutDataset("roads", OneRect(2)), 1);
+  EXPECT_EQ(catalog.EpochOf("roads"), 1);
+  EXPECT_EQ(catalog.GetDataset("roads")->at(0).min_x(), 2.0);
+  EXPECT_EQ(catalog.DatasetNames(), std::vector<std::string>{"roads"});
+}
+
+TEST(DatasetCatalogTest, BundleKeyEmbedsEpochsAndCachesAssembly) {
+  DatasetCatalog catalog;
+  catalog.PutDataset("a", OneRect(1));
+  catalog.PutDataset("b", OneRect(2));
+
+  StatusOr<DatasetCatalog::RelationBundle> first =
+      catalog.GetRelationBundle({"a", "b", "a"});
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().cache_hit);
+  EXPECT_EQ(first.value().data_key, "data[1:a@0,1:b@0,1:a@0]");
+  ASSERT_EQ(first.value().relations->size(), 3u);
+  EXPECT_EQ(first.value().relations->at(2).at(0).min_x(), 1.0);
+
+  // Same names, same epochs: the assembled bundle itself is resident.
+  StatusOr<DatasetCatalog::RelationBundle> second =
+      catalog.GetRelationBundle({"a", "b", "a"});
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().cache_hit);
+  EXPECT_EQ(second.value().relations, first.value().relations);
+
+  // An epoch bump changes the key, so the stale bundle is never served.
+  catalog.PutDataset("b", OneRect(3));
+  StatusOr<DatasetCatalog::RelationBundle> bumped =
+      catalog.GetRelationBundle({"a", "b", "a"});
+  ASSERT_TRUE(bumped.ok());
+  EXPECT_FALSE(bumped.value().cache_hit);
+  EXPECT_EQ(bumped.value().data_key, "data[1:a@0,1:b@1,1:a@0]");
+  EXPECT_EQ(bumped.value().relations->at(1).at(0).min_x(), 3.0);
+
+  EXPECT_EQ(catalog.GetRelationBundle({"a", "missing"}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DatasetCatalogTest, ArtifactsAreTypedAndFirstWins) {
+  DatasetCatalog catalog;
+  EXPECT_EQ(catalog.Get<int>("k"), nullptr);
+  EXPECT_EQ(catalog.misses(), 1);
+
+  auto first = std::make_shared<const int>(7);
+  EXPECT_EQ(*catalog.Put<int>("k", first), 7);
+  // First-wins: the resident value survives, the latecomer is dropped.
+  auto second = std::make_shared<const int>(9);
+  EXPECT_EQ(catalog.Put<int>("k", second), first);
+  EXPECT_EQ(*catalog.Get<int>("k"), 7);
+  EXPECT_EQ(catalog.hits(), 1);
+
+  // Key discipline makes cross-type access a bug; the catalog refuses to
+  // reinterpret rather than returning a corrupt value.
+  EXPECT_EQ(catalog.Get<double>("k"), nullptr);
+}
+
+}  // namespace
+}  // namespace mwsj

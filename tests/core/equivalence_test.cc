@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "common/random.h"
 #include "core/runner.h"
 #include "localjoin/brute_force.h"

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "core/runner.h"
 #include "datagen/synthetic.h"
 #include "localjoin/brute_force.h"

@@ -1,0 +1,395 @@
+// JobScheduler: submit/wait parity with the blocking wrapper, FIFO
+// admission with bounded queueing and cancellation, concurrent
+// mixed-algorithm stress with per-job attribution, and DatasetCatalog
+// reuse across repeat queries. The stress suite is what the CI
+// scheduler-stress job runs under TSan (`ctest -R Scheduler`).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "core/dataset_catalog.h"
+#include "core/runner.h"
+#include "core/scheduler.h"
+#include "mapreduce/fault.h"
+#include "mapreduce/stats_json.h"
+#include "testing/world.h"
+
+namespace mwsj {
+namespace {
+
+using testing::MakeWorldData;
+using testing::MakeWorldQuery;
+using testing::PredicateMix;
+using testing::QueryShape;
+using testing::WorldConfig;
+
+uint64_t SeedBase() {
+  const char* env = std::getenv("MWSJ_SCHED_SEED_BASE");
+  return env != nullptr ? static_cast<uint64_t>(std::atoll(env)) : 0;
+}
+
+WorldConfig StressWorld(int i) {
+  WorldConfig config;
+  config.shape = static_cast<QueryShape>(i % 4);
+  config.mix = static_cast<PredicateMix>(i % 3);
+  config.integer_coords = (i % 2) == 1;
+  config.seed = SeedBase() + 100 + static_cast<uint64_t>(i);
+  return config;
+}
+
+TEST(SchedulerTest, SubmitWaitMatchesBlockingRunPerAlgorithm) {
+  WorldConfig config;
+  config.shape = QueryShape::kStar4;
+  config.mix = PredicateMix::kHybrid;
+  config.seed = SeedBase() + 7;
+  const Query query = MakeWorldQuery(config);
+  const auto data = MakeWorldData(config, query.num_relations());
+
+  ThreadPool pool(4);
+  SchedulerOptions sched_options;
+  sched_options.pool = &pool;
+  JobScheduler scheduler(sched_options);
+
+  for (Algorithm algorithm :
+       {Algorithm::kTwoWayCascade, Algorithm::kAllReplicate,
+        Algorithm::kControlledReplicate,
+        Algorithm::kControlledReplicateInLimit}) {
+    RunnerOptions options;
+    options.algorithm = algorithm;
+
+    const StatusOr<JoinRunResult> serial = RunSpatialJoin(query, data, options);
+    ASSERT_TRUE(serial.ok()) << serial.status().message();
+
+    JobSpec spec;
+    spec.query = query;
+    spec.relations = data;
+    spec.options = options;
+    StatusOr<JobHandle> handle = scheduler.Submit(std::move(spec));
+    ASSERT_TRUE(handle.ok()) << handle.status().message();
+    const StatusOr<JoinRunResult>& scheduled = handle.value().Wait();
+    ASSERT_TRUE(scheduled.ok()) << scheduled.status().message();
+
+    EXPECT_EQ(scheduled.value().tuples, serial.value().tuples)
+        << AlgorithmName(algorithm);
+    EXPECT_EQ(scheduled.value().num_tuples, serial.value().num_tuples);
+    // Scheduling must not change what the jobs computed, only attribute it.
+    ASSERT_EQ(scheduled.value().stats.jobs.size(),
+              serial.value().stats.jobs.size());
+    for (size_t j = 0; j < serial.value().stats.jobs.size(); ++j) {
+      EXPECT_EQ(scheduled.value().stats.jobs[j].intermediate_records,
+                serial.value().stats.jobs[j].intermediate_records);
+      EXPECT_EQ(scheduled.value().stats.jobs[j].per_reducer_records,
+                serial.value().stats.jobs[j].per_reducer_records);
+      EXPECT_EQ(scheduled.value().stats.jobs[j].job_id, handle.value().id());
+      EXPECT_EQ(serial.value().stats.jobs[j].job_id, -1);
+    }
+  }
+
+  const JobScheduler::Counters counters = scheduler.counters();
+  EXPECT_EQ(counters.submitted, 4);
+  EXPECT_EQ(counters.succeeded, 4);
+  EXPECT_EQ(counters.failed, 0);
+}
+
+TEST(SchedulerTest, RejectsMalformedSpecs) {
+  JobScheduler scheduler(SchedulerOptions{});
+  WorldConfig config;
+  const Query query = MakeWorldQuery(config);
+  const auto data = MakeWorldData(config, query.num_relations());
+
+  {
+    JobSpec spec;  // No query at all.
+    EXPECT_EQ(scheduler.Submit(std::move(spec)).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    JobSpec spec;  // Two input sources.
+    spec.query = query;
+    spec.relations = data;
+    spec.borrowed_relations = &data;
+    EXPECT_EQ(scheduler.Submit(std::move(spec)).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    JobSpec spec;  // Named datasets but no catalog anywhere.
+    spec.query = query;
+    spec.dataset_names = {"a", "b", "c"};
+    EXPECT_EQ(scheduler.Submit(std::move(spec)).status().code(),
+              StatusCode::kFailedPrecondition);
+  }
+  EXPECT_EQ(scheduler.counters().submitted, 0);
+}
+
+TEST(SchedulerTest, NameCountMustMatchQueryRelations) {
+  DatasetCatalog catalog;
+  catalog.PutDataset("only", std::vector<Rect>{});
+  SchedulerOptions sched_options;
+  sched_options.catalog = &catalog;
+  JobScheduler scheduler(sched_options);
+
+  JobSpec spec;
+  spec.query = MakeWorldQuery(WorldConfig{});  // 3 relations.
+  spec.dataset_names = {"only"};
+  EXPECT_EQ(scheduler.Submit(std::move(spec)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchedulerTest, BoundedAdmissionFifoAndQueuedCancel) {
+  WorldConfig config;
+  config.seed = SeedBase() + 3;
+  const Query query = MakeWorldQuery(config);
+  const auto data = MakeWorldData(config, query.num_relations());
+
+  // Deterministically park the single driver: the first job crashes its
+  // first map attempt, and the retry policy's injected sleep blocks until
+  // the test releases it. Everything submitted meanwhile must stay queued.
+  FaultPlan faults;
+  faults.Inject(FaultPhase::kMap, 0, 0, FaultKind::kCrash);
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  RetryPolicy retry;
+  retry.sleep = [released](double) { released.wait(); };
+
+  SchedulerOptions sched_options;
+  sched_options.max_in_flight = 1;
+  sched_options.max_queued = 2;
+  JobScheduler scheduler(sched_options);
+
+  JobSpec blocking;
+  blocking.query = query;
+  blocking.relations = data;
+  blocking.options.context.faults = &faults;
+  blocking.options.context.retry = &retry;
+  StatusOr<JobHandle> first = scheduler.Submit(std::move(blocking));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().id(), 1);
+  while (first.value().status() != JobState::kRunning) {
+    std::this_thread::yield();
+  }
+
+  auto plain_spec = [&] {
+    JobSpec spec;
+    spec.query = query;
+    spec.relations = data;
+    return spec;
+  };
+  StatusOr<JobHandle> second = scheduler.Submit(plain_spec());
+  StatusOr<JobHandle> third = scheduler.Submit(plain_spec());
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(second.value().id(), 2);
+  EXPECT_EQ(third.value().id(), 3);
+  EXPECT_EQ(second.value().status(), JobState::kQueued);
+  EXPECT_EQ(third.value().status(), JobState::kQueued);
+
+  // Queue (capacity 2) is full: admission control rejects, not blocks.
+  StatusOr<JobHandle> fourth = scheduler.Submit(plain_spec());
+  EXPECT_EQ(fourth.status().code(), StatusCode::kFailedPrecondition);
+
+  // A queued job can be cancelled; a second cancel is a no-op.
+  EXPECT_TRUE(second.value().Cancel());
+  EXPECT_FALSE(second.value().Cancel());
+  EXPECT_EQ(second.value().status(), JobState::kCancelled);
+  EXPECT_FALSE(first.value().Cancel());  // Running: never interrupted.
+
+  release.set_value();
+  scheduler.Drain();
+
+  // The crashed-then-retried job still produced its exact output —
+  // exactly-once semantics survive scheduling.
+  const StatusOr<JoinRunResult>& recovered = first.value().Wait();
+  ASSERT_TRUE(recovered.ok());
+  const StatusOr<JoinRunResult> serial =
+      RunSpatialJoin(query, data, RunnerOptions{});
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(recovered.value().tuples, serial.value().tuples);
+  EXPECT_GT(recovered.value().stats.jobs.at(0).map_faults.retries, 0);
+
+  EXPECT_EQ(second.value().Wait().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(third.value().Wait().ok());
+
+  const JobScheduler::Counters counters = scheduler.counters();
+  EXPECT_EQ(counters.submitted, 3);
+  EXPECT_EQ(counters.rejected, 1);
+  EXPECT_EQ(counters.succeeded, 2);
+  EXPECT_EQ(counters.cancelled, 1);
+}
+
+TEST(SchedulerStressTest, ConcurrentMixedJobsMatchSerialByteForByte) {
+  // >= 8 jobs with mixed algorithms, shapes, predicate mixes, and
+  // coordinate regimes, all interleaved on one shared pool and tracer.
+  // Every job's tuples must equal its own serial baseline, and stats and
+  // trace spans must attribute to the right submission id.
+  constexpr int kJobs = 12;
+  const Algorithm kAlgorithms[] = {
+      Algorithm::kTwoWayCascade, Algorithm::kAllReplicate,
+      Algorithm::kControlledReplicate,
+      Algorithm::kControlledReplicateInLimit};
+
+  std::vector<Query> queries;
+  std::vector<std::vector<std::vector<Rect>>> datasets;
+  std::vector<StatusOr<JoinRunResult>> serial;
+  for (int i = 0; i < kJobs; ++i) {
+    const WorldConfig config = StressWorld(i);
+    queries.push_back(MakeWorldQuery(config));
+    datasets.push_back(MakeWorldData(config, queries.back().num_relations()));
+    RunnerOptions options;
+    options.algorithm = kAlgorithms[i % 4];
+    serial.push_back(RunSpatialJoin(queries[i], datasets[i], options));
+    ASSERT_TRUE(serial[i].ok()) << serial[i].status().message();
+  }
+
+  ThreadPool pool(4);
+  Tracer tracer;
+  SchedulerOptions sched_options;
+  sched_options.pool = &pool;
+  sched_options.tracer = &tracer;
+  sched_options.max_in_flight = 4;
+  JobScheduler scheduler(sched_options);
+
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < kJobs; ++i) {
+    JobSpec spec;
+    spec.query = queries[i];
+    spec.borrowed_relations = &datasets[i];
+    spec.options.algorithm = kAlgorithms[i % 4];
+    StatusOr<JobHandle> handle = scheduler.Submit(std::move(spec));
+    ASSERT_TRUE(handle.ok()) << handle.status().message();
+    handles.push_back(std::move(handle.value()));
+  }
+
+  for (int i = 0; i < kJobs; ++i) {
+    const StatusOr<JoinRunResult>& result = handles[i].Wait();
+    ASSERT_TRUE(result.ok()) << "job " << i << ": "
+                             << result.status().message();
+    EXPECT_EQ(result.value().tuples, serial[i].value().tuples) << "job " << i;
+    EXPECT_EQ(result.value().num_tuples, serial[i].value().num_tuples);
+    for (const JobStats& job : result.value().stats.jobs) {
+      EXPECT_EQ(job.job_id, handles[i].id());
+    }
+    // The rendered stats carry the id too.
+    EXPECT_NE(RunStatsToJson(result.value().stats)
+                  .find("\"job_id\": " + std::to_string(handles[i].id())),
+              std::string::npos);
+  }
+
+  // The shared trace distinguishes the interleaved jobs by a "job" arg.
+  const std::string trace = tracer.ToJson();
+  for (int i = 0; i < kJobs; ++i) {
+    EXPECT_NE(trace.find("\"job\": " + std::to_string(handles[i].id())),
+              std::string::npos)
+        << "no spans attributed to job " << handles[i].id();
+  }
+
+  const JobScheduler::Counters counters = scheduler.counters();
+  EXPECT_EQ(counters.submitted, kJobs);
+  EXPECT_EQ(counters.succeeded, kJobs);
+}
+
+TEST(SchedulerCatalogTest, RepeatQueryReusesResidentArtifacts) {
+  WorldConfig config;
+  config.shape = QueryShape::kChain3;
+  config.seed = SeedBase() + 41;
+  const Query query = MakeWorldQuery(config);
+  const auto data = MakeWorldData(config, query.num_relations());
+
+  DatasetCatalog catalog;
+  const std::vector<std::string> names = {"lakes", "roads", "parks"};
+  for (size_t r = 0; r < names.size(); ++r) {
+    catalog.PutDataset(names[r], data[r]);
+  }
+
+  SchedulerOptions sched_options;
+  sched_options.catalog = &catalog;
+  JobScheduler scheduler(sched_options);
+
+  auto submit = [&](Algorithm algorithm) {
+    JobSpec spec;
+    spec.query = query;
+    spec.dataset_names = names;
+    spec.options.algorithm = algorithm;
+    StatusOr<JobHandle> handle = scheduler.Submit(std::move(spec));
+    EXPECT_TRUE(handle.ok()) << handle.status().message();
+    return handle.value().Take();
+  };
+
+  // Cold run: bundle, grid, and C-Rep round-1 marking all miss and are
+  // installed.
+  const StatusOr<JoinRunResult> cold =
+      submit(Algorithm::kControlledReplicate);
+  ASSERT_TRUE(cold.ok()) << cold.status().message();
+  EXPECT_EQ(cold.value().stats.catalog_hits, 0);
+  EXPECT_EQ(cold.value().stats.catalog_misses, 3);
+
+  // Identical repeat: everything is resident — ingest, grid build, and the
+  // whole round-1 job are skipped, and the output is still identical.
+  const StatusOr<JoinRunResult> warm =
+      submit(Algorithm::kControlledReplicate);
+  ASSERT_TRUE(warm.ok()) << warm.status().message();
+  EXPECT_EQ(warm.value().stats.catalog_hits, 3);
+  EXPECT_EQ(warm.value().stats.catalog_misses, 0);
+  EXPECT_EQ(warm.value().tuples, cold.value().tuples);
+  // One fewer MR job ran: round 1 was served from the catalog.
+  EXPECT_EQ(warm.value().stats.jobs.size(),
+            cold.value().stats.jobs.size() - 1);
+  const std::string json = RunStatsToJson(warm.value().stats);
+  EXPECT_NE(json.find("\"catalog\": {\"hits\": 3, \"misses\": 0}"),
+            std::string::npos)
+      << json;
+
+  // C-Rep-L shares the grid and the round-1 marking with C-Rep (marking
+  // does not depend on the limit options), but computes its own round 2.
+  const StatusOr<JoinRunResult> limit =
+      submit(Algorithm::kControlledReplicateInLimit);
+  ASSERT_TRUE(limit.ok()) << limit.status().message();
+  EXPECT_EQ(limit.value().stats.catalog_hits, 3);
+  EXPECT_EQ(limit.value().tuples, cold.value().tuples);
+
+  // Replacing one dataset bumps its epoch: derived keys change, so the
+  // next run rebuilds instead of serving stale artifacts.
+  catalog.PutDataset("roads", data[1]);
+  const StatusOr<JoinRunResult> bumped =
+      submit(Algorithm::kControlledReplicate);
+  ASSERT_TRUE(bumped.ok()) << bumped.status().message();
+  EXPECT_EQ(bumped.value().stats.catalog_hits, 0);
+  EXPECT_EQ(bumped.value().stats.catalog_misses, 3);
+  EXPECT_EQ(bumped.value().tuples, cold.value().tuples);
+}
+
+TEST(SchedulerCatalogTest, InlineRelationsNeverTouchTheCatalog) {
+  // Inline (non-catalog) inputs have no sound cache identity; a scheduler
+  // with a catalog must not let such jobs read or pollute it.
+  WorldConfig config;
+  config.seed = SeedBase() + 5;
+  const Query query = MakeWorldQuery(config);
+  const auto data = MakeWorldData(config, query.num_relations());
+
+  DatasetCatalog catalog;
+  SchedulerOptions sched_options;
+  sched_options.catalog = &catalog;
+  JobScheduler scheduler(sched_options);
+
+  for (int round = 0; round < 2; ++round) {
+    JobSpec spec;
+    spec.query = query;
+    spec.relations = data;
+    StatusOr<JobHandle> handle = scheduler.Submit(std::move(spec));
+    ASSERT_TRUE(handle.ok());
+    const StatusOr<JoinRunResult>& result = handle.value().Wait();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().stats.catalog_hits, 0);
+    EXPECT_EQ(result.value().stats.catalog_misses, 0);
+  }
+  EXPECT_EQ(catalog.hits() + catalog.misses(), 0);
+}
+
+}  // namespace
+}  // namespace mwsj

@@ -111,7 +111,8 @@ TEST(EngineTest, DeterministicAcrossThreadCounts) {
       for (int v : vals) out.Emit(v);
     });
     std::vector<int> output;
-    *stats = job.Run(std::span<const int>(input), &output, pool);
+    *stats = job.Run(std::span<const int>(input), &output,
+                     ExecutionContext(pool));
     return output;
   };
 
@@ -151,7 +152,7 @@ TEST(EngineTest, StringOutputsByteIdenticalSerialVsPool) {
       out.Emit(std::move(joined));
     });
     std::vector<std::string> output;
-    job.Run(std::span<const int>(input), &output, pool);
+    job.Run(std::span<const int>(input), &output, ExecutionContext(pool));
     std::string bytes;
     for (const std::string& s : output) bytes += s + "\n";
     return bytes;
@@ -227,7 +228,7 @@ TEST(EngineTest, GroupByMatchesPairSortGolden) {
       out.Emit(render(k, vals));
     });
     std::vector<std::string> output;
-    job.Run(std::span<const int>(input), &output, pool);
+    job.Run(std::span<const int>(input), &output, ExecutionContext(pool));
     return output;
   };
 
@@ -346,7 +347,7 @@ TEST(EngineDeathTest, PartitionResultNegativeAborts) {
                "partition function returned -2");
 }
 
-TEST(EngineTest, ContextOverloadMatchesPoolShim) {
+TEST(EngineTest, DefaultContextMatchesExplicitContext) {
   std::vector<int> input;
   for (int i = 0; i < 300; ++i) input.push_back(i * 13 % 97);
 
@@ -364,17 +365,17 @@ TEST(EngineTest, ContextOverloadMatchesPoolShim) {
     return job;
   };
 
-  std::vector<int> via_shim, via_ctx;
-  const JobStats shim_stats =
-      make_job()->Run(std::span<const int>(input), &via_shim);
+  std::vector<int> via_default, via_ctx;
+  const JobStats default_stats =
+      make_job()->Run(std::span<const int>(input), &via_default);
   ThreadPool pool(3);
   Tracer tracer;
   const JobStats ctx_stats = make_job()->Run(std::span<const int>(input),
                                              &via_ctx,
                                              ExecutionContext(&pool, &tracer));
-  EXPECT_EQ(via_shim, via_ctx);
-  EXPECT_EQ(shim_stats.intermediate_records, ctx_stats.intermediate_records);
-  EXPECT_EQ(shim_stats.per_reducer_records, ctx_stats.per_reducer_records);
+  EXPECT_EQ(via_default, via_ctx);
+  EXPECT_EQ(default_stats.intermediate_records, ctx_stats.intermediate_records);
+  EXPECT_EQ(default_stats.per_reducer_records, ctx_stats.per_reducer_records);
   EXPECT_GT(tracer.event_count(), 0);
 }
 

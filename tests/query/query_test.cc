@@ -130,5 +130,83 @@ TEST(QueryTest, MakeChainQueryShapes) {
   EXPECT_FALSE(MakeChainQuery(1, Predicate::Overlap()).ok());
 }
 
+TEST(QueryCanonicalTest, EquivalentSpellingsShareOneKey) {
+  // The same chain R1 -Ov- R2 -Ra(5)- R3 spelled three ways: relations
+  // registered in a different order, condition endpoints swapped (both
+  // predicates are symmetric), and the condition list reordered.
+  QueryBuilder b1;
+  const int a1 = b1.AddRelation("R1");
+  const int b1r = b1.AddRelation("R2");
+  const int c1 = b1.AddRelation("R3");
+  b1.AddOverlap(a1, b1r).AddRange(b1r, c1, 5.0);
+  const Query spelled1 = b1.Build().value();
+
+  QueryBuilder b2;
+  const int c2 = b2.AddRelation("R3");
+  const int b2r = b2.AddRelation("R2");
+  const int a2 = b2.AddRelation("R1");
+  b2.AddRange(c2, b2r, 5.0).AddOverlap(b2r, a2);
+  const Query spelled2 = b2.Build().value();
+
+  EXPECT_EQ(spelled1.CanonicalForm(), spelled2.CanonicalForm());
+  EXPECT_EQ(spelled1.CanonicalHash(), spelled2.CanonicalHash());
+  EXPECT_EQ(spelled1.CanonicalKey(), spelled2.CanonicalKey());
+}
+
+TEST(QueryCanonicalTest, DistinctQueriesRenderDistinctForms) {
+  auto chain = [](Predicate predicate) {
+    return MakeChainQuery(3, predicate).value();
+  };
+  const Query overlap = chain(Predicate::Overlap());
+  const Query range5 = chain(Predicate::Range(5.0));
+  const Query range5eps = chain(Predicate::Range(5.0 + 1e-13));
+  EXPECT_NE(overlap.CanonicalForm(), range5.CanonicalForm());
+  // Full-precision distances: nearby but distinct d never alias.
+  EXPECT_NE(range5.CanonicalForm(), range5eps.CanonicalForm());
+
+  // Same shape, different relation names.
+  QueryBuilder other_names;
+  const int x = other_names.AddRelation("lakes");
+  const int y = other_names.AddRelation("roads");
+  const int z = other_names.AddRelation("parks");
+  other_names.AddOverlap(x, y).AddOverlap(y, z);
+  EXPECT_NE(other_names.Build().value().CanonicalForm(),
+            overlap.CanonicalForm());
+
+  // Same relations, different join-graph structure (chain vs. star from
+  // relation 0).
+  QueryBuilder star;
+  const int s1 = star.AddRelation("R1");
+  const int s2 = star.AddRelation("R2");
+  const int s3 = star.AddRelation("R3");
+  star.AddOverlap(s1, s2).AddOverlap(s1, s3);
+  EXPECT_NE(star.Build().value().CanonicalForm(), overlap.CanonicalForm());
+}
+
+TEST(QueryCanonicalTest, NamesCannotForgeSeparators) {
+  // Length-prefixed names: a name containing the rendered separator
+  // characters cannot collide with two differently-split names.
+  QueryBuilder tricky;
+  const int t1 = tricky.AddRelation("a,3:b");
+  const int t2 = tricky.AddRelation("c");
+  tricky.AddOverlap(t1, t2);
+
+  QueryBuilder plain;
+  const int p1 = plain.AddRelation("a");
+  const int p2 = plain.AddRelation("b,1:c");
+  plain.AddOverlap(p1, p2);
+
+  EXPECT_NE(tricky.Build().value().CanonicalForm(),
+            plain.Build().value().CanonicalForm());
+}
+
+TEST(QueryCanonicalTest, KeyEmbedsTheHash) {
+  const Query q = MakeChainQuery(3, Predicate::Overlap()).value();
+  const std::string key = q.CanonicalKey();
+  EXPECT_EQ(key.find('q'), 0u);
+  EXPECT_NE(key.find(q.CanonicalForm()), std::string::npos);
+  EXPECT_EQ(q.CanonicalKey(), key);  // Deterministic.
+}
+
 }  // namespace
 }  // namespace mwsj

@@ -58,6 +58,58 @@ struct ChaosOutcome {
 ChaosOutcome RunChaosWorld(const WorldConfig& config, Algorithm algorithm,
                            const ChaosOptions& options);
 
+/// Chaos configuration for the scheduler core: a fleet of concurrent
+/// mixed-algorithm jobs on one JobScheduler, each under its own seeded
+/// fault plan (in-flight task attempts are killed and re-executed), with
+/// a deterministic subset of submissions cancelled from the queue.
+struct SchedulerChaosOptions {
+  /// Derives every world seed and per-job fault seed.
+  uint64_t base_seed = 0;
+  /// Concurrent submissions per world (mixed algorithms, rotating).
+  int num_jobs = 8;
+  /// Shared worker pool for all jobs' engine tasks; null = inline.
+  ThreadPool* pool = nullptr;
+  /// Concurrent driver slots of the scheduler under test.
+  int max_in_flight = 3;
+  /// Per-attempt fault probabilities of each job's seeded plan.
+  double crash_prob = 0.08;
+  double flaky_prob = 0.08;
+  double slow_prob = 0.04;
+  /// Every n-th submission gets a Cancel() attempt right after the batch
+  /// is submitted. Cancellation races admission by design: a job that
+  /// already started must run to its exact result; only still-queued jobs
+  /// die. 0 disables cancellation.
+  int cancel_every = 3;
+};
+
+/// What one scheduler chaos world observed across its job fleet.
+struct SchedulerChaosOutcome {
+  /// Fault-recovery tallies summed over every surviving job.
+  int64_t attempts = 0;
+  int64_t retries = 0;
+  int64_t speculative = 0;
+  int64_t wasted_records = 0;
+
+  /// Submissions whose Cancel() landed while queued (they must fail with
+  /// FailedPrecondition) vs. jobs that ran to completion.
+  int64_t cancelled = 0;
+  int64_t survived = 0;
+
+  /// Empty when every surviving job was byte-identical to its own serial
+  /// fault-free baseline (tuples, statistics, counters) with correct
+  /// per-job attribution; else describes the first divergence.
+  std::string mismatch;
+  bool ok() const { return mismatch.empty(); }
+};
+
+/// Runs one scheduler chaos world: `num_jobs` randomized worlds submitted
+/// concurrently to a single JobScheduler, fault plans killing in-flight
+/// task attempts, cancellations racing the queue. Every job that is not
+/// cancelled must produce exactly the tuples and statistics of its serial,
+/// fault-free, unscheduled baseline. No real sleeps.
+SchedulerChaosOutcome RunSchedulerChaosWorld(
+    const SchedulerChaosOptions& options);
+
 }  // namespace mwsj::testing
 
 #endif  // MWSJ_TESTS_TESTING_CHAOS_H_

@@ -140,5 +140,46 @@ TEST(ChaosDeterminism, PoolInvariantFaultAccounting) {
   EXPECT_DOUBLE_EQ(serial.backoff_seconds, threaded.backoff_seconds);
 }
 
+// Scheduler-core chaos: fleets of concurrent mixed-algorithm jobs whose
+// in-flight task attempts are killed by per-job fault plans while queued
+// submissions are cancelled underneath them. Every surviving job must be
+// byte-identical to its serial fault-free baseline, with stats attributed
+// to the right submission id.
+TEST(SchedulerChaosTest, ConcurrentJobFleetsSurviveKillsAndCancels) {
+  const uint64_t base = SeedBase();
+  ThreadPool pool(4);
+
+  testing::SchedulerChaosOutcome total;
+  for (int world = 0; world < 6; ++world) {
+    testing::SchedulerChaosOptions options;
+    options.base_seed = base * 424243 + static_cast<uint64_t>(world) * 131 + 7;
+    options.num_jobs = 8;
+    options.pool = (world % 2 == 0) ? &pool : nullptr;
+    options.max_in_flight = 2 + world % 3;
+    // Worlds alternate between pure kill-chaos and kill+cancel chaos.
+    options.cancel_every = (world % 3 == 0) ? 0 : 3;
+
+    const testing::SchedulerChaosOutcome outcome =
+        testing::RunSchedulerChaosWorld(options);
+    EXPECT_TRUE(outcome.ok())
+        << "world " << world << " base_seed " << options.base_seed << ": "
+        << outcome.mismatch;
+    if (!outcome.ok()) break;
+
+    total.attempts += outcome.attempts;
+    total.retries += outcome.retries;
+    total.speculative += outcome.speculative;
+    total.wasted_records += outcome.wasted_records;
+    total.cancelled += outcome.cancelled;
+    total.survived += outcome.survived;
+  }
+
+  // The sweep must have exercised all three chaos axes: kills that forced
+  // retries, discarded attempt output, and jobs that actually survived.
+  EXPECT_GT(total.retries, 0) << "no in-flight attempt was ever killed";
+  EXPECT_GT(total.wasted_records, 0) << "no attempt output was discarded";
+  EXPECT_GT(total.survived, 0);
+}
+
 }  // namespace
 }  // namespace mwsj

@@ -1,0 +1,18 @@
+// Golden fixture: drives MapReduceJob::Run directly from outside the
+// scheduler core (src/io is not src/core, src/queries, or src/mapreduce),
+// bypassing admission control and per-job attribution.
+
+#include <span>
+#include <vector>
+
+#include "mapreduce/engine.h"
+
+namespace mwsj {
+
+void IngestAndJoin(const std::vector<int>& input) {
+  MapReduceJob<int, int, int, int> job("rogue_ingest", 4);
+  std::vector<int> output;
+  job.Run(std::span<const int>(input), &output);  // BAD: bypasses scheduler.
+}
+
+}  // namespace mwsj

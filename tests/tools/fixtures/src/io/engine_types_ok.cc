@@ -1,0 +1,15 @@
+// Golden fixture: including mapreduce/engine.h outside the scheduler core
+// is fine as long as nothing calls MapReduceJob::Run directly — jobs are
+// handed to JobScheduler::Submit instead. Run() calls on unrelated types
+// scoped to src/core stay exempt (see the bad_engine_run fixture for the
+// violation).
+
+#include "mapreduce/engine.h"
+
+namespace mwsj {
+
+int CountReducers(const MapReduceJob<int, int, int, int>& job) {
+  return job.num_reducers();
+}
+
+}  // namespace mwsj

@@ -25,12 +25,14 @@ BAD_FIXTURES = {
     "src/core/bad_hot_path.cc": "hot-path-std-function",
     "src/core/bad_trace_span.cc": "trace-span-temporary",
     "src/core/bad_alloc_free.cc": "alloc-in-alloc-free",
+    "src/io/bad_engine_run.cc": "engine-run-outside-scheduler",
 }
 
 CLEAN_FIXTURES = [
     "src/core/clean.cc",
     "src/core/suppressed.cc",
     "src/common/rng_ok.cc",
+    "src/io/engine_types_ok.cc",
     "tools/stdout_ok.cc",
 ]
 

@@ -344,6 +344,36 @@ def rule_alloc_free(f: SourceFile):
     return out
 
 
+def rule_engine_run(f: SourceFile):
+    """engine-run-outside-scheduler: direct MapReduceJob::Run callers.
+
+    Since the scheduler-core redesign, execution enters through
+    JobScheduler::Submit (core/scheduler.h) or the blocking RunSpatialJoin
+    compatibility wrapper — that is what guarantees shared-pool admission
+    control, per-job attribution, and catalog reuse. Only the algorithm
+    implementations (src/core, src/queries) and the engine itself
+    (src/mapreduce) may drive MapReduceJob::Run directly; anything else
+    including mapreduce/engine.h and calling `.Run(` is bypassing the
+    scheduler.
+    """
+    for allowed in (("src", "core"), ("src", "queries"),
+                    ("src", "mapreduce")):
+        if under(f.rel, *allowed):
+            return []
+    if not any("mapreduce/engine.h" in line for line in f.raw
+               if line.lstrip().startswith("#include")):
+        return []
+    pat = re.compile(r"(?:\.|->)\s*Run\s*\(")
+    out = []
+    for idx, line in enumerate(f.code):
+        if pat.search(line):
+            out.append((idx, "direct MapReduceJob::Run call outside the "
+                             "scheduler core; submit through "
+                             "JobScheduler::Submit (core/scheduler.h) or "
+                             "the RunSpatialJoin wrapper"))
+    return out
+
+
 RULES = [
     ("rng-outside-common", rule_rng),
     ("stdout-in-library", rule_stdout),
@@ -351,6 +381,7 @@ RULES = [
     ("hot-path-std-function", rule_hot_path),
     ("trace-span-temporary", rule_trace_span),
     ("alloc-in-alloc-free", rule_alloc_free),
+    ("engine-run-outside-scheduler", rule_engine_run),
 ]
 
 
