@@ -10,9 +10,34 @@ int64_t DatasetCatalog::PutDataset(
     const std::string& name, std::shared_ptr<const std::vector<Rect>> data) {
   MutexLock lock(&mu_);
   auto [it, inserted] = datasets_.try_emplace(name);
-  if (!inserted) ++it->second.epoch;
+  if (!inserted) {
+    ++it->second.epoch;
+    EvictArtifactsOf(name);
+  }
   it->second.data = std::move(data);
   return it->second.epoch;
+}
+
+void DatasetCatalog::EvictArtifactsOf(const std::string& name) {
+  // Every key derived from this dataset embeds its length-prefixed
+  // "N:name@epoch" token (bundle keys and the scheduler's base artifact
+  // key both render data_key), and at bump time every resident mention
+  // refers to a superseded epoch — so dropping keys containing the token
+  // frees exactly the stale bundles, grids, and round-1 markings. A
+  // token false positive (another name whose rendering happens to embed
+  // this token) only over-evicts: a safe miss, never a wrong hit. A job
+  // still running against the old epoch may re-publish a stale artifact
+  // afterwards; it is unreachable (new data_keys carry the new epoch)
+  // and the next bump sweeps it.
+  const std::string token = StrFormat("%zu:", name.size()) + name + "@";
+  for (auto it = artifacts_.begin(); it != artifacts_.end();) {
+    if (it->first.find(token) != std::string::npos) {
+      it = artifacts_.erase(it);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++it;
+    }
+  }
 }
 
 int64_t DatasetCatalog::PutDataset(const std::string& name,

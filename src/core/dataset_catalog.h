@@ -27,8 +27,10 @@ namespace mwsj {
 ///
 ///   * **Datasets** — named rectangle sets with a monotonically increasing
 ///     *epoch*. Re-putting a name bumps its epoch, which changes every key
-///     derived from the dataset, so stale artifacts are never served (they
-///     age out by never being requested again).
+///     derived from the dataset, so stale artifacts are never served — and
+///     the bump *evicts* every resident bundle/artifact whose key
+///     references a superseded epoch of the name, so a long-running
+///     service with dataset churn does not grow memory without bound.
 ///   * **Relation bundles** — the `vector<vector<Rect>>` a runner consumes,
 ///     assembled once per distinct (name@epoch, ...) list and shared by
 ///     every subsequent job over the same inputs.
@@ -111,6 +113,12 @@ class DatasetCatalog {
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
+  /// Artifacts dropped because a PutDataset superseded an epoch their key
+  /// references.
+  int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Dataset {
     std::shared_ptr<const std::vector<Rect>> data;
@@ -127,11 +135,16 @@ class DatasetCatalog {
       const std::string& key, std::shared_ptr<const void> value,
       const std::type_info* type) EXCLUDES(mu_);
 
+  /// Drops every artifact whose key references `name` (all resident
+  /// mentions are of superseded epochs at bump time).
+  void EvictArtifactsOf(const std::string& name) REQUIRES(mu_);
+
   mutable Mutex mu_;
   std::map<std::string, Dataset> datasets_ GUARDED_BY(mu_);
   std::map<std::string, Artifact> artifacts_ GUARDED_BY(mu_);
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
 };
 
 }  // namespace mwsj

@@ -81,10 +81,11 @@ struct RunnerOptions {
   /// catalog_hits/catalog_misses.
   DatasetCatalog* catalog = nullptr;
 
-  /// Base cache key identifying (canonical query, dataset epochs) —
-  /// normally composed by the JobScheduler from Query::CanonicalKey() and
-  /// the catalog bundle's data_key. Empty disables artifact reuse even
-  /// when a catalog is attached (inline relations have no sound key).
+  /// Base cache key identifying (canonical query, dataset epochs, and the
+  /// canonical-rank-to-position binding) — normally composed by the
+  /// JobScheduler from Query::CanonicalKey(), the catalog bundle's
+  /// data_key, and Query::CanonicalRanks(). Empty disables artifact reuse
+  /// even when a catalog is attached (inline relations have no sound key).
   std::string artifact_key;
 };
 

@@ -68,6 +68,7 @@ JobScheduler::JobScheduler(const SchedulerOptions& options)
     : options_(options) {
   options_.max_in_flight = std::max(1, options_.max_in_flight);
   options_.max_queued = std::max(1, options_.max_queued);
+  if (options_.inline_execution) return;  // Jobs run on Submit's thread.
   drivers_.reserve(static_cast<size_t>(options_.max_in_flight));
   for (int i = 0; i < options_.max_in_flight; ++i) {
     drivers_.emplace_back([this] { DriverLoop(); });
@@ -123,7 +124,8 @@ StatusOr<JobHandle> JobScheduler::Submit(JobSpec spec) {
       return Status::FailedPrecondition(
           "the scheduler is shutting down and admits no new jobs");
     }
-    if (static_cast<int>(queue_.size()) >= options_.max_queued) {
+    if (!options_.inline_execution &&
+        static_cast<int>(queue_.size()) >= options_.max_queued) {
       ++counters_.rejected;
       return Status::FailedPrecondition(
           StrFormat("admission queue is full (%d jobs queued); retry after "
@@ -131,8 +133,14 @@ StatusOr<JobHandle> JobScheduler::Submit(JobSpec spec) {
                     options_.max_queued));
     }
     job->id = next_id_++;
-    queue_.push_back(job);
+    if (!options_.inline_execution) queue_.push_back(job);
     ++counters_.submitted;
+  }
+  if (options_.inline_execution) {
+    // Run to a terminal state on this thread; the handle returned is
+    // already resolved, so Wait()/Take() never block.
+    RunJob(job.get());
+    return JobHandle(std::move(job));
   }
   work_available_.NotifyOne();
   return JobHandle(std::move(job));
@@ -202,11 +210,24 @@ void JobScheduler::RunJob(scheduler_internal::Job* job) {
       bundle_data = bundle.value().relations;
       relations = bundle_data.get();
       (bundle.value().cache_hit ? bundle_hits : bundle_misses) += 1;
-      // Base artifact key: canonical query form + epoch-qualified inputs.
-      // Everything derived (grid, C-Rep round 1) extends this key, so a
-      // dataset replacement or a different query can never alias.
-      options.artifact_key =
-          job->spec.query->CanonicalKey() + "|" + bundle.value().data_key;
+      // Base artifact key: canonical query form + epoch-qualified inputs
+      // + the canonical-rank-to-position permutation. The canonical form
+      // relabels relations and forgets which position each rank came
+      // from, while the data list is positional — without the permutation
+      // two structurally different submissions (or two self-join
+      // spellings over one dataset) could render the same form and data
+      // list yet bind the datasets to different join roles, serving one
+      // job's grid / C-Rep round-1 marking to the other. Equal keys imply
+      // positionally identical (query, data): never a false hit.
+      std::string perm = "perm[";
+      const std::vector<int> ranks = job->spec.query->CanonicalRanks();
+      for (size_t i = 0; i < ranks.size(); ++i) {
+        if (i > 0) perm += ',';
+        perm += StrFormat("%d", ranks[i]);
+      }
+      perm += ']';
+      options.artifact_key = job->spec.query->CanonicalKey() + "|" +
+                             bundle.value().data_key + "|" + perm;
     }
   } else {
     relations = job->spec.borrowed_relations != nullptr

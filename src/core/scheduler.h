@@ -45,6 +45,14 @@ struct SchedulerOptions {
   /// Submit rejects with FailedPrecondition beyond this — backpressure
   /// instead of unbounded memory growth.
   int max_queued = 64;
+
+  /// Run each submission to a terminal state on the Submit caller's
+  /// thread instead of on driver threads. No threads are spawned and the
+  /// admission queue is never used (at most one job exists at a time, so
+  /// max_in_flight/max_queued are moot). The blocking compatibility
+  /// wrapper uses this so callers running joins in a tight loop don't pay
+  /// a thread create/join per call; execution is otherwise identical.
+  bool inline_execution = false;
 };
 
 /// One join-job submission. Exactly one input source must be set:
@@ -148,6 +156,8 @@ class JobHandle {
 /// runs up to `max_in_flight` of them concurrently — their engine tasks
 /// interleaved on the one shared ThreadPool (ParallelFor tracks per-call
 /// completion, so concurrent jobs never wait on each other's tasks).
+/// With `inline_execution` there are no drivers at all: Submit runs the
+/// job on the calling thread and returns a terminal handle.
 ///
 /// Each job executes exactly the blocking pipeline (ExecuteSpatialJoin),
 /// so per-job output is byte-identical to a serial run, fault semantics

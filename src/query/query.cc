@@ -72,7 +72,7 @@ std::string Query::ToString() const {
   return out;
 }
 
-std::string Query::CanonicalForm() const {
+std::vector<int> Query::CanonicalOrderIndices() const {
   const size_t n = relation_names_.size();
   // Local structure signature per relation: the sorted multiset of
   // (predicate, neighbor name) over its incident conditions. It orders
@@ -103,6 +103,21 @@ std::string Query::CanonicalForm() const {
     return signature[static_cast<size_t>(a)] <
            signature[static_cast<size_t>(b)];
   });
+  return order;
+}
+
+std::vector<int> Query::CanonicalRanks() const {
+  const std::vector<int> order = CanonicalOrderIndices();
+  std::vector<int> rank(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    rank[static_cast<size_t>(order[i])] = static_cast<int>(i);
+  }
+  return rank;
+}
+
+std::string Query::CanonicalForm() const {
+  const size_t n = relation_names_.size();
+  const std::vector<int> order = CanonicalOrderIndices();
   std::vector<int> rank(n);
   for (size_t i = 0; i < n; ++i) {
     rank[static_cast<size_t>(order[i])] = static_cast<int>(i);

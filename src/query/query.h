@@ -74,6 +74,17 @@ class Query {
   /// different forms (a safe cache miss, never a false hit).
   std::string CanonicalForm() const;
 
+  /// The canonical rank CanonicalForm() assigns to each relation position:
+  /// CanonicalRanks()[p] is the index relation `p` is relabeled to. The
+  /// form itself deliberately forgets which position each rank came from,
+  /// so a consumer that binds *positional* data to the form (the
+  /// scheduler's artifact keys bind catalog datasets by position) must
+  /// record this permutation alongside it: two structurally different
+  /// submissions can share a canonical form and a positional dataset list
+  /// yet bind the data to different roles. Equal (form, permutation)
+  /// pairs imply positionally identical queries.
+  std::vector<int> CanonicalRanks() const;
+
   /// FNV-1a 64-bit hash of CanonicalForm(); stable across runs, builds,
   /// and processes (no std::hash involved).
   uint64_t CanonicalHash() const;
@@ -86,6 +97,11 @@ class Query {
  private:
   friend class QueryBuilder;
   Query() = default;
+
+  /// The relabeling permutation shared by CanonicalForm() and
+  /// CanonicalRanks(): element `rank` is the original relation position
+  /// assigned that canonical rank.
+  std::vector<int> CanonicalOrderIndices() const;
 
   std::vector<std::string> relation_names_;
   std::vector<JoinCondition> conditions_;

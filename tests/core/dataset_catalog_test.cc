@@ -65,6 +65,46 @@ TEST(DatasetCatalogTest, BundleKeyEmbedsEpochsAndCachesAssembly) {
             StatusCode::kNotFound);
 }
 
+TEST(DatasetCatalogTest, EpochBumpEvictsSupersededArtifacts) {
+  DatasetCatalog catalog;
+  catalog.PutDataset("a", OneRect(1));
+  catalog.PutDataset("b", OneRect(2));
+
+  // A resident bundle over both datasets, plus derived artifacts the way
+  // the scheduler keys them (the base key embeds the bundle's data_key),
+  // plus one keyed against "a" alone and one unrelated.
+  StatusOr<DatasetCatalog::RelationBundle> bundle =
+      catalog.GetRelationBundle({"a", "b"});
+  ASSERT_TRUE(bundle.ok());
+  const std::string derived_key =
+      "q0|" + bundle.value().data_key + "|perm[0,1]|grid[4x4]";
+  catalog.Put<int>(derived_key, std::make_shared<const int>(1));
+  catalog.Put<int>("q1|data[1:a@0]|grid", std::make_shared<const int>(2));
+  catalog.Put<int>("unrelated", std::make_shared<const int>(3));
+  EXPECT_EQ(catalog.evictions(), 0);
+
+  // Bumping "b" drops the bundle and the derived artifact — both keys
+  // reference b@0 — but keeps the a-only and unrelated entries.
+  catalog.PutDataset("b", OneRect(3));
+  EXPECT_EQ(catalog.evictions(), 2);
+  EXPECT_EQ(catalog.Get<int>(derived_key), nullptr);
+  EXPECT_NE(catalog.Get<int>("q1|data[1:a@0]|grid"), nullptr);
+  EXPECT_NE(catalog.Get<int>("unrelated"), nullptr);
+
+  // The next bundle request re-assembles against the new epoch.
+  StatusOr<DatasetCatalog::RelationBundle> fresh =
+      catalog.GetRelationBundle({"a", "b"});
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh.value().cache_hit);
+  EXPECT_EQ(fresh.value().data_key, "data[1:a@0,1:b@1]");
+
+  // Bumping "a" now sweeps everything that referenced it.
+  catalog.PutDataset("a", OneRect(4));
+  EXPECT_EQ(catalog.evictions(), 4);  // +fresh bundle, +a-only artifact.
+  EXPECT_EQ(catalog.Get<int>("q1|data[1:a@0]|grid"), nullptr);
+  EXPECT_NE(catalog.Get<int>("unrelated"), nullptr);
+}
+
 TEST(DatasetCatalogTest, ArtifactsAreTypedAndFirstWins) {
   DatasetCatalog catalog;
   EXPECT_EQ(catalog.Get<int>("k"), nullptr);

@@ -98,6 +98,36 @@ TEST(SchedulerTest, SubmitWaitMatchesBlockingRunPerAlgorithm) {
   EXPECT_EQ(counters.failed, 0);
 }
 
+TEST(SchedulerTest, InlineExecutionResolvesBeforeSubmitReturns) {
+  // inline_execution spawns no drivers; the job runs on the submitting
+  // thread, so the handle is already terminal when Submit returns. This
+  // is the mode the blocking wrapper uses for every RunSpatialJoin call.
+  WorldConfig config;
+  config.seed = SeedBase() + 11;
+  const Query query = MakeWorldQuery(config);
+  const auto data = MakeWorldData(config, query.num_relations());
+
+  SchedulerOptions sched_options;
+  sched_options.inline_execution = true;
+  JobScheduler scheduler(sched_options);
+
+  JobSpec spec;
+  spec.query = query;
+  spec.borrowed_relations = &data;
+  StatusOr<JobHandle> handle = scheduler.Submit(std::move(spec));
+  ASSERT_TRUE(handle.ok()) << handle.status().message();
+  EXPECT_EQ(handle.value().status(), JobState::kSucceeded);
+
+  const StatusOr<JoinRunResult> serial =
+      RunSpatialJoin(query, data, RunnerOptions{});
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(handle.value().Wait().value().tuples, serial.value().tuples);
+
+  const JobScheduler::Counters counters = scheduler.counters();
+  EXPECT_EQ(counters.submitted, 1);
+  EXPECT_EQ(counters.succeeded, 1);
+}
+
 TEST(SchedulerTest, RejectsMalformedSpecs) {
   JobScheduler scheduler(SchedulerOptions{});
   WorldConfig config;
@@ -354,14 +384,153 @@ TEST(SchedulerCatalogTest, RepeatQueryReusesResidentArtifacts) {
   EXPECT_EQ(limit.value().tuples, cold.value().tuples);
 
   // Replacing one dataset bumps its epoch: derived keys change, so the
-  // next run rebuilds instead of serving stale artifacts.
+  // next run rebuilds instead of serving stale artifacts — and the stale
+  // bundle, grid, and round-1 marking are evicted, not stranded.
   catalog.PutDataset("roads", data[1]);
+  EXPECT_EQ(catalog.evictions(), 3);
   const StatusOr<JoinRunResult> bumped =
       submit(Algorithm::kControlledReplicate);
   ASSERT_TRUE(bumped.ok()) << bumped.status().message();
   EXPECT_EQ(bumped.value().stats.catalog_hits, 0);
   EXPECT_EQ(bumped.value().stats.catalog_misses, 3);
   EXPECT_EQ(bumped.value().tuples, cold.value().tuples);
+}
+
+TEST(SchedulerCatalogTest, CollidingCanonicalFormsNeverShareArtifacts) {
+  // Regression (review): the canonical form relabels relations by sorted
+  // name and forgets the name-to-position binding, while datasets bind by
+  // position. These two queries share a canonical form — chain A-B-C vs.
+  // the same chain registered [B, A, C] with conditions (B,A),(B,C) — and
+  // are submitted over the same positional dataset list, yet they execute
+  // different joins (d2⋈d3 vs. d1⋈d3 on the second condition). A key
+  // without the rank permutation served the first job's C-Rep round-1
+  // marking to the second, silently corrupting its output.
+  QueryBuilder chain;
+  chain.AddRelation("A");
+  chain.AddRelation("B");
+  chain.AddRelation("C");
+  chain.AddOverlap(0, 1).AddOverlap(1, 2);
+  const Query q1 = chain.Build().value();
+
+  QueryBuilder relabeled;
+  relabeled.AddRelation("B");
+  relabeled.AddRelation("A");
+  relabeled.AddRelation("C");
+  relabeled.AddOverlap(0, 1).AddOverlap(0, 2);
+  const Query q2 = relabeled.Build().value();
+  ASSERT_EQ(q1.CanonicalKey(), q2.CanonicalKey());
+
+  // Small rectangles relative to the 8x8 grid cells: saturated markings
+  // (everything replicated everywhere) would mask a served-stale marking,
+  // since over-replication is harmless after duplicate avoidance.
+  WorldConfig config;
+  config.seed = SeedBase() + 23;
+  config.max_dim = 12.0;
+  config.max_rects_per_relation = 80;
+  const auto data = MakeWorldData(config, 3);
+
+  RunnerOptions options;
+  options.algorithm = Algorithm::kControlledReplicate;
+  const StatusOr<JoinRunResult> serial1 = RunSpatialJoin(q1, data, options);
+  const StatusOr<JoinRunResult> serial2 = RunSpatialJoin(q2, data, options);
+  ASSERT_TRUE(serial1.ok());
+  ASSERT_TRUE(serial2.ok());
+  // The two submissions really compute different joins.
+  ASSERT_NE(serial1.value().tuples, serial2.value().tuples);
+
+  DatasetCatalog catalog;
+  const std::vector<std::string> names = {"d1", "d2", "d3"};
+  for (size_t r = 0; r < names.size(); ++r) {
+    catalog.PutDataset(names[r], data[r]);
+  }
+  SchedulerOptions sched_options;
+  sched_options.catalog = &catalog;
+  JobScheduler scheduler(sched_options);
+
+  auto submit = [&](const Query& query) {
+    JobSpec spec;
+    spec.query = query;
+    spec.dataset_names = names;
+    spec.options = options;
+    StatusOr<JobHandle> handle = scheduler.Submit(std::move(spec));
+    EXPECT_TRUE(handle.ok()) << handle.status().message();
+    return handle.value().Take();
+  };
+
+  const StatusOr<JoinRunResult> first = submit(q1);
+  const StatusOr<JoinRunResult> second = submit(q2);
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  ASSERT_TRUE(second.ok()) << second.status().message();
+  EXPECT_EQ(first.value().tuples, serial1.value().tuples);
+  EXPECT_EQ(second.value().tuples, serial2.value().tuples);
+  // The second submission reuses only the (query-independent) bundle; its
+  // grid and round-1 marking keys differ in the rank permutation, so the
+  // first job's artifacts are not eligible.
+  EXPECT_EQ(second.value().stats.catalog_hits, 1);
+  EXPECT_EQ(second.value().stats.catalog_misses, 2);
+}
+
+TEST(SchedulerCatalogTest, SelfJoinRoleBindingsNeverShareArtifacts) {
+  // The harder variant of the same trap: one dataset under one name in
+  // every role, so even a rank-ordered dataset list renders identically.
+  // A path centered at position 1 vs. position 0 shares the canonical
+  // form and every name@epoch, and only the rank permutation separates
+  // the keys; the outputs differ in which tuple slot holds the center.
+  QueryBuilder center1;
+  center1.AddRelation("R");
+  center1.AddRelation("R");
+  center1.AddRelation("R");
+  center1.AddOverlap(0, 1).AddOverlap(1, 2);
+  const Query path1 = center1.Build().value();
+
+  QueryBuilder center0;
+  center0.AddRelation("R");
+  center0.AddRelation("R");
+  center0.AddRelation("R");
+  center0.AddOverlap(0, 1).AddOverlap(0, 2);
+  const Query path0 = center0.Build().value();
+  ASSERT_EQ(path1.CanonicalKey(), path0.CanonicalKey());
+
+  WorldConfig config;
+  config.seed = SeedBase() + 29;
+  config.max_dim = 12.0;
+  config.max_rects_per_relation = 80;
+  const auto one = MakeWorldData(config, 1);
+  const std::vector<std::vector<Rect>> data = {one[0], one[0], one[0]};
+
+  RunnerOptions options;
+  options.algorithm = Algorithm::kControlledReplicate;
+  const StatusOr<JoinRunResult> serial1 = RunSpatialJoin(path1, data, options);
+  const StatusOr<JoinRunResult> serial0 = RunSpatialJoin(path0, data, options);
+  ASSERT_TRUE(serial1.ok());
+  ASSERT_TRUE(serial0.ok());
+
+  DatasetCatalog catalog;
+  catalog.PutDataset("roads", one[0]);
+  SchedulerOptions sched_options;
+  sched_options.catalog = &catalog;
+  JobScheduler scheduler(sched_options);
+
+  auto submit = [&](const Query& query) {
+    JobSpec spec;
+    spec.query = query;
+    spec.dataset_names = {"roads", "roads", "roads"};
+    spec.options = options;
+    StatusOr<JobHandle> handle = scheduler.Submit(std::move(spec));
+    EXPECT_TRUE(handle.ok()) << handle.status().message();
+    return handle.value().Take();
+  };
+
+  const StatusOr<JoinRunResult> first = submit(path1);
+  const StatusOr<JoinRunResult> second = submit(path0);
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  ASSERT_TRUE(second.ok()) << second.status().message();
+  EXPECT_EQ(first.value().tuples, serial1.value().tuples);
+  EXPECT_EQ(second.value().tuples, serial0.value().tuples);
+  // Only the bundle (keyed on data alone) is shared across the two role
+  // bindings; the rank permutation separates every derived artifact.
+  EXPECT_EQ(second.value().stats.catalog_hits, 1);
+  EXPECT_EQ(second.value().stats.catalog_misses, 2);
 }
 
 TEST(SchedulerCatalogTest, InlineRelationsNeverTouchTheCatalog) {

@@ -208,5 +208,48 @@ TEST(QueryCanonicalTest, KeyEmbedsTheHash) {
   EXPECT_EQ(q.CanonicalKey(), key);  // Deterministic.
 }
 
+TEST(QueryCanonicalTest, RanksRecoverThePositionBindingTheFormForgets) {
+  // Two structurally different queries whose canonical forms collide:
+  // chain A-B-C vs. the chain written B-A, B-C with relations registered
+  // as [B, A, C]. Both render rels[A,B,C] conds[0 Ov 1, 1 Ov 2], but the
+  // first binds position 1 to the chain's center while the second binds
+  // position 0 — exactly the distinction CanonicalRanks() preserves.
+  QueryBuilder chain;
+  const int ca = chain.AddRelation("A");
+  const int cb = chain.AddRelation("B");
+  const int cc = chain.AddRelation("C");
+  chain.AddOverlap(ca, cb).AddOverlap(cb, cc);
+  const Query q1 = chain.Build().value();
+
+  QueryBuilder relabeled;
+  const int rb = relabeled.AddRelation("B");
+  const int ra = relabeled.AddRelation("A");
+  const int rc = relabeled.AddRelation("C");
+  relabeled.AddOverlap(rb, ra).AddOverlap(rb, rc);
+  const Query q2 = relabeled.Build().value();
+
+  ASSERT_EQ(q1.CanonicalForm(), q2.CanonicalForm());
+  EXPECT_EQ(q1.CanonicalRanks(), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q2.CanonicalRanks(), (std::vector<int>{1, 0, 2}));
+
+  // Self-join spelling of the same trap: one dataset under one name three
+  // times, path centered at position 1 vs. position 0. Names and
+  // signatures agree pairwise, so only the permutation tells them apart.
+  QueryBuilder center1;
+  center1.AddRelation("R");
+  center1.AddRelation("R");
+  center1.AddRelation("R");
+  center1.AddOverlap(0, 1).AddOverlap(1, 2);
+  QueryBuilder center0;
+  center0.AddRelation("R");
+  center0.AddRelation("R");
+  center0.AddRelation("R");
+  center0.AddOverlap(0, 1).AddOverlap(0, 2);
+  const Query path1 = center1.Build().value();
+  const Query path0 = center0.Build().value();
+  ASSERT_EQ(path1.CanonicalForm(), path0.CanonicalForm());
+  EXPECT_NE(path1.CanonicalRanks(), path0.CanonicalRanks());
+}
+
 }  // namespace
 }  // namespace mwsj

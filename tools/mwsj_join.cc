@@ -277,7 +277,21 @@ int main(int argc, char** argv) {
     // ingests and leaves the grid / round-1 artifacts resident; repeats
     // must hit the catalog and every submission must agree byte-for-byte.
     mwsj::DatasetCatalog catalog;
-    const std::vector<std::string>& names = query.value().relation_names();
+    // Register under position-unique catalog names: a query that repeats
+    // a relation name (self-join roles) would otherwise have the second
+    // PutDataset bump the first one's epoch and both roles silently
+    // resolve to the last-registered data, diverging from the positional
+    // relations the num_jobs==1 path uses.
+    std::vector<std::string> names = query.value().relation_names();
+    {
+      std::map<std::string, int> seen;
+      for (size_t r = 0; r < names.size(); ++r) {
+        const int uses = seen[names[r]]++;
+        if (uses > 0) {
+          names[r] = mwsj::StrFormat("%s#%zu", names[r].c_str(), r);
+        }
+      }
+    }
     for (size_t r = 0; r < names.size(); ++r) {
       catalog.PutDataset(names[r], relations[r]);
     }
