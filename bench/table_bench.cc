@@ -12,6 +12,71 @@
 
 namespace mwsj::bench {
 
+namespace {
+
+/// Machine-readable row sink (bench/run_benchmarks.sh --json): when
+/// MWSJ_BENCH_JSON names a file, every RunMeasured appends one JSON line
+/// to it. Append mode lets the eight table binaries share one file.
+FILE* RowSink() {
+  static FILE* f = [] {
+    const char* path = std::getenv("MWSJ_BENCH_JSON");
+    return (path != nullptr && path[0] != '\0') ? std::fopen(path, "a")
+                                                : nullptr;
+  }();
+  return f;
+}
+
+/// Table banner of the current binary, for row attribution.
+std::string g_current_table;  // NOLINT(runtime/string)
+
+void RecordRow(const BenchEnv& env, Algorithm algorithm, const Measured& m,
+               const RunStats& stats) {
+  FILE* f = RowSink();
+  if (f == nullptr) return;
+  int64_t comm_records = 0;
+  int64_t comm_bytes = 0;
+  int64_t spill_stored = 0;
+  int64_t spill_raw = 0;
+  int64_t spill_runs = 0;
+  int64_t peak_inbox = 0;
+  bool spill_active = false;
+  for (const JobStats& job : stats.jobs) {
+    comm_records += job.intermediate_records;
+    comm_bytes += job.intermediate_bytes;
+    if (job.spill.active()) {
+      spill_active = true;
+      spill_stored += job.spill.spilled_stored_bytes;
+      spill_raw += job.spill.spilled_raw_bytes;
+      spill_runs += job.spill.spilled_runs;
+      peak_inbox = std::max(peak_inbox, job.spill.peak_inbox_bytes);
+    }
+  }
+  std::string row = StrFormat(
+      "{\"table\": \"%s\", \"algorithm\": \"%s\", \"scale\": %g, "
+      "\"wall_seconds\": %.3f, \"modeled_seconds\": %.1f, "
+      "\"communication_records\": %lld, \"communication_bytes\": %lld, "
+      "\"output_tuples\": %lld",
+      g_current_table.c_str(), AlgorithmName(algorithm), env.scale,
+      m.wall_seconds, m.modeled_seconds,
+      static_cast<long long>(comm_records),
+      static_cast<long long>(comm_bytes),
+      static_cast<long long>(m.output_tuples));
+  if (spill_active) {
+    row += StrFormat(
+        ", \"spill\": {\"runs\": %lld, \"raw_bytes\": %lld, "
+        "\"stored_bytes\": %lld, \"peak_inbox_bytes\": %lld}",
+        static_cast<long long>(spill_runs),
+        static_cast<long long>(spill_raw),
+        static_cast<long long>(spill_stored),
+        static_cast<long long>(peak_inbox));
+  }
+  row += "}\n";
+  std::fputs(row.c_str(), f);
+  std::fflush(f);
+}
+
+}  // namespace
+
 BenchEnv BenchEnv::FromEnvironment(ThreadPool* pool) {
   BenchEnv env;
   env.pool = pool;
@@ -89,6 +154,7 @@ Measured RunMeasured(const BenchEnv& env, const Query& query,
       result.value().stats.UserCounter(kCounterRectanglesAfterReplication) *
       inv;
   m.copies = result.value().stats.UserCounter(kCounterReplicationCopies) * inv;
+  RecordRow(env, algorithm, m, result.value().stats);
   return m;
 }
 
@@ -154,6 +220,7 @@ Rect ScaledCaliforniaSpace(const BenchEnv& env) {
 
 void PrintHeader(const std::string& table, const std::string& query_text,
                  const BenchEnv& env) {
+  g_current_table = table;
   std::printf("=================================================================\n");
   std::printf("%s\n", table.c_str());
   std::printf("Query: %s\n", query_text.c_str());

@@ -12,6 +12,22 @@ struct RetryPolicy;
 class ThreadPool;
 class Tracer;
 
+/// Per-run execution knobs consulted by the map-reduce engine. Kept apart
+/// from the pointer bundle below so a scheduler can clamp them per job
+/// without touching the environment wiring.
+struct ExecutionOptions {
+  /// Byte budget for the engine's in-memory shuffle state (the per-chunk ×
+  /// per-reducer bucket matrix). 0 means "inherit the MWSJ_SHUFFLE_BUDGET
+  /// environment override, else unlimited" — today's fully in-memory
+  /// behavior. -1 means explicitly unlimited (ignore the environment).
+  /// A positive budget turns on spill mode: every mapper chunk sorts its
+  /// buckets by key, chunks whose output exceeds budget/num_chunks flush
+  /// their buckets as columnar-compressed sorted runs, and reducer inboxes
+  /// are rebuilt by a k-way loser-tree merge. Output is byte-identical to
+  /// the unlimited path (mapreduce/spill.h, DESIGN.md §2.13).
+  int64_t shuffle_memory_budget = 0;
+};
+
 /// Everything an algorithm needs from its execution environment, bundled
 /// so a run threads one value through engine, algorithms, and tools
 /// instead of loose `ThreadPool*` parameters:
@@ -33,7 +49,9 @@ class Tracer;
 ///                (core/scheduler.h); -1 means a standalone run. When set,
 ///                trace spans, JobStats, engine error messages, and DFS
 ///                part paths carry the id so concurrent jobs stay
-///                attributable.
+///                attributable;
+///   * `options` — value knobs (shuffle memory budget) the engine reads
+///                per run; see ExecutionOptions.
 ///
 /// The context is a cheap value type holding non-owning pointers; the
 /// caller keeps pool and tracer alive for the duration of the run.
@@ -45,6 +63,7 @@ struct ExecutionContext {
   const RetryPolicy* retry = nullptr;
   Dfs* dfs = nullptr;
   int64_t job_id = -1;
+  ExecutionOptions options;
 
   ExecutionContext() = default;
   /// Explicit so a raw `ThreadPool*` (or nullptr) passed to a function

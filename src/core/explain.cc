@@ -104,6 +104,28 @@ std::string ExplainRun(const Query& query, const JoinRunResult& result,
     }
     out += StrFormat("  reduce time: total %.3fs, slowest task %.3fs\n",
                      job.SumReducerSeconds(), job.MaxReducerSeconds());
+    if (job.spill.active()) {
+      const SpillStats& s = job.spill;
+      out += StrFormat(
+          "  spill: budget %s | %lld/%zu chunks spilled, %lld runs "
+          "(widest merge %lld)\n",
+          HumanBytes(static_cast<double>(s.budget_bytes)).c_str(),
+          static_cast<long long>(s.spilled_chunks),
+          job.per_chunk_map_seconds.size(),
+          static_cast<long long>(s.spilled_runs),
+          static_cast<long long>(s.merge_runs_max));
+      if (s.spilled_runs > 0) {
+        out += StrFormat(
+            "  spill bytes: %s raw -> %s stored (%.2fx compression)\n",
+            HumanBytes(static_cast<double>(s.spilled_raw_bytes)).c_str(),
+            HumanBytes(static_cast<double>(s.spilled_stored_bytes)).c_str(),
+            s.CompressionRatio());
+      }
+      out += StrFormat(
+          "  peak memory: shuffle resident %s | largest inbox %s\n",
+          HumanBytes(static_cast<double>(s.peak_shuffle_bytes)).c_str(),
+          HumanBytes(static_cast<double>(s.peak_inbox_bytes)).c_str());
+    }
     if (job.AnyFaults()) {
       const PhaseFaultStats& m = job.map_faults;
       const PhaseFaultStats& r = job.reduce_faults;

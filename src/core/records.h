@@ -5,9 +5,11 @@
 #include <vector>
 
 #include "geometry/rect.h"
+#include "io/colcodec.h"
 #include "localjoin/brute_force.h"  // IdTuple
 #include "localjoin/multiway.h"     // LocalRect
 #include "mapreduce/counters.h"
+#include "mapreduce/spill.h"
 
 namespace mwsj {
 
@@ -28,6 +30,62 @@ struct MarkedRect {
   int64_t id = 0;
   int32_t relation = 0;
   bool marked = false;
+};
+
+/// Columnar spill layouts (mapreduce/spill.h) for the shuffled rectangle
+/// records: the four coordinates map through the bijective ordered-bits
+/// transform (sorted streams delta-pack tightly), id and relation through
+/// the sign-biasing key map. Scatter/Gather are exact inverses, so spilled
+/// runs decode bit-for-bit — the engine's byte-identity guarantee rests on
+/// that.
+template <>
+struct spill::SpillColumns<RelRect> {
+  static constexpr bool enabled = true;
+  static constexpr size_t kNumColumns = 6;
+  static void Scatter(const RelRect& v, uint64_t* cols) {
+    cols[0] = colcodec::OrderedBitsFromDouble(v.rect.min_x());
+    cols[1] = colcodec::OrderedBitsFromDouble(v.rect.min_y());
+    cols[2] = colcodec::OrderedBitsFromDouble(v.rect.max_x());
+    cols[3] = colcodec::OrderedBitsFromDouble(v.rect.max_y());
+    cols[4] = spill::KeyToU64(v.id);
+    cols[5] = spill::KeyToU64(v.relation);
+  }
+  static RelRect Gather(const uint64_t* cols) {
+    RelRect v;
+    v.rect = Rect(colcodec::DoubleFromOrderedBits(cols[0]),
+                  colcodec::DoubleFromOrderedBits(cols[1]),
+                  colcodec::DoubleFromOrderedBits(cols[2]),
+                  colcodec::DoubleFromOrderedBits(cols[3]));
+    v.id = spill::KeyFromU64<int64_t>(cols[4]);
+    v.relation = spill::KeyFromU64<int32_t>(cols[5]);
+    return v;
+  }
+};
+
+template <>
+struct spill::SpillColumns<MarkedRect> {
+  static constexpr bool enabled = true;
+  static constexpr size_t kNumColumns = 7;
+  static void Scatter(const MarkedRect& v, uint64_t* cols) {
+    cols[0] = colcodec::OrderedBitsFromDouble(v.rect.min_x());
+    cols[1] = colcodec::OrderedBitsFromDouble(v.rect.min_y());
+    cols[2] = colcodec::OrderedBitsFromDouble(v.rect.max_x());
+    cols[3] = colcodec::OrderedBitsFromDouble(v.rect.max_y());
+    cols[4] = spill::KeyToU64(v.id);
+    cols[5] = spill::KeyToU64(v.relation);
+    cols[6] = v.marked ? 1 : 0;
+  }
+  static MarkedRect Gather(const uint64_t* cols) {
+    MarkedRect v;
+    v.rect = Rect(colcodec::DoubleFromOrderedBits(cols[0]),
+                  colcodec::DoubleFromOrderedBits(cols[1]),
+                  colcodec::DoubleFromOrderedBits(cols[2]),
+                  colcodec::DoubleFromOrderedBits(cols[3]));
+    v.id = spill::KeyFromU64<int64_t>(cols[4]);
+    v.relation = spill::KeyFromU64<int32_t>(cols[5]);
+    v.marked = cols[6] != 0;
+    return v;
+  }
 };
 
 /// Result of running a multi-way join end to end: the output tuples (one

@@ -194,6 +194,16 @@ void JobScheduler::RunJob(scheduler_internal::Job* job) {
   options.context.tracer = options_.tracer;
   options.context.job_id = job->spec.tag_job_id ? job->id : -1;
   if (options.catalog == nullptr) options.catalog = options_.catalog;
+  if (options_.shuffle_memory_budget > 0) {
+    // Concurrent jobs share the process budget: each in-flight slot gets
+    // an equal slice, and a job keeps its own budget only when stricter.
+    const int slots =
+        options_.inline_execution ? 1 : std::max(1, options_.max_in_flight);
+    const int64_t share = std::max<int64_t>(
+        int64_t{1}, options_.shuffle_memory_budget / slots);
+    int64_t& job_budget = options.context.options.shuffle_memory_budget;
+    if (job_budget <= 0 || job_budget > share) job_budget = share;
+  }
 
   StatusOr<JoinRunResult> result = Status::Internal("job produced no result");
   const std::vector<std::vector<Rect>>* relations = nullptr;
@@ -243,12 +253,8 @@ void JobScheduler::RunJob(scheduler_internal::Job* job) {
   }
 
   const bool ok = result.ok();
-  {
-    MutexLock lock(&job->mu);
-    job->result = std::move(result);
-    job->state = ok ? JobState::kSucceeded : JobState::kFailed;
-    job->done.NotifyAll();
-  }
+  // Tally before resolving: Wait() returns the instant `done` fires, and a
+  // caller reading counters() right after must already see this job.
   {
     MutexLock lock(&mu_);
     if (ok) {
@@ -256,6 +262,12 @@ void JobScheduler::RunJob(scheduler_internal::Job* job) {
     } else {
       ++counters_.failed;
     }
+  }
+  {
+    MutexLock lock(&job->mu);
+    job->result = std::move(result);
+    job->state = ok ? JobState::kSucceeded : JobState::kFailed;
+    job->done.NotifyAll();
   }
 }
 

@@ -46,6 +46,14 @@ struct SchedulerOptions {
   /// instead of unbounded memory growth.
   int max_queued = 64;
 
+  /// Process-wide shuffle memory budget in bytes, shared by concurrent
+  /// jobs (0 = none). Each job the scheduler runs gets its budget clamped
+  /// to budget / max_in_flight (the whole budget under inline_execution),
+  /// so jobs in flight together cannot jointly exceed the process budget;
+  /// a job's own smaller explicit budget is kept. See
+  /// ExecutionOptions::shuffle_memory_budget for per-job semantics.
+  int64_t shuffle_memory_budget = 0;
+
   /// Run each submission to a terminal state on the Submit caller's
   /// thread instead of on driver threads. No threads are spawned and the
   /// admission queue is never used (at most one job exists at a time, so

@@ -21,6 +21,25 @@ void PhaseFaultStats::Add(const PhaseFaultStats& other) {
   backoff_seconds += other.backoff_seconds;
 }
 
+double SpillStats::CompressionRatio() const {
+  if (spilled_stored_bytes <= 0) return 0;
+  return static_cast<double>(spilled_raw_bytes) /
+         static_cast<double>(spilled_stored_bytes);
+}
+
+void SpillStats::Add(const SpillStats& other) {
+  budget_bytes = std::max(budget_bytes, other.budget_bytes);
+  spilled_chunks += other.spilled_chunks;
+  spilled_runs += other.spilled_runs;
+  spilled_raw_bytes += other.spilled_raw_bytes;
+  spilled_stored_bytes += other.spilled_stored_bytes;
+  flush_retries += other.flush_retries;
+  wasted_flush_bytes += other.wasted_flush_bytes;
+  peak_shuffle_bytes = std::max(peak_shuffle_bytes, other.peak_shuffle_bytes);
+  peak_inbox_bytes = std::max(peak_inbox_bytes, other.peak_inbox_bytes);
+  merge_runs_max = std::max(merge_runs_max, other.merge_runs_max);
+}
+
 bool JobStats::AnyFaults() const {
   return map_faults.Any() || reduce_faults.Any();
 }

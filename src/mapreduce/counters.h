@@ -38,6 +38,43 @@ struct PhaseFaultStats {
   void Add(const PhaseFaultStats& other);
 };
 
+/// Out-of-core accounting for one job run under a shuffle memory budget
+/// (ExecutionOptions::shuffle_memory_budget; DESIGN.md §2.13). All-zero —
+/// and omitted from stats_json — when the job ran unbounded.
+struct SpillStats {
+  /// The effective byte budget the run executed under; 0 = unlimited
+  /// (spill mode off, every other field stays zero).
+  int64_t budget_bytes = 0;
+  /// Mapper chunks whose output exceeded budget/num_chunks and were
+  /// flushed to sorted runs.
+  int64_t spilled_chunks = 0;
+  /// Sorted runs written (one per non-empty bucket of a spilled chunk).
+  int64_t spilled_runs = 0;
+  /// Intermediate bytes of the spilled buckets before encoding.
+  int64_t spilled_raw_bytes = 0;
+  /// Bytes committed to the spill store (columnar-compressed where the
+  /// record type supports it, raw otherwise).
+  int64_t spilled_stored_bytes = 0;
+  /// Spill-flush attempts retried under fault injection.
+  int64_t flush_retries = 0;
+  /// Staged run bytes discarded by failed flush attempts.
+  int64_t wasted_flush_bytes = 0;
+  /// Shuffle-state bytes resident at the map→reduce barrier: in-memory
+  /// buckets of unspilled chunks plus stored bytes of spilled runs.
+  /// Deterministic (computed from sizes, not sampled).
+  int64_t peak_shuffle_bytes = 0;
+  /// Largest single reducer inbox, in intermediate bytes — the reduce-side
+  /// working set a concurrent-reducer bound multiplies.
+  int64_t peak_inbox_bytes = 0;
+  /// Widest k-way merge any reducer performed (number of sources).
+  int64_t merge_runs_max = 0;
+
+  bool active() const { return budget_bytes > 0; }
+  /// spilled_raw_bytes / spilled_stored_bytes; 0 when nothing spilled.
+  double CompressionRatio() const;
+  void Add(const SpillStats& other);
+};
+
 /// Statistics of one executed map-reduce job. Every quantity the paper's
 /// evaluation reports (intermediate key-value pairs = "rectangles after
 /// replication", reducer load, read/write volume) is captured here; the
@@ -85,6 +122,9 @@ struct JobStats {
   /// Fault-recovery accounting per phase; all-zero without a fault plan.
   PhaseFaultStats map_faults;
   PhaseFaultStats reduce_faults;
+
+  /// Out-of-core accounting; all-zero without a shuffle memory budget.
+  SpillStats spill;
 
   /// True when any attempt in the job faulted or was re-executed.
   bool AnyFaults() const;

@@ -32,13 +32,20 @@ class Dfs {
 
   /// Stores `records` under `name`, charging `records->size() *
   /// record_bytes` to the write counter. Overwrites any previous dataset of
-  /// the same name (the overwrite is charged too — every write costs I/O).
-  /// Returns InvalidArgument on a null `records` pointer instead of
-  /// crashing the simulated DFS.
+  /// the same name: the full new size is charged as I/O (every write costs
+  /// a transfer), but the *live* counters absorb only the size delta, so
+  /// live_bytes()/live_records() stay exact under run recycling — a spill
+  /// run overwritten a thousand times occupies its latest size, not the
+  /// sum. `total_bytes >= 0` overrides the uniform-record sizing for
+  /// datasets whose byte size is not records × constant (e.g. compressed
+  /// runs: records = rows, total_bytes = encoded size). Returns
+  /// InvalidArgument on a null `records` pointer instead of crashing the
+  /// simulated DFS.
   template <typename T>
   Status Write(const std::string& name,
                std::shared_ptr<const std::vector<T>> records,
-               int64_t record_bytes = sizeof(T)) EXCLUDES(mu_) {
+               int64_t record_bytes = sizeof(T), int64_t total_bytes = -1)
+      EXCLUDES(mu_) {
     if (records == nullptr) {
       return Status::InvalidArgument("null record vector for dataset '" +
                                      name + "'");
@@ -48,10 +55,8 @@ class Dfs {
     e.data = std::static_pointer_cast<const void>(records);
     e.type = std::type_index(typeid(T));
     e.records = static_cast<int64_t>(records->size());
-    e.bytes = e.records * record_bytes;
-    bytes_written_ += e.bytes;
-    records_written_ += e.records;
-    datasets_[name] = std::move(e);
+    e.bytes = total_bytes >= 0 ? total_bytes : e.records * record_bytes;
+    InstallLocked(name, std::move(e));
     return Status::OK();
   }
 
@@ -83,7 +88,11 @@ class Dfs {
   /// Removes a dataset; missing names are a no-op (idempotent cleanup).
   void Remove(const std::string& name) EXCLUDES(mu_) {
     MutexLock lock(&mu_);
-    datasets_.erase(name);
+    auto it = datasets_.find(name);
+    if (it == datasets_.end()) return;
+    live_bytes_ -= it->second.bytes;
+    live_records_ -= it->second.records;
+    datasets_.erase(it);
   }
 
   int64_t bytes_written() const EXCLUDES(mu_) {
@@ -103,21 +112,19 @@ class Dfs {
     return records_read_;
   }
 
-  /// Bytes/records of the datasets currently stored. Invariant under
-  /// attempt staging: a discarded attempt changes neither these nor
-  /// bytes_written() — phantom bytes from failed attempts never appear in
-  /// any counter (dfs_test.cc checks this).
+  /// Bytes/records of the datasets currently stored, maintained as O(1)
+  /// counters by delta: an overwrite adds new − old, a Remove subtracts.
+  /// Invariant under attempt staging: a discarded attempt changes neither
+  /// these nor bytes_written() — phantom bytes from failed attempts never
+  /// appear in any counter (dfs_test.cc checks this, and checks that
+  /// overwrite recycling leaves these exactly at the latest sizes).
   int64_t live_bytes() const EXCLUDES(mu_) {
     MutexLock lock(&mu_);
-    int64_t total = 0;
-    for (const auto& [name, e] : datasets_) total += e.bytes;
-    return total;
+    return live_bytes_;
   }
   int64_t live_records() const EXCLUDES(mu_) {
     MutexLock lock(&mu_);
-    int64_t total = 0;
-    for (const auto& [name, e] : datasets_) total += e.records;
-    return total;
+    return live_records_;
   }
 
  private:
@@ -134,9 +141,24 @@ class Dfs {
   /// (i.e. a successful attempt's Commit) reaches this.
   void CommitEntry(const std::string& name, Entry e) EXCLUDES(mu_) {
     MutexLock lock(&mu_);
+    InstallLocked(name, std::move(e));
+  }
+
+  /// Shared install path for Write and CommitEntry: full write cost to the
+  /// I/O counters, size *delta* to the live counters on overwrite.
+  void InstallLocked(const std::string& name, Entry e) REQUIRES(mu_) {
     bytes_written_ += e.bytes;
     records_written_ += e.records;
-    datasets_[name] = std::move(e);
+    live_bytes_ += e.bytes;
+    live_records_ += e.records;
+    auto it = datasets_.find(name);
+    if (it != datasets_.end()) {
+      live_bytes_ -= it->second.bytes;
+      live_records_ -= it->second.records;
+      it->second = std::move(e);
+    } else {
+      datasets_.emplace(name, std::move(e));
+    }
   }
 
   mutable Mutex mu_;
@@ -145,6 +167,8 @@ class Dfs {
   int64_t bytes_read_ GUARDED_BY(mu_) = 0;
   int64_t records_written_ GUARDED_BY(mu_) = 0;
   int64_t records_read_ GUARDED_BY(mu_) = 0;
+  int64_t live_bytes_ GUARDED_BY(mu_) = 0;
+  int64_t live_records_ GUARDED_BY(mu_) = 0;
 };
 
 /// Attempt-scoped staging for DFS writes — the OutputCommitter of the
@@ -165,7 +189,7 @@ class DfsStage {
   template <typename T>
   Status Write(const std::string& name,
                std::shared_ptr<const std::vector<T>> records,
-               int64_t record_bytes = sizeof(T)) {
+               int64_t record_bytes = sizeof(T), int64_t total_bytes = -1) {
     if (records == nullptr) {
       return Status::InvalidArgument("null record vector for dataset '" +
                                      name + "'");
@@ -174,7 +198,7 @@ class DfsStage {
     e.data = std::static_pointer_cast<const void>(records);
     e.type = std::type_index(typeid(T));
     e.records = static_cast<int64_t>(records->size());
-    e.bytes = e.records * record_bytes;
+    e.bytes = total_bytes >= 0 ? total_bytes : e.records * record_bytes;
     staged_records_ += e.records;
     staged_bytes_ += e.bytes;
     staged_.emplace_back(name, std::move(e));

@@ -24,6 +24,7 @@
 #include "common/trace.h"
 #include "mapreduce/counters.h"
 #include "mapreduce/dfs.h"
+#include "mapreduce/spill.h"
 #include "simd/simd.h"
 #include "mapreduce/fault.h"
 
@@ -68,7 +69,13 @@ std::string DescribeKey(const K& key) {
 ///     exponential backoff while discarding everything a failed attempt
 ///     produced — emits, user counters, DFS writes — so job output stays
 ///     byte-identical to a fault-free run (Hadoop's exactly-once task
-///     re-execution, with the wasted work accounted in JobStats).
+///     re-execution, with the wasted work accounted in JobStats);
+///   * the shuffle is memory-budgeted: a positive
+///     `ExecutionContext::options.shuffle_memory_budget` (or the
+///     MWSJ_SHUFFLE_BUDGET env override) makes over-budget mapper chunks
+///     flush their buckets as sorted, columnar-compressed spill runs and
+///     reducers k-way merge them back lazily — same output bytes, bounded
+///     resident shuffle memory (DESIGN.md §2.13, JobStats::spill).
 ///
 /// Keys must be totally ordered (operator<) and equality-comparable; keys
 /// and values must be movable and default-constructible (the mapper-side
@@ -316,6 +323,27 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
     std::abort();
   };
 
+  // ---- Out-of-core shuffle setup (DESIGN.md §2.13). A positive budget
+  // puts the run in spill mode: every mapper chunk key-sorts its buckets
+  // after the counting sort, chunks whose intermediate bytes exceed their
+  // budget share flush all buckets as sorted runs, and each reducer k-way
+  // merges its bucket column lazily at reduce time. With no budget
+  // (default) the run takes the original all-in-memory path, untouched.
+  // Spill runs live in an engine-internal DFS, not ctx.dfs: the user's DFS
+  // accounts the algorithm's I/O (the paper's communication cost), while
+  // spill traffic is an engine implementation detail reported via
+  // SpillStats.
+  const int64_t shuffle_budget = spill::ResolveShuffleBudget(ctx.options);
+  const bool budget_mode = shuffle_budget > 0;
+  stats.spill.budget_bytes = shuffle_budget;
+  Dfs spill_dfs;
+  // Types that can neither be columnar-encoded nor copied into a raw run
+  // stay in memory even over budget (best effort — the engine never
+  // breaks a job to enforce the budget).
+  constexpr bool kCanSpill =
+      spill::kEncodable<K, V> || (std::is_copy_constructible_v<K> &&
+                                  std::is_copy_constructible_v<V>);
+
   // ---- Map phase. Input is split into fixed chunks; each chunk partitions
   // its pairs at emit time and finishes its task with a stable local
   // counting sort into a reducer-major shard (the chunk's row of the
@@ -332,11 +360,177 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
   struct MapShard {
     std::vector<std::pair<K, V>> pairs;  // Reducer-major, emit-order stable.
     std::vector<size_t> offsets;         // Bucket r = [offsets[r], offsets[r+1]).
+    int64_t records = 0;                 // pairs.size() at commit (pairs may spill).
     int64_t bytes = 0;
     double seconds = 0;
     PhaseFaultStats faults;  // This task's attempt/retry accounting.
+    // Budget mode only:
+    std::vector<int64_t> bucket_bytes;  // Per-reducer intermediate bytes.
+    bool spilled = false;               // Buckets live as spill runs, not pairs.
+    int64_t stored_bytes = 0;           // On-disk size of this chunk's runs.
+    SpillStats spill;                   // This task's spill accounting.
   };
   std::vector<MapShard> shards(num_chunks);
+  const int64_t chunk_budget =
+      budget_mode ? spill::ChunkBudget(shuffle_budget, num_chunks) : 0;
+
+  // Budget mode: stable key sort of one bucket, preserving emit order
+  // within equal keys — the bucket becomes a sorted run whether it stays
+  // in memory or spills, so the reduce-side merge sees only sorted
+  // sources.
+  auto sort_bucket = [](std::vector<std::pair<K, V>>& pairs, size_t lo,
+                        size_t hi) {
+    const size_t m = hi - lo;
+    if (m < 2) return;
+    if constexpr (std::is_integral_v<K> && sizeof(K) <= 8) {
+      std::vector<K> keys(m);
+      std::vector<uint32_t> idx(m);
+      for (size_t i = 0; i < m; ++i) {
+        keys[i] = pairs[lo + i].first;
+        idx[i] = static_cast<uint32_t>(i);
+      }
+      simd::StableSortIndexByKey(keys, &idx);
+      std::vector<std::pair<K, V>> tmp;
+      tmp.reserve(m);
+      for (size_t i = 0; i < m; ++i) {
+        tmp.push_back(std::move(pairs[lo + idx[i]]));
+      }
+      std::move(tmp.begin(), tmp.end(), pairs.begin() + lo);
+    } else {
+      std::stable_sort(
+          pairs.begin() + static_cast<ptrdiff_t>(lo),
+          pairs.begin() + static_cast<ptrdiff_t>(hi),
+          [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
+            return a.first < b.first;
+          });
+    }
+  };
+  auto spill_run_name = [](size_t c, size_t r) {
+    return "spill/chunk-" + std::to_string(c) + "/r-" + std::to_string(r);
+  };
+  // Budget mode: after a chunk's committing map attempt, sort its buckets
+  // and — if the chunk exceeds its budget share — flush them all as
+  // sorted runs through an attempt-staged, fault-injectable write
+  // (FaultPhase::kSpill, task id = chunk index). Runs are columnar-
+  // compressed when (K, V) supports it, raw sorted pair vectors otherwise;
+  // either way flushing is non-destructive until the stage commits, so a
+  // failed flush attempt retries from intact buckets.
+  auto sort_and_maybe_spill = [&](size_t c) {
+    MapShard& shard = shards[c];
+    if (shard.pairs.empty()) return;
+    Stopwatch spill_watch;
+    shard.bucket_bytes.assign(num_reducers, 0);
+    for (size_t r = 0; r < num_reducers; ++r) {
+      for (size_t i = shard.offsets[r]; i < shard.offsets[r + 1]; ++i) {
+        shard.bucket_bytes[r] += value_size(shard.pairs[i].second);
+      }
+      sort_bucket(shard.pairs, shard.offsets[r], shard.offsets[r + 1]);
+    }
+    if (shard.bytes > chunk_budget && kCanSpill) {
+      // Stages runs for the first `bucket_limit` reducers (a flaky flush
+      // dies midway through its buckets). Reads the buckets, never moves
+      // them.
+      auto stage_raw_run = [&](DfsStage& stage, size_t r, size_t lo,
+                               size_t hi) {
+        if constexpr (std::is_copy_constructible_v<K> &&
+                      std::is_copy_constructible_v<V>) {
+          auto run = std::make_shared<std::vector<std::pair<K, V>>>(
+              shard.pairs.begin() + static_cast<ptrdiff_t>(lo),
+              shard.pairs.begin() + static_cast<ptrdiff_t>(hi));
+          (void)stage.Write(
+              spill_run_name(c, r),
+              std::shared_ptr<const std::vector<std::pair<K, V>>>(
+                  std::move(run)),
+              1, shard.bucket_bytes[r]);
+        }
+      };
+      auto stage_runs = [&](DfsStage& stage, size_t bucket_limit) {
+        int64_t runs = 0;
+        for (size_t r = 0; r < bucket_limit; ++r) {
+          const size_t lo = shard.offsets[r];
+          const size_t hi = shard.offsets[r + 1];
+          if (hi == lo) continue;
+          if constexpr (spill::kEncodable<K, V>) {
+            auto bytes = std::make_shared<std::vector<uint8_t>>();
+            spill::EncodeRun(shard.pairs.data() + lo, hi - lo, bytes.get());
+            const int64_t encoded = static_cast<int64_t>(bytes->size());
+            // A tiny run can encode *larger* than its raw bytes (frame and
+            // block headers dominate a handful of rows); store whichever
+            // representation is smaller. The merge probes the stored type.
+            bool use_encoded = true;
+            if constexpr (std::is_copy_constructible_v<K> &&
+                          std::is_copy_constructible_v<V>) {
+              use_encoded = encoded <= shard.bucket_bytes[r];
+            }
+            if (use_encoded) {
+              (void)stage.Write(spill_run_name(c, r),
+                                std::shared_ptr<const std::vector<uint8_t>>(
+                                    std::move(bytes)),
+                                1, encoded);
+            } else {
+              stage_raw_run(stage, r, lo, hi);
+            }
+          } else {
+            stage_raw_run(stage, r, lo, hi);
+          }
+          ++runs;
+        }
+        return runs;
+      };
+      for (int attempt = 0;; ++attempt) {
+        const FaultKind fault =
+            faults == nullptr ? FaultKind::kNone
+                              : faults->At(FaultPhase::kSpill,
+                                           static_cast<int64_t>(c), attempt);
+        if (fault == FaultKind::kCrash || fault == FaultKind::kFlakyIo) {
+          TraceSpan flush_span(tracer, "spill_flush", "task");
+          tag_job(flush_span);
+          flush_span.AddArg("chunk", static_cast<int64_t>(c));
+          flush_span.AddArg("attempt", static_cast<int64_t>(attempt));
+          flush_span.AddArg("failed", int64_t{1});
+          if (fault == FaultKind::kFlakyIo) {
+            // Flaky flush: half the buckets staged, then the attempt dies;
+            // the stage's destructor discards them, so the spill DFS never
+            // sees a partial flush.
+            DfsStage stage(&spill_dfs);
+            (void)stage_runs(stage, num_reducers / 2);
+            shard.spill.wasted_flush_bytes += stage.staged_bytes();
+          }
+          if (attempt + 1 >= retry.max_attempts) {
+            retries_exhausted(FaultPhase::kSpill, c);
+          }
+          ++shard.spill.flush_retries;
+          charge_backoff(attempt, &shard.faults);
+          continue;
+        }
+        TraceSpan flush_span(tracer, "spill_flush", "task");
+        tag_job(flush_span);
+        flush_span.AddArg("chunk", static_cast<int64_t>(c));
+        DfsStage stage(&spill_dfs);
+        const int64_t runs = stage_runs(stage, num_reducers);
+        shard.stored_bytes = stage.staged_bytes();
+        stage.Commit();
+        shard.spilled = true;
+        shard.spill.spilled_chunks = 1;
+        shard.spill.spilled_runs = runs;
+        shard.spill.spilled_raw_bytes = shard.bytes;
+        shard.spill.spilled_stored_bytes = shard.stored_bytes;
+        flush_span.AddArg("runs", runs);
+        flush_span.AddArg("stored_bytes", shard.stored_bytes);
+        if (fault == FaultKind::kSlow) {
+          // Straggler flush: the speculative duplicate stages an identical
+          // set of runs and is discarded (buckets are still intact — the
+          // pairs are released only below).
+          DfsStage spec(&spill_dfs);
+          (void)stage_runs(spec, num_reducers);
+          shard.spill.wasted_flush_bytes += spec.staged_bytes();
+        }
+        break;
+      }
+      std::vector<std::pair<K, V>>().swap(shard.pairs);  // Runs own the data now.
+    }
+    shard.seconds += spill_watch.ElapsedSeconds();
+  };
 
   Stopwatch phase_watch;
   auto run_chunk = [&](size_t c) {
@@ -415,6 +609,7 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
       for (size_t i = 0; i < raw.size(); ++i) {
         shard.pairs[cursor[route[i]]++] = std::move(raw[i]);
       }
+      shard.records = static_cast<int64_t>(shard.pairs.size());
       shard.seconds = chunk_watch.ElapsedSeconds();
       MergeCounters(counters);
       if (fault == FaultKind::kSlow) {
@@ -440,6 +635,7 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
       }
       break;
     }
+    if (budget_mode) sort_and_maybe_spill(c);
   };
   {
     TraceSpan map_phase(tracer, "map", "phase");
@@ -453,10 +649,34 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
   }
   stats.per_chunk_map_seconds.resize(num_chunks);
   for (size_t c = 0; c < num_chunks; ++c) {
-    stats.intermediate_records += static_cast<int64_t>(shards[c].pairs.size());
+    stats.intermediate_records += shards[c].records;
     stats.intermediate_bytes += shards[c].bytes;
     stats.per_chunk_map_seconds[c] = shards[c].seconds;
     stats.map_faults.Add(shards[c].faults);
+    stats.spill.Add(shards[c].spill);
+  }
+  if (budget_mode) {
+    // Peak shuffle residency: intermediate bytes still held in memory
+    // after map-side spilling (spilled chunks' bytes live on disk as
+    // runs, counted by spilled_stored_bytes instead).
+    int64_t resident = 0;
+    for (size_t c = 0; c < num_chunks; ++c) {
+      if (!shards[c].spilled) resident += shards[c].bytes;
+    }
+    stats.spill.peak_shuffle_bytes = resident;
+    // Peak inbox: the largest single reducer's merged inbox — in budget
+    // mode that is the unit of resident reduce-side memory, since inboxes
+    // are built lazily and released eagerly.
+    for (size_t r = 0; r < num_reducers; ++r) {
+      int64_t inbox_bytes = 0;
+      for (size_t c = 0; c < num_chunks; ++c) {
+        if (!shards[c].bucket_bytes.empty()) {
+          inbox_bytes += shards[c].bucket_bytes[r];
+        }
+      }
+      stats.spill.peak_inbox_bytes =
+          std::max(stats.spill.peak_inbox_bytes, inbox_bytes);
+    }
   }
   stats.map_seconds = phase_watch.ElapsedSeconds();
 
@@ -493,21 +713,39 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
     merge_span.AddArg("reducer", static_cast<int64_t>(r));
     merge_span.AddArg("records", static_cast<int64_t>(total));
   };
-  {
+  stats.per_reducer_records.resize(num_reducers);
+  if (!budget_mode) {
+    {
+      TraceSpan shuffle_phase(tracer, "shuffle", "phase");
+      tag_job(shuffle_phase);
+      if (pool != nullptr && num_reducers > 1) {
+        ParallelFor(pool, num_reducers, merge_reducer);
+      } else {
+        for (size_t r = 0; r < num_reducers; ++r) merge_reducer(r);
+      }
+    }
+    shards.clear();
+    shards.shrink_to_fit();
+    for (size_t r = 0; r < num_reducers; ++r) {
+      stats.per_reducer_records[r] = static_cast<int64_t>(inbox[r].keys.size());
+    }
+  } else {
+    // Budget mode defers the merge to reduce time: each reducer k-way
+    // merges its bucket column (memory buckets + spill runs) just before
+    // reducing, so at most one inbox per worker is resident at once. The
+    // shuffle phase itself only derives per-reducer record counts from
+    // the bucket offsets; shards stay alive through the reduce phase.
     TraceSpan shuffle_phase(tracer, "shuffle", "phase");
     tag_job(shuffle_phase);
-    if (pool != nullptr && num_reducers > 1) {
-      ParallelFor(pool, num_reducers, merge_reducer);
-    } else {
-      for (size_t r = 0; r < num_reducers; ++r) merge_reducer(r);
+    shuffle_phase.AddArg("deferred", int64_t{1});
+    for (size_t r = 0; r < num_reducers; ++r) {
+      int64_t total = 0;
+      for (size_t c = 0; c < num_chunks; ++c) {
+        total += static_cast<int64_t>(shards[c].offsets[r + 1] -
+                                      shards[c].offsets[r]);
+      }
+      stats.per_reducer_records[r] = total;
     }
-  }
-  shards.clear();
-  shards.shrink_to_fit();
-
-  stats.per_reducer_records.resize(num_reducers);
-  for (size_t r = 0; r < num_reducers; ++r) {
-    stats.per_reducer_records[r] = static_cast<int64_t>(inbox[r].keys.size());
   }
   stats.shuffle_seconds = phase_watch.ElapsedSeconds();
 
@@ -523,9 +761,133 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
   std::vector<PhaseFaultStats> reduce_task_faults(
       static_cast<size_t>(num_reducers_));
 
+  // Budget mode: rebuild reducer r's inbox by k-way merging its bucket
+  // column — in-memory sorted buckets are moved out of their shards,
+  // spilled buckets stream back through run cursors — with key ties
+  // broken by chunk index. That order is exactly the stable-sort-by-key
+  // permutation of the chunk-major arrival order the in-memory path
+  // feeds its StableSortIndexByKey, so reduce output is byte-identical;
+  // and since the merged keys arrive sorted, the reduce fast path below
+  // needs no further sort.
+  std::vector<int64_t> merge_widths(budget_mode ? num_reducers : 0, 0);
+  auto build_inbox = [&](size_t r) {
+    struct MergeSource {
+      std::pair<K, V>* mem = nullptr;  // In-memory sorted bucket slice.
+      size_t mem_pos = 0;
+      size_t mem_end = 0;
+      spill::EncodedRunCursor<K, V> enc;  // Columnar-compressed run.
+      bool use_enc = false;
+      K enc_key{};  // Decoded head key of `enc`.
+      std::shared_ptr<const std::vector<uint8_t>> enc_bytes;
+      std::shared_ptr<const std::vector<std::pair<K, V>>> raw;  // Raw run.
+      size_t raw_pos = 0;
+    };
+    ReducerInbox& in = inbox[r];
+    std::vector<MergeSource> sources;
+    std::vector<std::string> run_names;
+    size_t total = 0;
+    for (size_t c = 0; c < num_chunks; ++c) {
+      MapShard& shard = shards[c];
+      const size_t lo = shard.offsets[r];
+      const size_t hi = shard.offsets[r + 1];
+      if (hi == lo) continue;
+      total += hi - lo;
+      MergeSource src;
+      if (!shard.spilled) {
+        src.mem = shard.pairs.data();
+        src.mem_pos = lo;
+        src.mem_end = hi;
+      } else {
+        run_names.push_back(spill_run_name(c, r));
+        bool loaded = false;
+        if constexpr (spill::kEncodable<K, V>) {
+          // Probe the columnar representation first; a run the flush chose
+          // to store raw (encoding expanded it) fails the type check and
+          // falls through.
+          auto data = spill_dfs.Read<uint8_t>(run_names.back());
+          if (data.ok()) {
+            src.enc_bytes = data.value();
+            src.use_enc = true;
+            const bool ok =
+                src.enc.Init(src.enc_bytes->data(), src.enc_bytes->size());
+            (void)ok;  // Engine-encoded frames always decode.
+            if (!src.enc.empty()) src.enc_key = src.enc.key();
+            loaded = true;
+          }
+        }
+        if constexpr (std::is_copy_constructible_v<K> &&
+                      std::is_copy_constructible_v<V>) {
+          if (!loaded) {
+            auto data = spill_dfs.Read<std::pair<K, V>>(run_names.back());
+            src.raw = data.value();
+          }
+        }
+      }
+      sources.push_back(std::move(src));
+    }
+    merge_widths[r] = static_cast<int64_t>(sources.size());
+    auto src_empty = [](const MergeSource& s) {
+      if (s.mem != nullptr) return s.mem_pos >= s.mem_end;
+      if (s.use_enc) return s.enc.empty();
+      return s.raw == nullptr || s.raw_pos >= s.raw->size();
+    };
+    auto src_key = [](const MergeSource& s) -> const K& {
+      if (s.mem != nullptr) return s.mem[s.mem_pos].first;
+      if (s.use_enc) return s.enc_key;
+      return (*s.raw)[s.raw_pos].first;
+    };
+    auto beats = [&](size_t a, size_t b) {
+      const MergeSource& sa = sources[a];
+      const MergeSource& sb = sources[b];
+      if (src_empty(sa)) return false;
+      if (src_empty(sb)) return true;
+      const K& ka = src_key(sa);
+      const K& kb = src_key(sb);
+      if (ka < kb) return true;
+      if (kb < ka) return false;
+      return a < b;  // Chunk-order tie-break = merge stability.
+    };
+    in.keys.reserve(total);
+    in.values.reserve(total);
+    if (total > 0) {
+      spill::LoserTree<decltype(beats)> tree(sources.size(), beats);
+      for (size_t produced = 0; produced < total; ++produced) {
+        const size_t w = tree.winner();
+        MergeSource& s = sources[w];
+        if (s.mem != nullptr) {
+          in.keys.push_back(std::move(s.mem[s.mem_pos].first));
+          in.values.push_back(std::move(s.mem[s.mem_pos].second));
+          ++s.mem_pos;
+        } else if (s.use_enc) {
+          if constexpr (spill::kEncodable<K, V>) {
+            K k;
+            V v;
+            s.enc.Pop(&k, &v);
+            in.keys.push_back(std::move(k));
+            in.values.push_back(std::move(v));
+            if (!s.enc.empty()) s.enc_key = s.enc.key();
+          }
+        } else {
+          if constexpr (std::is_copy_constructible_v<K> &&
+                        std::is_copy_constructible_v<V>) {
+            in.keys.push_back((*s.raw)[s.raw_pos].first);
+            in.values.push_back((*s.raw)[s.raw_pos].second);
+            ++s.raw_pos;
+          }
+        }
+        tree.Replay(w);
+      }
+    }
+    // The merged inbox owns the records now; drop this reducer's spill
+    // runs so out-of-core memory drains as reducers complete.
+    sources.clear();
+    for (const std::string& name : run_names) spill_dfs.Remove(name);
+  };
+
   auto run_reducer = [&](size_t r) {
     PhaseFaultStats& rf = reduce_task_faults[r];
     rf.tasks = 1;
+    if (budget_mode) build_inbox(r);
     ReducerInbox& in = inbox[r];
     const size_t n = in.keys.size();
     // Groups [i, j) of a key-sorted key array, handing reduce_ a span
@@ -702,6 +1064,9 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
   for (const PhaseFaultStats& rf : reduce_task_faults) {
     stats.reduce_faults.Add(rf);
   }
+  for (const int64_t w : merge_widths) {
+    stats.spill.merge_runs_max = std::max(stats.spill.merge_runs_max, w);
+  }
 
   for (auto& out : reducer_out) {
     stats.reduce_output_records += static_cast<int64_t>(out.size());
@@ -719,6 +1084,10 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
   job_span.AddArg("intermediate_records", stats.intermediate_records);
   job_span.AddArg("intermediate_bytes", stats.intermediate_bytes);
   job_span.AddArg("reduce_output_records", stats.reduce_output_records);
+  if (stats.spill.active()) {
+    job_span.AddArg("spilled_runs", stats.spill.spilled_runs);
+    job_span.AddArg("spilled_stored_bytes", stats.spill.spilled_stored_bytes);
+  }
   if (stats.AnyFaults()) {
     job_span.AddArg("retries",
                     stats.map_faults.retries + stats.reduce_faults.retries);

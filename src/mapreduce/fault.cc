@@ -26,6 +26,8 @@ const char* FaultPhaseName(FaultPhase phase) {
       return "map";
     case FaultPhase::kReduce:
       return "reduce";
+    case FaultPhase::kSpill:
+      return "spill";
   }
   return "unknown";
 }

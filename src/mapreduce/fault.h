@@ -23,11 +23,14 @@ namespace mwsj {
 /// byte-identical to a fault-free run while the wasted work is accounted
 /// in JobStats.
 
-/// Engine phase a fault is injected into. Only phases that execute user
-/// code are faultable; the shuffle merge is engine-internal bookkeeping.
+/// Engine phase a fault is injected into. Map and reduce execute user
+/// code; kSpill covers the spill-flush I/O a budgeted mapper chunk
+/// performs when writing its sorted runs (task id = chunk index) — the
+/// in-memory shuffle merge remains unfaultable bookkeeping.
 enum class FaultPhase {
   kMap = 0,
   kReduce = 1,
+  kSpill = 2,
 };
 const char* FaultPhaseName(FaultPhase phase);
 

@@ -1,0 +1,223 @@
+#ifndef MWSJ_MAPREDUCE_SPILL_H_
+#define MWSJ_MAPREDUCE_SPILL_H_
+
+// mwsj-lint: spill-budgeted
+//
+// Out-of-core shuffle support for the map-reduce engine (DESIGN.md §2.13):
+// budget resolution, the columnar spill-run codec bridge, streaming run
+// cursors, and the k-way loser-tree merge that rebuilds reducer inboxes in
+// exactly the order a stable sort of the in-memory path would produce.
+
+#include <cstdint>
+#include <cstdlib>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/execution_context.h"
+#include "io/colcodec.h"
+#include "simd/simd.h"
+
+namespace mwsj::spill {
+
+/// Parses the MWSJ_SHUFFLE_BUDGET override once per process: a positive
+/// byte count with an optional k/m/g (or K/M/G) binary suffix. Unset,
+/// empty, or unparseable means no override.
+inline int64_t EnvShuffleBudget() {
+  static const int64_t cached = [] {
+    const char* env = std::getenv("MWSJ_SHUFFLE_BUDGET");
+    if (env == nullptr || env[0] == '\0') return int64_t{0};
+    char* end = nullptr;
+    long long v = std::strtoll(env, &end, 10);
+    if (end == env || v <= 0) return int64_t{0};
+    switch (*end) {
+      case 'k': case 'K': v <<= 10; ++end; break;
+      case 'm': case 'M': v <<= 20; ++end; break;
+      case 'g': case 'G': v <<= 30; ++end; break;
+      default: break;
+    }
+    if (*end != '\0') return int64_t{0};
+    return static_cast<int64_t>(v);
+  }();
+  return cached;
+}
+
+/// The effective shuffle budget for one run: an explicit positive budget
+/// wins, an explicit -1 pins unlimited, and 0 inherits the environment
+/// override (else unlimited). Returns 0 for "unlimited".
+inline int64_t ResolveShuffleBudget(const ExecutionOptions& options) {
+  if (options.shuffle_memory_budget > 0) return options.shuffle_memory_budget;
+  if (options.shuffle_memory_budget < 0) return 0;
+  return EnvShuffleBudget();
+}
+
+/// Each mapper chunk owns an equal share of the budget; a chunk whose
+/// intermediate bytes exceed its share spills.
+inline int64_t ChunkBudget(int64_t budget, size_t num_chunks) {
+  if (num_chunks == 0) return budget;
+  const int64_t share = budget / static_cast<int64_t>(num_chunks);
+  return share > 0 ? share : 1;
+}
+
+/// Opt-in trait mapping a value type onto fixed u64 columns so its spill
+/// runs compress columnarly (io/colcodec.h). Specializations (e.g. RelRect
+/// and MarkedRect in core/records.h) provide:
+///
+///   static constexpr bool enabled = true;
+///   static constexpr size_t kNumColumns = N;
+///   static void Scatter(const T& v, uint64_t* cols);  // cols[0..N)
+///   static T Gather(const uint64_t* cols);
+///
+/// Scatter/Gather must be exact inverses bit-for-bit; coordinates go
+/// through colcodec::OrderedBitsFromDouble so sorted streams delta-pack
+/// well. Types without a specialization spill as raw sorted pair runs —
+/// same merge semantics, byte accounting without compression.
+template <typename T>
+struct SpillColumns {
+  static constexpr bool enabled = false;
+};
+
+/// Order- and value-preserving u64 bijection for integral shuffle keys
+/// (the key column of a spill run).
+template <typename K>
+inline uint64_t KeyToU64(K k) {
+  static_assert(std::is_integral_v<K> && sizeof(K) <= 8);
+  return simd::OrderedKeyFromInt(k);
+}
+
+template <typename K>
+inline K KeyFromU64(uint64_t u) {
+  static_assert(std::is_integral_v<K> && sizeof(K) <= 8);
+  if constexpr (std::is_signed_v<K>) {
+    return static_cast<K>(
+        static_cast<int64_t>(u ^ (uint64_t{1} << 63)));
+  } else {
+    return static_cast<K>(u);
+  }
+}
+
+/// Whether (K, V) spill runs can be columnar-encoded.
+template <typename K, typename V>
+inline constexpr bool kEncodable = std::is_integral_v<K> &&
+                                   sizeof(K) <= 8 && SpillColumns<V>::enabled;
+
+/// Encodes one sorted bucket of pairs as a columnar frame: the key column
+/// first, then the value columns. Only instantiated when kEncodable.
+template <typename K, typename V>
+void EncodeRun(const std::pair<K, V>* pairs, size_t n,
+               std::vector<uint8_t>* out) {
+  constexpr size_t kCols = 1 + SpillColumns<V>::kNumColumns;
+  // Column-major staging of the whole bucket; bounded by the chunk's
+  // budget share that triggered the spill. mwsj-lint: allow(spill-unbounded)
+  std::vector<uint64_t> columns(kCols * n);
+  uint64_t scratch[kCols];
+  for (size_t i = 0; i < n; ++i) {
+    columns[i] = KeyToU64(pairs[i].first);
+    SpillColumns<V>::Scatter(pairs[i].second, scratch);
+    for (size_t c = 1; c < kCols; ++c) {
+      columns[c * n + i] = scratch[c - 1];
+    }
+  }
+  const uint64_t* col_ptrs[kCols];
+  for (size_t c = 0; c < kCols; ++c) col_ptrs[c] = columns.data() + c * n;
+  colcodec::EncodeFrame(col_ptrs, kCols, n, out);
+}
+
+/// Streaming record source over an encoded run: holds one decoded block
+/// (≤ colcodec::kBlockRows rows per column) at a time.
+template <typename K, typename V>
+class EncodedRunCursor {
+ public:
+  /// False on a malformed frame (never produced by the engine itself).
+  bool Init(const uint8_t* data, size_t size) {
+    if (!reader_.Init(data, size)) return false;
+    if (reader_.cols() != 1 + SpillColumns<V>::kNumColumns) return false;
+    block_.resize(reader_.cols() * colcodec::kBlockRows);
+    remaining_ = reader_.rows();
+    count_ = 0;
+    pos_ = 0;
+    return Advance();
+  }
+
+  bool empty() const { return pos_ >= count_; }
+
+  K key() const { return KeyFromU64<K>(block_[pos_]); }
+
+  void Pop(K* k, V* v) {
+    *k = key();
+    uint64_t scratch[64];
+    const size_t cols = reader_.cols();
+    for (size_t c = 1; c < cols; ++c) {
+      scratch[c - 1] = block_[c * colcodec::kBlockRows + pos_];
+    }
+    *v = SpillColumns<V>::Gather(scratch);
+    ++pos_;
+    if (pos_ >= count_) (void)Advance();
+  }
+
+ private:
+  bool Advance() {
+    if (remaining_ == 0) {
+      count_ = 0;
+      pos_ = 0;
+      return true;
+    }
+    count_ = reader_.NextBlock(block_.data());
+    pos_ = 0;
+    if (count_ == 0) return false;
+    remaining_ -= count_;
+    return true;
+  }
+
+  colcodec::FrameReader reader_;
+  std::vector<uint64_t> block_;
+  size_t count_ = 0;
+  size_t pos_ = 0;
+  size_t remaining_ = 0;
+};
+
+/// Tournament loser tree over k sorted sources. `beats(a, b)` answers
+/// "does source a's current head sort strictly before source b's?" and
+/// must treat an exhausted source as +infinity (never beats, always
+/// loses). After popping from winner() call Replay(winner) to restore the
+/// invariant. O(log k) comparisons per record, independent of skew.
+template <typename BeatsFn>
+class LoserTree {
+ public:
+  static constexpr size_t kInvalid = static_cast<size_t>(-1);
+
+  LoserTree(size_t k, BeatsFn beats)
+      : k_(k), beats_(std::move(beats)) {
+    tree_.assign(k_ > 1 ? k_ : 1, kInvalid);
+    // Building by replaying every leaf from an all-empty tree is the
+    // classical construction: each replay either parks at the first empty
+    // internal node or — with all k-1 slots filled — carries the overall
+    // winner to the root. Replay order is immaterial.
+    for (size_t s = k_; s-- > 0;) Replay(s);
+  }
+
+  size_t winner() const { return winner_; }
+
+  void Replay(size_t s) {
+    size_t winner = s;
+    for (size_t node = (s + k_) / 2; node >= 1; node /= 2) {
+      size_t& slot = tree_[node];
+      if (slot == kInvalid) {
+        slot = winner;
+        return;
+      }
+      if (beats_(slot, winner)) std::swap(winner, slot);
+    }
+    winner_ = winner;
+  }
+
+ private:
+  size_t k_;
+  BeatsFn beats_;
+  std::vector<size_t> tree_;
+  size_t winner_ = kInvalid;
+};
+
+}  // namespace mwsj::spill
+
+#endif  // MWSJ_MAPREDUCE_SPILL_H_

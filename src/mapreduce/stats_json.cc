@@ -112,6 +112,28 @@ std::string RunStatsToJson(const RunStats& stats) {
         job.map_seconds, job.per_chunk_map_seconds.size(),
         job.MaxMapChunkSeconds(), job.shuffle_seconds, job.reduce_seconds,
         job.per_reducer_seconds.size(), job.MaxReducerSeconds());
+    // Out-of-core accounting appears only when the run had a shuffle
+    // budget, so in-memory stats documents are unchanged.
+    if (job.spill.active()) {
+      out += StrFormat(
+          ", \"spill\": {\"budget_bytes\": %lld, \"spilled_chunks\": %lld, "
+          "\"spilled_runs\": %lld, \"spilled_raw_bytes\": %lld, "
+          "\"spilled_stored_bytes\": %lld, \"compression_ratio\": %.4f, "
+          "\"peak_shuffle_bytes\": %lld, \"peak_inbox_bytes\": %lld, "
+          "\"merge_runs_max\": %lld, \"flush_retries\": %lld, "
+          "\"wasted_flush_bytes\": %lld}",
+          static_cast<long long>(job.spill.budget_bytes),
+          static_cast<long long>(job.spill.spilled_chunks),
+          static_cast<long long>(job.spill.spilled_runs),
+          static_cast<long long>(job.spill.spilled_raw_bytes),
+          static_cast<long long>(job.spill.spilled_stored_bytes),
+          job.spill.CompressionRatio(),
+          static_cast<long long>(job.spill.peak_shuffle_bytes),
+          static_cast<long long>(job.spill.peak_inbox_bytes),
+          static_cast<long long>(job.spill.merge_runs_max),
+          static_cast<long long>(job.spill.flush_retries),
+          static_cast<long long>(job.spill.wasted_flush_bytes));
+    }
     // Fault-recovery accounting appears only when an attempt actually
     // faulted, so fault-free stats documents are unchanged.
     if (job.AnyFaults()) {

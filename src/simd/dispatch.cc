@@ -18,6 +18,8 @@ const KernelTable kScalarTable = {
     &internal::OverlapFilterScalar,
     &internal::WithinFilterScalar,
     &internal::SortKeyIdxScalar,
+    &internal::DeltaZigzagEncodeScalar,
+    &internal::DeltaZigzagDecodeScalar,
     Isa::kScalar,
 };
 
@@ -26,6 +28,8 @@ const KernelTable kSseTable = {
     &internal::OverlapFilterSse,
     &internal::WithinFilterSse,
     &internal::SortKeyIdxSse,
+    &internal::DeltaZigzagEncodeSse,
+    &internal::DeltaZigzagDecodeSse,
     Isa::kSse,
 };
 #endif
@@ -35,6 +39,8 @@ const KernelTable kAvx2Table = {
     &internal::OverlapFilterAvx2,
     &internal::WithinFilterAvx2,
     &internal::SortKeyIdxAvx2,
+    &internal::DeltaZigzagEncodeAvx2,
+    &internal::DeltaZigzagDecodeAvx2,
     Isa::kAvx2,
 };
 #endif

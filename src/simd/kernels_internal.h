@@ -46,6 +46,19 @@ inline bool CompositeLess(uint64_t key_a, uint32_t idx_a, uint64_t key_b,
   return key_a < key_b || (key_a == key_b && idx_a < idx_b);
 }
 
+// Zigzag transform over wrapping u64 differences (io/colcodec.h blocks).
+// Encode maps small signed deltas to small unsigned codes; decode is the
+// exact inverse. All arithmetic wraps, so any delta round-trips.
+
+inline uint64_t ZigzagEncodeScalar(uint64_t delta) {
+  return (delta << 1) ^
+         static_cast<uint64_t>(static_cast<int64_t>(delta) >> 63);
+}
+
+inline uint64_t ZigzagDecodeScalar(uint64_t z) {
+  return (z >> 1) ^ (uint64_t{0} - (z & 1));
+}
+
 // ---------------------------------------------------------------------------
 // Kernel entry points, one set per compiled ISA.
 
@@ -59,6 +72,10 @@ size_t WithinFilterScalar(const double* min_xs, const double* min_ys,
                           double q_max_x, double q_max_y, double d_sq,
                           uint32_t* out);
 void SortKeyIdxScalar(uint64_t* keys, uint32_t* idx, size_t n);
+uint64_t DeltaZigzagEncodeScalar(const uint64_t* vals, size_t n,
+                                 uint64_t* out);
+void DeltaZigzagDecodeScalar(const uint64_t* deltas, size_t n, uint64_t base,
+                             uint64_t* out);
 
 #if MWSJ_SIMD_HAVE_SSE42
 size_t OverlapFilterSse(const double* min_xs, const double* min_ys,
@@ -70,6 +87,9 @@ size_t WithinFilterSse(const double* min_xs, const double* min_ys,
                        double q_min_x, double q_min_y, double q_max_x,
                        double q_max_y, double d_sq, uint32_t* out);
 void SortKeyIdxSse(uint64_t* keys, uint32_t* idx, size_t n);
+uint64_t DeltaZigzagEncodeSse(const uint64_t* vals, size_t n, uint64_t* out);
+void DeltaZigzagDecodeSse(const uint64_t* deltas, size_t n, uint64_t base,
+                          uint64_t* out);
 #endif
 
 #if MWSJ_SIMD_HAVE_AVX2
@@ -82,6 +102,9 @@ size_t WithinFilterAvx2(const double* min_xs, const double* min_ys,
                         double q_min_x, double q_min_y, double q_max_x,
                         double q_max_y, double d_sq, uint32_t* out);
 void SortKeyIdxAvx2(uint64_t* keys, uint32_t* idx, size_t n);
+uint64_t DeltaZigzagEncodeAvx2(const uint64_t* vals, size_t n, uint64_t* out);
+void DeltaZigzagDecodeAvx2(const uint64_t* deltas, size_t n, uint64_t base,
+                           uint64_t* out);
 #endif
 
 }  // namespace mwsj::simd::internal

@@ -43,6 +43,27 @@ size_t WithinFilterScalar(const double* min_xs, const double* min_ys,
   return count;
 }
 
+uint64_t DeltaZigzagEncodeScalar(const uint64_t* vals, size_t n,
+                                 uint64_t* out) {
+  uint64_t or_mask = 0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const uint64_t z = ZigzagEncodeScalar(vals[i + 1] - vals[i]);
+    out[i] = z;
+    or_mask |= z;
+  }
+  return or_mask;
+}
+
+void DeltaZigzagDecodeScalar(const uint64_t* deltas, size_t n, uint64_t base,
+                             uint64_t* out) {
+  if (n == 0) return;
+  out[0] = base;
+  for (size_t i = 1; i < n; ++i) {
+    base += ZigzagDecodeScalar(deltas[i - 1]);
+    out[i] = base;
+  }
+}
+
 void SortKeyIdxScalar(uint64_t* keys, uint32_t* idx, size_t n) {
   // Reference implementation: materialize (key, idx) pairs and let
   // std::sort order them. Composite uniqueness makes the result the one

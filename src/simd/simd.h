@@ -70,6 +70,20 @@ struct KernelTable {
   /// identical permutation.
   void (*sort_key_idx)(uint64_t* keys, uint32_t* idx, size_t n);
 
+  /// Columnar-codec forward transform (io/colcodec.h): writes the n-1
+  /// zigzag-encoded adjacent differences of vals[0..n) to out and returns
+  /// the OR of all of them (the encoder derives the block's pack width
+  /// from it). n <= 1 writes nothing and returns 0.
+  uint64_t (*delta_zigzag_encode)(const uint64_t* vals, size_t n,
+                                  uint64_t* out);
+
+  /// Inverse transform: out[0] = base, out[i] = out[i-1] + unzigzag of
+  /// deltas[i-1] for i in [1, n) — the running prefix sum is inherently
+  /// serial, the per-lane unzigzag is vectorized. Byte-identical across
+  /// ISAs (wrapping u64 arithmetic throughout).
+  void (*delta_zigzag_decode)(const uint64_t* deltas, size_t n,
+                              uint64_t base, uint64_t* out);
+
   Isa isa = Isa::kScalar;
 };
 

@@ -98,6 +98,64 @@ TEST(SchedulerTest, SubmitWaitMatchesBlockingRunPerAlgorithm) {
   EXPECT_EQ(counters.failed, 0);
 }
 
+TEST(SchedulerTest, ProcessShuffleBudgetClampsConcurrentJobs) {
+  WorldConfig config;
+  config.seed = SeedBase() + 23;
+  const Query query = MakeWorldQuery(config);
+  const auto data = MakeWorldData(config, query.num_relations());
+
+  // A process-wide budget is divided across the driver slots so the fleet
+  // cannot jointly exceed it; each job's resolved budget lands in
+  // JobStats::spill.budget_bytes.
+  SchedulerOptions sched_options;
+  sched_options.shuffle_memory_budget = 40000;
+  sched_options.max_in_flight = 4;
+  JobScheduler scheduler(sched_options);
+
+  auto submit = [&](int64_t job_budget) {
+    JobSpec spec;
+    spec.query = query;
+    spec.relations = data;
+    spec.options.algorithm = Algorithm::kControlledReplicate;
+    spec.options.context.options.shuffle_memory_budget = job_budget;
+    StatusOr<JobHandle> handle = scheduler.Submit(std::move(spec));
+    EXPECT_TRUE(handle.ok()) << handle.status().message();
+    const StatusOr<JoinRunResult>& result = handle.value().Wait();
+    EXPECT_TRUE(result.ok()) << result.status().message();
+    return result.value().stats;
+  };
+
+  // No per-job budget: the job runs under its 1/max_in_flight share.
+  for (const JobStats& job : submit(0).jobs) {
+    EXPECT_EQ(job.spill.budget_bytes, 10000) << job.job_name;
+  }
+  // A job asking for more than its share is clamped down to it.
+  for (const JobStats& job : submit(1 << 30).jobs) {
+    EXPECT_EQ(job.spill.budget_bytes, 10000) << job.job_name;
+  }
+  // A job asking for less keeps its own tighter budget.
+  for (const JobStats& job : submit(2048).jobs) {
+    EXPECT_EQ(job.spill.budget_bytes, 2048) << job.job_name;
+  }
+
+  // Inline execution runs one job at a time, so it gets the whole budget.
+  SchedulerOptions inline_options;
+  inline_options.shuffle_memory_budget = 40000;
+  inline_options.inline_execution = true;
+  JobScheduler inline_scheduler(inline_options);
+  JobSpec spec;
+  spec.query = query;
+  spec.relations = data;
+  spec.options.algorithm = Algorithm::kControlledReplicate;
+  StatusOr<JobHandle> handle = inline_scheduler.Submit(std::move(spec));
+  ASSERT_TRUE(handle.ok()) << handle.status().message();
+  const StatusOr<JoinRunResult>& result = handle.value().Wait();
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  for (const JobStats& job : result.value().stats.jobs) {
+    EXPECT_EQ(job.spill.budget_bytes, 40000) << job.job_name;
+  }
+}
+
 TEST(SchedulerTest, InlineExecutionResolvesBeforeSubmitReturns) {
   // inline_execution spawns no drivers; the job runs on the submitting
   // thread, so the handle is already terminal when Submit returns. This

@@ -121,6 +121,68 @@ TEST(DfsTest, LiveBytesTrackCurrentDatasetsNotWriteHistory) {
   EXPECT_EQ(dfs.bytes_written(), 30);  // History is never un-charged.
 }
 
+TEST(DfsTest, SpillRunRecyclingKeepsLiveBytesExact) {
+  // A spill run name overwritten many times (run recycling across
+  // engine phases) must occupy exactly its latest size, while the write
+  // ledger accumulates every transfer. Mixes the direct-Write and the
+  // staged-commit install paths, since both must charge the size delta.
+  Dfs dfs;
+  int64_t ledger = 0;
+  int64_t latest_bytes = 0;
+  int64_t latest_records = 0;
+  for (int i = 1; i <= 100; ++i) {
+    const int64_t n = 1 + (i * 7) % 13;
+    auto data = std::make_shared<const std::vector<int>>(
+        std::vector<int>(static_cast<size_t>(n), i));
+    if (i % 2 == 0) {
+      ASSERT_TRUE(dfs.Write("spill/chunk-3/r-7", data, /*record_bytes=*/8)
+                      .ok());
+    } else {
+      DfsStage stage(&dfs);
+      ASSERT_TRUE(stage.Write("spill/chunk-3/r-7", data, /*record_bytes=*/8)
+                      .ok());
+      stage.Commit();
+    }
+    ledger += n * 8;
+    latest_bytes = n * 8;
+    latest_records = n;
+    ASSERT_EQ(dfs.live_bytes(), latest_bytes) << "iteration " << i;
+    ASSERT_EQ(dfs.live_records(), latest_records) << "iteration " << i;
+    ASSERT_EQ(dfs.bytes_written(), ledger) << "iteration " << i;
+  }
+  dfs.Remove("spill/chunk-3/r-7");
+  EXPECT_EQ(dfs.live_bytes(), 0);
+  EXPECT_EQ(dfs.live_records(), 0);
+  EXPECT_EQ(dfs.bytes_written(), ledger);
+}
+
+TEST(DfsTest, TotalBytesOverrideChargesEncodedSize) {
+  // Compressed spill runs are not records x constant: the total_bytes
+  // override must drive both the ledger and the live counters, on the
+  // direct and the staged path alike.
+  Dfs dfs;
+  auto run = std::make_shared<const std::vector<uint8_t>>(
+      std::vector<uint8_t>(1000, 0xab));
+  ASSERT_TRUE(dfs.Write("enc", run, /*record_bytes=*/1,
+                        /*total_bytes=*/137)
+                  .ok());
+  EXPECT_EQ(dfs.bytes_written(), 137);
+  EXPECT_EQ(dfs.live_bytes(), 137);
+  EXPECT_EQ(dfs.live_records(), 1000);
+  {
+    DfsStage stage(&dfs);
+    ASSERT_TRUE(stage.Write("enc", run, /*record_bytes=*/1,
+                            /*total_bytes=*/91)
+                    .ok());
+    EXPECT_EQ(stage.staged_bytes(), 91);
+    stage.Commit();
+  }
+  EXPECT_EQ(dfs.bytes_written(), 137 + 91);
+  EXPECT_EQ(dfs.live_bytes(), 91);  // Overwrite absorbed the delta.
+  ASSERT_TRUE(dfs.Read<uint8_t>("enc").ok());
+  EXPECT_EQ(dfs.bytes_read(), 91);  // Reads charge the stored size.
+}
+
 TEST(DfsStageTest, CommitPublishesAndChargesStagedWrites) {
   Dfs dfs;
   DfsStage stage(&dfs);

@@ -393,8 +393,13 @@ TEST(EngineTest, TracerRecordsJobPhaseAndTaskSpans) {
 
   Tracer tracer;
   std::vector<int> output;
-  job.Run(std::span<const int>(input), &output,
-          ExecutionContext(nullptr, &tracer));
+  ExecutionContext ctx(nullptr, &tracer);
+  // The asserted span set is the in-memory pipeline's (shuffle_merge does
+  // not exist in budget mode, where the merge is deferred to reduce
+  // time); pin unlimited so an MWSJ_SHUFFLE_BUDGET env override can't
+  // change the traced structure.
+  ctx.options.shuffle_memory_budget = -1;
+  job.Run(std::span<const int>(input), &output, ctx);
 
   const std::string json = tracer.ToJson();
   for (const char* span_name :

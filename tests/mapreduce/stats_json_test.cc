@@ -48,6 +48,39 @@ TEST(StatsJsonTest, FullJobFieldsAppear) {
             std::string::npos);
 }
 
+TEST(StatsJsonTest, SpillObjectAppearsOnlyWhenBudgeted) {
+  RunStats stats;
+  JobStats job;
+  job.job_name = "budgeted";
+  job.spill.budget_bytes = 65536;
+  job.spill.spilled_chunks = 3;
+  job.spill.spilled_runs = 24;
+  job.spill.spilled_raw_bytes = 200000;
+  job.spill.spilled_stored_bytes = 50000;
+  job.spill.peak_shuffle_bytes = 40000;
+  job.spill.peak_inbox_bytes = 9000;
+  job.spill.merge_runs_max = 4;
+  job.spill.flush_retries = 2;
+  job.spill.wasted_flush_bytes = 123;
+  stats.Add(job);
+
+  const std::string json = RunStatsToJson(stats);
+  EXPECT_NE(json.find("\"spill\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"budget_bytes\": 65536"), std::string::npos);
+  EXPECT_NE(json.find("\"spilled_runs\": 24"), std::string::npos);
+  EXPECT_NE(json.find("\"compression_ratio\": 4.0000"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_inbox_bytes\": 9000"), std::string::npos);
+  EXPECT_NE(json.find("\"merge_runs_max\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"flush_retries\": 2"), std::string::npos);
+
+  // An in-memory job (no budget) must not emit the object at all.
+  RunStats plain;
+  JobStats unbudgeted;
+  unbudgeted.job_name = "inmemory";
+  plain.Add(unbudgeted);
+  EXPECT_EQ(RunStatsToJson(plain).find("\"spill\""), std::string::npos);
+}
+
 TEST(StatsJsonTest, PhasesObjectSummarizesPerPhaseTimings) {
   RunStats stats;
   JobStats job;

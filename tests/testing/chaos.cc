@@ -101,6 +101,10 @@ ChaosOutcome RunChaosWorld(const WorldConfig& config, Algorithm algorithm,
   Dfs baseline_dfs;
   RunnerOptions baseline_options = runner;
   baseline_options.context.dfs = &baseline_dfs;
+  // The baseline is the in-memory ground truth: even when the environment
+  // (or options.shuffle_memory_budget) puts the faulted run out-of-core,
+  // the spilled output must be byte-identical to this.
+  baseline_options.context.options.shuffle_memory_budget = -1;
   const StatusOr<JoinRunResult> baseline =
       RunSpatialJoin(query, data, baseline_options);
   if (!baseline.ok()) {
@@ -117,7 +121,10 @@ ChaosOutcome RunChaosWorld(const WorldConfig& config, Algorithm algorithm,
   retry.sleep = [](double) {};  // Virtual clock: chaos sweeps never sleep.
   Dfs faulted_dfs;
   RunnerOptions faulted_options = runner;
-  faulted_options.context.faults = &plan;
+  faulted_options.context.options.shuffle_memory_budget =
+      options.shuffle_memory_budget;
+  faulted_options.context.faults =
+      options.fault_plan != nullptr ? options.fault_plan : &plan;
   faulted_options.context.retry = &retry;
   faulted_options.context.dfs = &faulted_dfs;
   const StatusOr<JoinRunResult> faulted =
@@ -137,6 +144,9 @@ ChaosOutcome RunChaosWorld(const WorldConfig& config, Algorithm algorithm,
       outcome.wasted_seconds += f->wasted_seconds;
       outcome.backoff_seconds += f->backoff_seconds;
     }
+    outcome.spilled_runs += job.spill.spilled_runs;
+    outcome.spill_flush_retries += job.spill.flush_retries;
+    outcome.spill_wasted_flush_bytes += job.spill.wasted_flush_bytes;
   }
   outcome.num_tuples = faulted.value().num_tuples;
 

@@ -6,6 +6,7 @@
 
 #include "common/thread_pool.h"
 #include "core/runner.h"
+#include "mapreduce/fault.h"
 #include "testing/world.h"
 
 namespace mwsj::testing {
@@ -31,6 +32,17 @@ struct ChaosOptions {
   /// keyed by (phase, task, attempt), so the outcome must not depend on
   /// this.
   ThreadPool* pool = nullptr;
+  /// Shuffle memory budget of the faulted run. The fault-free baseline is
+  /// always pinned to the in-memory shuffle, so any positive value here
+  /// asserts the out-of-core path (sorted spill runs + k-way merge,
+  /// DESIGN.md §2.13) is byte-identical to the in-memory one — on top of
+  /// the fault axis. Tiny values (a few bytes) force every mapper chunk to
+  /// flush. 0 inherits MWSJ_SHUFFLE_BUDGET like any run.
+  int64_t shuffle_memory_budget = 0;
+  /// When set, replaces the Seeded(fault_seed, ...) plan on the faulted
+  /// run — for targeted injections such as a crash mid-spill-flush
+  /// (FaultPlan::Inject(FaultPhase::kSpill, chunk, attempt, kind)).
+  const FaultPlan* fault_plan = nullptr;
 };
 
 /// What one chaos world observed. The fault tallies aggregate the faulted
@@ -44,6 +56,12 @@ struct ChaosOutcome {
   double wasted_seconds = 0;
   double backoff_seconds = 0;
   int64_t num_tuples = 0;
+
+  /// Out-of-core tallies of the faulted run (JobStats::spill summed over
+  /// jobs); zero unless a shuffle budget made chunks flush sorted runs.
+  int64_t spilled_runs = 0;
+  int64_t spill_flush_retries = 0;
+  int64_t spill_wasted_flush_bytes = 0;
 
   /// Empty when the faulted run matched the brute-force oracle and the
   /// fault-free baseline everywhere; else describes the first divergence.

@@ -112,6 +112,117 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Bool()),
     CaseName);
 
+// Out-of-core chaos: the same worlds with a shuffle budget so small that
+// every mapper chunk flushes its buckets as sorted spill runs and every
+// reducer k-way merges them back. The fault-free baseline inside
+// RunChaosWorld stays pinned to the in-memory shuffle, so each world
+// asserts the spill path byte-identical against BOTH the brute-force
+// oracle and the in-memory run — while the seeded plan also faults the
+// spill flushes themselves (FaultPhase::kSpill).
+TEST(SpillChaosTest, TinyBudgetsStayByteIdenticalUnderFaults) {
+  const uint64_t base = SeedBase();
+  ThreadPool pool(4);
+  constexpr Algorithm kAlgorithms[] = {
+      Algorithm::kTwoWayCascade, Algorithm::kAllReplicate,
+      Algorithm::kControlledReplicate,
+      Algorithm::kControlledReplicateInLimit};
+  constexpr PredicateMix kMixes[] = {PredicateMix::kOverlapOnly,
+                                     PredicateMix::kRangeOnly,
+                                     PredicateMix::kHybrid};
+  // One byte forces every non-empty chunk out of core; the larger budgets
+  // leave a mix of spilled and resident chunks in one shuffle.
+  constexpr int64_t kBudgets[] = {1, 512, 8 * 1024};
+
+  ChaosOutcome total;
+  for (int i = 0; i < 12; ++i) {
+    WorldConfig config;
+    config.shape = static_cast<QueryShape>(i % 4);
+    config.mix = kMixes[i % 3];
+    config.integer_coords = (i % 2 == 1);
+    config.seed = base * 1000003 + static_cast<uint64_t>(i) * 7919 + 29;
+
+    ChaosOptions options;
+    options.fault_seed = base * 6364136223846793005ull +
+                         static_cast<uint64_t>(i) * 104729 + 11;
+    options.pool = (i % 2 == 0) ? &pool : nullptr;
+    options.shuffle_memory_budget = kBudgets[i % 3];
+
+    const ChaosOutcome outcome = testing::RunChaosWorld(
+        config, kAlgorithms[i % 4], options);
+    EXPECT_TRUE(outcome.ok())
+        << AlgorithmName(kAlgorithms[i % 4]) << " spill world " << i
+        << " budget " << options.shuffle_memory_budget << " seed "
+        << config.seed << " fault_seed " << options.fault_seed << ": "
+        << outcome.mismatch;
+    if (!outcome.ok()) break;
+
+    total.retries += outcome.retries;
+    total.spilled_runs += outcome.spilled_runs;
+    total.spill_flush_retries += outcome.spill_flush_retries;
+    total.spill_wasted_flush_bytes += outcome.spill_wasted_flush_bytes;
+  }
+
+  EXPECT_GT(total.spilled_runs, 0) << "no chunk ever went out of core";
+  EXPECT_GT(total.spill_flush_retries, 0)
+      << "no spill flush was ever faulted";
+  EXPECT_GT(total.spill_wasted_flush_bytes, 0)
+      << "no half-staged flush was ever discarded";
+}
+
+// Pure spill parity, no faults at all: a 1-byte budget (everything out of
+// core, maximum merge width) must reproduce the in-memory run exactly.
+TEST(SpillChaosTest, FaultFreeSpillMatchesInMemory) {
+  for (const Algorithm algorithm :
+       {Algorithm::kTwoWayCascade, Algorithm::kControlledReplicate}) {
+    WorldConfig config;
+    config.mix = PredicateMix::kHybrid;
+    config.seed = SeedBase() * 131 + 71;
+
+    ChaosOptions options;
+    options.crash_prob = 0;
+    options.flaky_prob = 0;
+    options.slow_prob = 0;
+    options.shuffle_memory_budget = 1;
+
+    const ChaosOutcome outcome =
+        testing::RunChaosWorld(config, algorithm, options);
+    EXPECT_TRUE(outcome.ok())
+        << AlgorithmName(algorithm) << ": " << outcome.mismatch;
+    EXPECT_GT(outcome.spilled_runs, 0);
+    EXPECT_EQ(outcome.spill_flush_retries, 0);
+  }
+}
+
+// Targeted injection: attempts to flush spill runs crash outright and die
+// mid-flush (half the buckets staged, then the stage is dropped). The
+// retried flush must leave no phantom bytes and the merged output must
+// still match the oracle and the in-memory baseline.
+TEST(SpillChaosTest, CrashMidSpillFlushRecovers) {
+  FaultPlan plan;  // No seeded layer: only the exact injected faults fire.
+  plan.Inject(FaultPhase::kSpill, 0, 0, FaultKind::kCrash);
+  plan.Inject(FaultPhase::kSpill, 0, 1, FaultKind::kFlakyIo);  // Double hit.
+  plan.Inject(FaultPhase::kSpill, 1, 0, FaultKind::kFlakyIo);
+  plan.Inject(FaultPhase::kSpill, 2, 0, FaultKind::kSlow);
+
+  WorldConfig config;
+  config.shape = QueryShape::kChain4;
+  config.mix = PredicateMix::kHybrid;
+  config.seed = SeedBase() * 977 + 3;
+
+  ChaosOptions options;
+  options.shuffle_memory_budget = 1;  // Every chunk must flush.
+  options.fault_plan = &plan;
+
+  const ChaosOutcome outcome = testing::RunChaosWorld(
+      config, Algorithm::kControlledReplicate, options);
+  EXPECT_TRUE(outcome.ok()) << outcome.mismatch;
+  EXPECT_GT(outcome.spilled_runs, 0);
+  // Chunk 0 faults twice, chunk 1 once — in every job of the cascade.
+  EXPECT_GE(outcome.spill_flush_retries, 3);
+  EXPECT_GT(outcome.spill_wasted_flush_bytes, 0)
+      << "the mid-flush abort never staged partial buckets";
+}
+
 // The same fault plan must recover identically with and without a worker
 // pool: the plan is keyed by (phase, task, attempt), never by thread.
 TEST(ChaosDeterminism, PoolInvariantFaultAccounting) {

@@ -25,6 +25,7 @@ BAD_FIXTURES = {
     "src/core/bad_hot_path.cc": "hot-path-std-function",
     "src/core/bad_trace_span.cc": "trace-span-temporary",
     "src/core/bad_alloc_free.cc": "alloc-in-alloc-free",
+    "src/core/bad_spill_unbounded.cc": "spill-unbounded",
     "src/io/bad_engine_run.cc": "engine-run-outside-scheduler",
 }
 
@@ -33,6 +34,7 @@ CLEAN_FIXTURES = [
     "src/core/suppressed.cc",
     "src/common/rng_ok.cc",
     "src/io/engine_types_ok.cc",
+    "src/io/spill_budgeted_ok.cc",
     "tools/stdout_ok.cc",
 ]
 

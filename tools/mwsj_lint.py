@@ -21,8 +21,9 @@ Suppression: a violating line is ignored when it, or the line directly
 above it, carries `// mwsj-lint: allow(<rule-id>)`.
 
 File markers (anywhere in the file, conventionally the header comment):
-    // mwsj-lint: hot-path     enables rule hot-path-std-function
-    // mwsj-lint: alloc-free   enables rule alloc-in-alloc-free
+    // mwsj-lint: hot-path        enables rule hot-path-std-function
+    // mwsj-lint: alloc-free      enables rule alloc-in-alloc-free
+    // mwsj-lint: spill-budgeted  enables rule spill-unbounded
 
 Exit status: 0 when clean, 1 when violations were found, 2 on usage error.
 
@@ -40,7 +41,8 @@ import sys
 CXX_SUFFIXES = {".h", ".cc"}
 
 ALLOW_RE = re.compile(r"//\s*mwsj-lint:\s*allow\(([a-z0-9\-,\s]+)\)")
-MARKER_RE = re.compile(r"//\s*mwsj-lint:\s*(hot-path|alloc-free)\b")
+MARKER_RE = re.compile(
+    r"//\s*mwsj-lint:\s*(hot-path|alloc-free|spill-budgeted)\b")
 
 
 @dataclasses.dataclass
@@ -344,6 +346,40 @@ def rule_alloc_free(f: SourceFile):
     return out
 
 
+def rule_spill_unbounded(f: SourceFile):
+    """spill-unbounded: unreserved vector growth in spill-budgeted files.
+
+    A `// mwsj-lint: spill-budgeted` marker declares the file implements
+    the out-of-core shuffle contract (DESIGN.md §2.13): resident memory is
+    bounded by the shuffle budget, not by the data size. Amortized-doubling
+    growth (`push_back`/`emplace_back`) on a vector that is never
+    `reserve()`d anywhere in the file is the classic way that contract
+    silently rots, so it is rejected; reserve an explicit bound first, or
+    annotate with `// mwsj-lint: allow(spill-unbounded)` and justify why
+    the growth is bounded by construction.
+    """
+    if "spill-budgeted" not in f.markers:
+        return []
+    reserve_re = re.compile(r"(\w+)\s*(?:\.|->)\s*reserve\s*\(")
+    reserved = set()
+    for line in f.code:
+        for m in reserve_re.finditer(line):
+            reserved.add(m.group(1))
+    grow_re = re.compile(r"(\w+)\s*(?:\.|->)\s*(?:push_back|emplace_back)"
+                         r"\s*\(")
+    out = []
+    for idx, line in enumerate(f.code):
+        for m in grow_re.finditer(line):
+            if m.group(1) in reserved:
+                continue
+            out.append((idx, f"'{m.group(0).strip()}...' grows "
+                             f"'{m.group(1)}' with no reserve() in a file "
+                             "marked 'mwsj-lint: spill-budgeted'; bound "
+                             "the allocation (reserve) or justify with "
+                             "allow(spill-unbounded)"))
+    return out
+
+
 def rule_engine_run(f: SourceFile):
     """engine-run-outside-scheduler: direct MapReduceJob::Run callers.
 
@@ -381,6 +417,7 @@ RULES = [
     ("hot-path-std-function", rule_hot_path),
     ("trace-span-temporary", rule_trace_span),
     ("alloc-in-alloc-free", rule_alloc_free),
+    ("spill-unbounded", rule_spill_unbounded),
     ("engine-run-outside-scheduler", rule_engine_run),
 ]
 
