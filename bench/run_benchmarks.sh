@@ -65,7 +65,7 @@ EOF
 fi
 
 FILTER="${1:-.}"
-BENCHES=(micro_engine micro_localjoin micro_marking micro_geometry
+BENCHES=(micro_engine micro_knn micro_localjoin micro_marking micro_geometry
          micro_transforms)
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release

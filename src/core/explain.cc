@@ -153,6 +153,34 @@ std::string ExplainRun(const Query& query, const JoinRunResult& result,
     }
   }
 
+  // Derived knn-mr metrics (queries/knn_mr.h): summed across jobs because
+  // the exporting rounds are separate engine jobs of one run.
+  int64_t knn_points = 0;
+  int64_t knn_point_copies = 0;
+  int64_t knn_bounded_points = 0;
+  int64_t knn_candidates = 0;
+  for (const JobStats& job : result.stats.jobs) {
+    const auto counter = [&job](const char* name) {
+      const auto it = job.user_counters.find(name);
+      return it != job.user_counters.end() ? it->second : int64_t{0};
+    };
+    knn_points += counter(kCounterKnnPoints);
+    knn_point_copies += counter(kCounterKnnPointCopies);
+    knn_bounded_points += counter(kCounterKnnBoundedPoints);
+    knn_candidates += counter(kCounterKnnCandidates);
+  }
+  if (knn_points > 0) {
+    const double points = static_cast<double>(knn_points);
+    out += StrFormat(
+        "\nknn: replication factor %.2f | candidates/point %.2f | "
+        "bound tightness %.0f%% (%lld/%lld points bounded)\n",
+        static_cast<double>(knn_point_copies) / points,
+        static_cast<double>(knn_candidates) / points,
+        100.0 * static_cast<double>(knn_bounded_points) / points,
+        static_cast<long long>(knn_bounded_points),
+        static_cast<long long>(knn_points));
+  }
+
   out += StrFormat("\ntotal wall time: %.3fs\n",
                    result.stats.total_wall_seconds);
   out += StrFormat("modeled cluster time: %s\n",

@@ -122,6 +122,20 @@ inline constexpr char kCounterReplicationCopies[] = "replication_copies";
 /// of emitting; see JoinRunResult::num_tuples).
 inline constexpr char kCounterTuplesCounted[] = "tuples_counted";
 
+/// Exactly-once user counters of the distributed kNN join
+/// (queries/knn_mr.h), defined here so core's explain/stats rendering can
+/// derive its headline metrics without depending on the queries library:
+/// replication factor = point_copies / points, candidates per point =
+/// candidates / points, bound tightness = bounded_points / points.
+inline constexpr char kCounterKnnPoints[] = "knn_points";
+inline constexpr char kCounterKnnPointCopies[] = "knn_point_copies";
+inline constexpr char kCounterKnnRectCopies[] = "knn_rect_copies";
+inline constexpr char kCounterKnnBoundedPoints[] = "knn_bounded_points";
+inline constexpr char kCounterKnnUnboundedPoints[] = "knn_unbounded_points";
+inline constexpr char kCounterKnnCandidates[] = "knn_candidates";
+inline constexpr char kCounterKnnBoundedCells[] = "knn_cells_bounded";
+inline constexpr char kCounterKnnUnboundedCells[] = "knn_cells_unbounded";
+
 }  // namespace mwsj
 
 #endif  // MWSJ_CORE_RECORDS_H_

@@ -50,6 +50,66 @@ Rect ComputeBoundingSpace(const std::vector<std::vector<Rect>>& relations) {
   return space;
 }
 
+StatusOr<GridAcquisition> AcquireGrid(
+    const std::vector<std::vector<Rect>>& relations, const Rect& space,
+    const RunnerOptions& options, const ExecutionContext& ctx) {
+  GridAcquisition out;
+  // With a catalog and a base key, the grid is a resident artifact: the
+  // key extends the base (canonical query + dataset epochs) with every
+  // input the grid construction reads, so a hit is always byte-equivalent
+  // to rebuilding. Equi-depth grids depend on the data only through the
+  // datasets already pinned by the base key's epochs.
+  if (options.catalog != nullptr && !options.artifact_key.empty()) {
+    out.grid_key = options.artifact_key +
+                   StrFormat("|grid[%dx%d,p%d,space %.17g %.17g %.17g %.17g]",
+                             options.grid_rows, options.grid_cols,
+                             static_cast<int>(options.partitioning),
+                             space.min_x(), space.min_y(), space.max_x(),
+                             space.max_y());
+  }
+  TraceSpan grid_span(ctx.tracer, "grid_build", "stage");
+  if (!out.grid_key.empty()) {
+    out.grid = options.catalog->Get<GridPartition>(out.grid_key);
+    if (out.grid != nullptr) {
+      ++out.catalog_hits;
+      grid_span.AddArg("cached", int64_t{1});
+    } else {
+      ++out.catalog_misses;
+    }
+  }
+  if (out.grid == nullptr) {
+    StatusOr<GridPartition> grid = Status::Internal("unreachable");
+    if (options.partitioning == Partitioning::kEquiDepth) {
+      // Sample start points across all relations (bounded, round-robin).
+      std::vector<Rect> sample;
+      constexpr size_t kMaxSample = 20'000;
+      size_t total = 0;
+      for (const auto& rel : relations) total += rel.size();
+      const size_t stride = std::max<size_t>(1, total / kMaxSample);
+      size_t i = 0;
+      for (const auto& rel : relations) {
+        for (const Rect& r : rel) {
+          if (i++ % stride == 0) sample.push_back(r);
+        }
+      }
+      grid = GridPartition::CreateEquiDepth(space, options.grid_rows,
+                                            options.grid_cols, sample);
+    } else {
+      grid = GridPartition::Create(space, options.grid_rows, options.grid_cols);
+    }
+    if (!grid.ok()) return grid.status();
+    out.grid = std::make_shared<const GridPartition>(std::move(grid.value()));
+    if (!out.grid_key.empty()) {
+      // First-wins: a concurrent identical job may have stored it already.
+      out.grid = options.catalog->Put<GridPartition>(out.grid_key, out.grid);
+    }
+  }
+  grid_span.AddArg("rows", static_cast<int64_t>(options.grid_rows));
+  grid_span.AddArg("cols", static_cast<int64_t>(options.grid_cols));
+  grid_span.End();
+  return out;
+}
+
 namespace {
 
 void FilterDistinctIds(std::vector<IdTuple>* tuples) {
@@ -100,64 +160,13 @@ StatusOr<JoinRunResult> ExecuteSpatialJoin(
   TraceSpan run_span(ctx.tracer, ctx.label, "run");
   if (ctx.job_id >= 0) run_span.AddArg("job", ctx.job_id);
 
-  // With a catalog and a base key, the grid is a resident artifact: the
-  // key extends the base (canonical query + dataset epochs) with every
-  // input the grid construction reads, so a hit is always byte-equivalent
-  // to rebuilding. Equi-depth grids depend on the data only through the
-  // datasets already pinned by the base key's epochs.
-  int64_t catalog_hits = 0;
-  int64_t catalog_misses = 0;
-  std::string grid_key;
-  if (options.catalog != nullptr && !options.artifact_key.empty()) {
-    grid_key = options.artifact_key +
-               StrFormat("|grid[%dx%d,p%d,space %.17g %.17g %.17g %.17g]",
-                         options.grid_rows, options.grid_cols,
-                         static_cast<int>(options.partitioning), space.min_x(),
-                         space.min_y(), space.max_x(), space.max_y());
-  }
-  TraceSpan grid_span(ctx.tracer, "grid_build", "stage");
-  std::shared_ptr<const GridPartition> grid_ptr;
-  if (!grid_key.empty()) {
-    grid_ptr = options.catalog->Get<GridPartition>(grid_key);
-    if (grid_ptr != nullptr) {
-      ++catalog_hits;
-      grid_span.AddArg("cached", int64_t{1});
-    } else {
-      ++catalog_misses;
-    }
-  }
-  if (grid_ptr == nullptr) {
-    StatusOr<GridPartition> grid = Status::Internal("unreachable");
-    if (options.partitioning == Partitioning::kEquiDepth) {
-      // Sample start points across all relations (bounded, round-robin).
-      std::vector<Rect> sample;
-      constexpr size_t kMaxSample = 20'000;
-      size_t total = 0;
-      for (const auto& rel : relations) total += rel.size();
-      const size_t stride = std::max<size_t>(1, total / kMaxSample);
-      size_t i = 0;
-      for (const auto& rel : relations) {
-        for (const Rect& r : rel) {
-          if (i++ % stride == 0) sample.push_back(r);
-        }
-      }
-      grid = GridPartition::CreateEquiDepth(space, options.grid_rows,
-                                            options.grid_cols, sample);
-    } else {
-      grid = GridPartition::Create(space, options.grid_rows, options.grid_cols);
-    }
-    if (!grid.ok()) return grid.status();
-    grid_ptr =
-        std::make_shared<const GridPartition>(std::move(grid.value()));
-    if (!grid_key.empty()) {
-      // First-wins: a concurrent identical job may have stored it already.
-      grid_ptr = options.catalog->Put<GridPartition>(grid_key, grid_ptr);
-    }
-  }
-  const GridPartition& grid_ref = *grid_ptr;
-  grid_span.AddArg("rows", static_cast<int64_t>(options.grid_rows));
-  grid_span.AddArg("cols", static_cast<int64_t>(options.grid_cols));
-  grid_span.End();
+  StatusOr<GridAcquisition> acquired =
+      AcquireGrid(relations, space, options, ctx);
+  if (!acquired.ok()) return acquired.status();
+  const int64_t catalog_hits = acquired.value().catalog_hits;
+  const int64_t catalog_misses = acquired.value().catalog_misses;
+  const std::string& grid_key = acquired.value().grid_key;
+  const GridPartition& grid_ref = *acquired.value().grid;
 
   if (options.count_only && options.distinct_ids) {
     return Status::InvalidArgument(

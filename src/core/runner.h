@@ -1,6 +1,7 @@
 #ifndef MWSJ_CORE_RUNNER_H_
 #define MWSJ_CORE_RUNNER_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -124,6 +125,29 @@ StatusOr<JoinRunResult> ExecuteSpatialJoin(
 /// Smallest rectangle containing every rectangle of every relation —
 /// the default partitioned space.
 Rect ComputeBoundingSpace(const std::vector<std::vector<Rect>>& relations);
+
+/// A reducer grid resolved against the catalog: the grid itself, the
+/// extended artifact key it is (or would be) resident under, and the
+/// catalog lookup tallies to fold into RunStats. `grid_key` is empty when
+/// artifact reuse is disabled (no catalog or empty base key).
+struct GridAcquisition {
+  std::shared_ptr<const GridPartition> grid;
+  std::string grid_key;
+  int64_t catalog_hits = 0;
+  int64_t catalog_misses = 0;
+};
+
+/// The grid-resolution step of the execution pipeline, shared by
+/// ExecuteSpatialJoin and the query workloads that run outside the
+/// Algorithm enum (e.g. queries/knn_mr.h): extends `options.artifact_key`
+/// with every input the grid construction reads (geometry, partitioning
+/// mode, space), retrieves a resident grid from the catalog or builds one
+/// (equi-depth grids sample the relations' start points), and stores the
+/// fresh grid first-wins. Records a "grid_build" trace span on
+/// `ctx.tracer`, exactly as the pre-factored pipeline did.
+StatusOr<GridAcquisition> AcquireGrid(
+    const std::vector<std::vector<Rect>>& relations, const Rect& space,
+    const RunnerOptions& options, const ExecutionContext& ctx);
 
 }  // namespace mwsj
 

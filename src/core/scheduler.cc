@@ -245,7 +245,9 @@ void JobScheduler::RunJob(scheduler_internal::Job* job) {
                     : &job->spec.relations;
   }
   if (relations != nullptr) {
-    result = ExecuteSpatialJoin(*job->spec.query, *relations, options);
+    result = job->spec.execute != nullptr
+                 ? job->spec.execute(*job->spec.query, *relations, options)
+                 : ExecuteSpatialJoin(*job->spec.query, *relations, options);
     if (result.ok()) {
       result.value().stats.catalog_hits += bundle_hits;
       result.value().stats.catalog_misses += bundle_misses;

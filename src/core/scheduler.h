@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -93,6 +94,21 @@ struct JobSpec {
   /// compatibility wrapper uses this, to keep pre-scheduler callers'
   /// artifacts byte-identical.
   bool tag_job_id = true;
+
+  /// Workload override: when set, the driver invokes this instead of
+  /// ExecuteSpatialJoin, with the same resolved inputs and fully composed
+  /// options (scheduler-owned pool/tracer/job_id, clamped shuffle budget,
+  /// catalog artifact_key for dataset-name submissions). This is how
+  /// workloads outside the Algorithm enum — e.g. the distributed kNN join
+  /// in queries/knn_mr.h, which the core library cannot name without
+  /// inverting the queries→core dependency — flow through Submit and
+  /// still inherit admission control, tracing, and artifact reuse.
+  /// `query` is still required (it carries the relation count and the
+  /// canonical artifact key); `options.algorithm` is ignored.
+  std::function<StatusOr<JoinRunResult>(
+      const Query& query, const std::vector<std::vector<Rect>>& relations,
+      const RunnerOptions& options)>
+      execute;
 };
 
 /// Lifecycle of a submission. Queued and Running are transient;

@@ -45,6 +45,20 @@ double CellRectDistance(const GridPartition& grid, CellId cell, const Rect& r,
   return std::max(dx, dy);
 }
 
+double CellRectMaxMinDistance(const GridPartition& grid, CellId cell,
+                              const Rect& r) {
+  const Rect c = grid.CellRect(cell);
+  // Worst-case per-axis gap from a point of the cell interval to the
+  // rectangle interval: max over x in [c_lo, c_hi] of
+  // max(0, r_lo - x, x - r_hi) = max(0, r_lo - c_lo, c_hi - r_hi).
+  const double gx =
+      std::max({0.0, r.min_x() - c.min_x(), c.max_x() - r.max_x()});
+  const double gy =
+      std::max({0.0, r.min_y() - c.min_y(), c.max_y() - r.max_y()});
+  // hypot, like MinDistance, to stay overflow-safe for huge coordinates.
+  return std::hypot(gx, gy);
+}
+
 CellId ProjectCell(const GridPartition& grid, const Rect& u) {
   Bump(g_project_calls);
   return grid.CellOfRect(u);

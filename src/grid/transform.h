@@ -26,6 +26,18 @@ enum class DistanceMetric {
 double CellRectDistance(const GridPartition& grid, CellId cell, const Rect& r,
                         DistanceMetric metric);
 
+/// Maximum over the points p of (closed) cell `cell` of the minimum
+/// Euclidean distance from p to rectangle `r` — the MaxMinDistance bound
+/// of the distributed kNN join's round 1 (queries/knn_mr.h): any k rects
+/// with the k smallest MaxMinDistance values are within that k-th value of
+/// *every* point of the cell, so it upper-bounds each in-cell point's true
+/// k-th neighbor distance. Exact (not an estimate): over a box domain the
+/// two axis gaps attain their maxima independently, so the maximizing
+/// point is a cell corner and the value is the hypotenuse of the per-axis
+/// worst-case gaps.
+double CellRectMaxMinDistance(const GridPartition& grid, CellId cell,
+                              const Rect& r);
+
 /// Project(u, C) — §4: the single cell containing the start point of `u`.
 CellId ProjectCell(const GridPartition& grid, const Rect& u);
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <utility>
 
 #include "common/random.h"
 #include "queries/knn.h"
@@ -109,6 +110,91 @@ TEST(KnnEdgeTest, InvalidKAndEmptyInputs) {
   const auto no_rects = KnnJoin(grid, RandomPoints(4, 3), {}, 3);
   ASSERT_TRUE(no_rects.ok());
   for (const auto& nn : no_rects.value().neighbors) EXPECT_TRUE(nn.empty());
+}
+
+TEST(KnnTieBreakTest, DuplicateRectanglesAtIdenticalDistanceTruncateById) {
+  // Regression for the deterministic k-truncation contract: four copies of
+  // one rectangle sit at the same exact distance and k cuts inside the
+  // tie, so the merge round must keep the lowest rect ids — on every grid
+  // geometry, including the single cell.
+  const std::vector<Point> points = {{50, 50}};
+  const Rect dup = Rect::FromXYLB(60, 57, 2, 2);   // Distance 10 from (50,50).
+  const Rect closer = Rect::FromXYLB(53, 52, 2, 2);  // Distance 3.
+  const std::vector<Rect> rects = {dup, dup, closer, dup, dup};
+  for (const auto& [rows, cols] : {std::pair{1, 1}, {2, 2}, {4, 4}}) {
+    const GridPartition grid =
+        GridPartition::Create(Rect(0, 0, 100, 100), rows, cols).value();
+    const auto result = KnnJoin(grid, points, rects, 3);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().neighbors, Reference(points, rects, 3));
+    const auto& nn = result.value().neighbors[0];
+    ASSERT_EQ(nn.size(), 3u);
+    EXPECT_EQ(nn[0].rect_id, 2);  // The closer rectangle.
+    EXPECT_EQ(nn[1].rect_id, 0);  // Then the tie, cut by ascending id:
+    EXPECT_EQ(nn[2].rect_id, 1);  // copies 3 and 4 fall off the k edge.
+    EXPECT_DOUBLE_EQ(nn[1].distance, nn[2].distance);
+  }
+}
+
+TEST(KnnPropertyTest, DuplicatePointsGetIdenticalNeighborLists) {
+  auto points = RandomPoints(60, 14);
+  points.push_back(points[0]);
+  points.push_back(points[0]);
+  const auto rects = RandomRects(120, 15);
+  const GridPartition grid =
+      GridPartition::Create(Rect(0, 0, 100, 100), 3, 3).value();
+  const auto result = KnnJoin(grid, points, rects, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().neighbors, Reference(points, rects, 4));
+  const auto& nn = result.value().neighbors;
+  EXPECT_EQ(nn[0], nn[nn.size() - 1]);
+  EXPECT_EQ(nn[0], nn[nn.size() - 2]);
+}
+
+TEST(KnnPropertyTest, PointsOnRectangleCornersBreakZeroDistanceTiesById) {
+  // A point on the shared corner of four rectangles is at distance zero
+  // from all of them; k=2 must keep ids 0 and 1. The corner lies on a
+  // 2x2 cell boundary, stressing the boundary owner rule too.
+  const std::vector<Point> points = {{50, 50}, {0, 0}, {100, 100}};
+  const std::vector<Rect> rects = {
+      Rect(40, 40, 50, 50), Rect(50, 50, 60, 60), Rect(40, 50, 50, 60),
+      Rect(50, 40, 60, 50), Rect(0, 0, 5, 5)};
+  for (const int k : {1, 2, 4}) {
+    const GridPartition grid =
+        GridPartition::Create(Rect(0, 0, 100, 100), 2, 2).value();
+    const auto result = KnnJoin(grid, points, rects, k);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().neighbors, Reference(points, rects, k)) << k;
+    EXPECT_EQ(result.value().neighbors[0][0].rect_id, 0) << k;
+    EXPECT_DOUBLE_EQ(result.value().neighbors[0][0].distance, 0) << k;
+  }
+}
+
+TEST(KnnPropertyTest, SparseCornerDataFallsBackToUnboundedProbe) {
+  // All rectangles cluster in one corner, so most cells hold fewer than k
+  // of them and round 1 emits the infinite-bound fallback; those points
+  // must probe every cell and still match the oracle exactly.
+  const auto points = RandomPoints(150, 16);
+  const auto rects = RandomRects(6, 17, /*space=*/20);  // Corner cluster.
+  const GridPartition grid =
+      GridPartition::Create(Rect(0, 0, 100, 100), 5, 5).value();
+  const auto result = KnnJoin(grid, points, rects, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().neighbors, Reference(points, rects, 4));
+}
+
+TEST(KnnPropertyTest, KOneBreaksExactTies) {
+  // A point equidistant from two identical rectangles: k=1 keeps id 0.
+  const std::vector<Point> points = {{50, 50}};
+  const Rect r = Rect::FromXYLB(58, 52, 4, 4);
+  const std::vector<Rect> rects = {r, r};
+  const GridPartition grid =
+      GridPartition::Create(Rect(0, 0, 100, 100), 2, 2).value();
+  const auto result = KnnJoin(grid, points, rects, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().neighbors, Reference(points, rects, 1));
+  ASSERT_EQ(result.value().neighbors[0].size(), 1u);
+  EXPECT_EQ(result.value().neighbors[0][0].rect_id, 0);
 }
 
 TEST(KnnStatsTest, BoundedProbeShipsFewerPointsThanUnbounded) {

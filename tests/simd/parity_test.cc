@@ -13,6 +13,7 @@
 #include "localjoin/brute_force.h"
 #include "localjoin/multiway.h"
 #include "localjoin/plane_sweep.h"
+#include "queries/knn_mr.h"
 #include "testing/world.h"
 
 namespace mwsj {
@@ -92,6 +93,60 @@ TEST(SimdParityTest, HundredWorldsEmitIdenticalStreamsUnderEveryIsa) {
       simd::SetIsaForTesting(isa);
       EXPECT_EQ(MultiwayEmitStream(query, data), reference)
           << "trial=" << trial << " isa=" << simd::IsaName(isa);
+    }
+  }
+}
+
+// The distributed kNN join dispatches through the same seam (its round-2
+// reducers drive the R-tree distance kernels), so its full pipeline —
+// tuples, per-reducer record streams, intermediate volumes, and user
+// counters — must be byte-identical under every ISA.
+TEST(SimdParityTest, KnnMrPipelineIsIdenticalUnderEveryIsa) {
+  IsaGuard guard;
+  const auto isas = AvailableIsas();
+  const Query query = MakeChainQuery(2, Predicate::Overlap()).value();
+  for (int trial = 0; trial < 20; ++trial) {
+    testing::KnnWorldConfig config;
+    config.num_points = 50 + (trial % 5) * 20;
+    config.num_rects = 100 + (trial % 7) * 30;
+    config.with_duplicates = (trial % 3 == 0);
+    config.seed = static_cast<uint64_t>(trial) * 131 + 7;
+    const auto data = testing::MakeKnnWorldData(config);
+    const int k = 1 + trial % 9;
+
+    RunnerOptions options;
+    options.grid_rows = 1 + trial % 4;
+    options.grid_cols = 1 + (trial / 4) % 4;
+    options.space = Rect(0, 0, config.space_size, config.space_size);
+
+    simd::SetIsaForTesting(simd::Isa::kScalar);
+    const auto reference = RunKnnJoinMr(query, data, k, options);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    ASSERT_EQ(reference.value().tuples,
+              testing::KnnOracleTuples(data[0], data[1], k))
+        << "trial=" << trial;
+
+    for (const simd::Isa isa : isas) {
+      simd::SetIsaForTesting(isa);
+      const auto run = RunKnnJoinMr(query, data, k, options);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      EXPECT_EQ(run.value().tuples, reference.value().tuples)
+          << "trial=" << trial << " isa=" << simd::IsaName(isa);
+      ASSERT_EQ(run.value().stats.jobs.size(),
+                reference.value().stats.jobs.size());
+      for (size_t j = 0; j < run.value().stats.jobs.size(); ++j) {
+        const JobStats& a = reference.value().stats.jobs[j];
+        const JobStats& b = run.value().stats.jobs[j];
+        EXPECT_EQ(a.per_reducer_records, b.per_reducer_records)
+            << "trial=" << trial << " isa=" << simd::IsaName(isa) << " job "
+            << a.job_name;
+        EXPECT_EQ(a.intermediate_records, b.intermediate_records)
+            << "trial=" << trial << " isa=" << simd::IsaName(isa) << " job "
+            << a.job_name;
+        EXPECT_EQ(a.user_counters, b.user_counters)
+            << "trial=" << trial << " isa=" << simd::IsaName(isa) << " job "
+            << a.job_name;
+      }
     }
   }
 }

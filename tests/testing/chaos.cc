@@ -7,85 +7,16 @@
 #include "common/str_format.h"
 #include "core/scheduler.h"
 #include "localjoin/brute_force.h"
-#include "mapreduce/dfs.h"
 #include "mapreduce/fault.h"
+#include "testing/differential.h"
 
 namespace mwsj::testing {
 
-namespace {
-
-// First divergence between two runs' job statistics, or "" when the
-// faulted run is byte-identical to the baseline in every exactly-once
-// quantity (fault accounting is deliberately excluded — it is *supposed*
-// to differ).
-std::string CompareJobStats(const RunStats& baseline, const RunStats& faulted) {
-  if (baseline.jobs.size() != faulted.jobs.size()) {
-    return StrFormat("job count %zu vs %zu", baseline.jobs.size(),
-                     faulted.jobs.size());
-  }
-  for (size_t j = 0; j < baseline.jobs.size(); ++j) {
-    const JobStats& b = baseline.jobs[j];
-    const JobStats& f = faulted.jobs[j];
-    if (b.job_name != f.job_name) {
-      return StrFormat("job %zu name '%s' vs '%s'", j, b.job_name.c_str(),
-                       f.job_name.c_str());
-    }
-    auto diff = [&](const char* what, int64_t bv, int64_t fv) {
-      return StrFormat("job '%s' %s %lld vs %lld under faults",
-                       b.job_name.c_str(), what, static_cast<long long>(bv),
-                       static_cast<long long>(fv));
-    };
-    if (b.map_input_records != f.map_input_records) {
-      return diff("map_input_records", b.map_input_records,
-                  f.map_input_records);
-    }
-    if (b.intermediate_records != f.intermediate_records) {
-      return diff("intermediate_records", b.intermediate_records,
-                  f.intermediate_records);
-    }
-    if (b.intermediate_bytes != f.intermediate_bytes) {
-      return diff("intermediate_bytes", b.intermediate_bytes,
-                  f.intermediate_bytes);
-    }
-    if (b.reduce_output_records != f.reduce_output_records) {
-      return diff("reduce_output_records", b.reduce_output_records,
-                  f.reduce_output_records);
-    }
-    if (b.reduce_output_bytes != f.reduce_output_bytes) {
-      return diff("reduce_output_bytes", b.reduce_output_bytes,
-                  f.reduce_output_bytes);
-    }
-    if (b.per_reducer_records != f.per_reducer_records) {
-      return StrFormat("job '%s' per-reducer records diverged under faults",
-                       b.job_name.c_str());
-    }
-    if (b.user_counters != f.user_counters) {
-      for (const auto& [name, value] : b.user_counters) {
-        const auto it = f.user_counters.find(name);
-        if (it == f.user_counters.end()) {
-          return StrFormat("job '%s' counter '%s' missing under faults",
-                           b.job_name.c_str(), name.c_str());
-        }
-        if (it->second != value) {
-          return diff(name.c_str(), value, it->second);
-        }
-      }
-      return StrFormat("job '%s' has extra counters under faults",
-                       b.job_name.c_str());
-    }
-  }
-  return "";
-}
-
-}  // namespace
-
 ChaosOutcome RunChaosWorld(const WorldConfig& config, Algorithm algorithm,
                            const ChaosOptions& options) {
-  ChaosOutcome outcome;
   const Query query = MakeWorldQuery(config);
   const std::vector<std::vector<Rect>> data =
       MakeWorldData(config, query.num_relations());
-  const std::vector<IdTuple> expected = BruteForceJoin(query, data);
 
   RunnerOptions runner;
   runner.algorithm = algorithm;
@@ -96,112 +27,26 @@ ChaosOutcome RunChaosWorld(const WorldConfig& config, Algorithm algorithm,
   runner.grid_rows = grid[0];
   runner.grid_cols = grid[1];
   runner.space = Rect(0, 0, config.space_size, config.space_size);
-  runner.context.pool = options.pool;
 
-  Dfs baseline_dfs;
-  RunnerOptions baseline_options = runner;
-  baseline_options.context.dfs = &baseline_dfs;
-  // The baseline is the in-memory ground truth: even when the environment
-  // (or options.shuffle_memory_budget) puts the faulted run out-of-core,
-  // the spilled output must be byte-identical to this.
-  baseline_options.context.options.shuffle_memory_budget = -1;
-  const StatusOr<JoinRunResult> baseline =
-      RunSpatialJoin(query, data, baseline_options);
-  if (!baseline.ok()) {
-    outcome.mismatch =
-        StrFormat("baseline run failed: %s",
-                  baseline.status().ToString().c_str());
-    return outcome;
-  }
+  DifferentialWorkload workload;
+  workload.name = AlgorithmName(algorithm);
+  workload.oracle = [&query, &data] { return BruteForceJoin(query, data); };
+  workload.run = [&query, &data,
+                  &runner](const ExecutionContext& ctx) {
+    RunnerOptions run_options = runner;
+    run_options.context = ctx;
+    return RunSpatialJoin(query, data, run_options);
+  };
 
-  const FaultPlan plan = FaultPlan::Seeded(
-      options.fault_seed, options.crash_prob, options.flaky_prob,
-      options.slow_prob);
-  RetryPolicy retry;
-  retry.sleep = [](double) {};  // Virtual clock: chaos sweeps never sleep.
-  Dfs faulted_dfs;
-  RunnerOptions faulted_options = runner;
-  faulted_options.context.options.shuffle_memory_budget =
-      options.shuffle_memory_budget;
-  faulted_options.context.faults =
-      options.fault_plan != nullptr ? options.fault_plan : &plan;
-  faulted_options.context.retry = &retry;
-  faulted_options.context.dfs = &faulted_dfs;
-  const StatusOr<JoinRunResult> faulted =
-      RunSpatialJoin(query, data, faulted_options);
-  if (!faulted.ok()) {
-    outcome.mismatch = StrFormat("faulted run failed: %s",
-                                 faulted.status().ToString().c_str());
-    return outcome;
-  }
-
-  for (const JobStats& job : faulted.value().stats.jobs) {
-    for (const PhaseFaultStats* f : {&job.map_faults, &job.reduce_faults}) {
-      outcome.attempts += f->attempts;
-      outcome.retries += f->retries;
-      outcome.speculative += f->speculative;
-      outcome.wasted_records += f->wasted_records;
-      outcome.wasted_seconds += f->wasted_seconds;
-      outcome.backoff_seconds += f->backoff_seconds;
-    }
-    outcome.spilled_runs += job.spill.spilled_runs;
-    outcome.spill_flush_retries += job.spill.flush_retries;
-    outcome.spill_wasted_flush_bytes += job.spill.wasted_flush_bytes;
-  }
-  outcome.num_tuples = faulted.value().num_tuples;
-
-  // Exactly-once, checked in rising order of subtlety: the oracle, the
-  // byte-identical tuple vector, the per-job statistics and counters, and
-  // the DFS ledger (no phantom bytes from discarded attempts).
-  if (faulted.value().tuples != expected) {
-    outcome.mismatch = StrFormat(
-        "faulted run diverged from brute force (%zu vs %zu tuples)",
-        faulted.value().tuples.size(), expected.size());
-    return outcome;
-  }
-  if (faulted.value().tuples != baseline.value().tuples) {
-    outcome.mismatch = "faulted tuples != fault-free tuples";
-    return outcome;
-  }
-  if (faulted.value().num_tuples != baseline.value().num_tuples) {
-    outcome.mismatch = StrFormat(
-        "num_tuples %lld vs %lld under faults",
-        static_cast<long long>(baseline.value().num_tuples),
-        static_cast<long long>(faulted.value().num_tuples));
-    return outcome;
-  }
-  outcome.mismatch =
-      CompareJobStats(baseline.value().stats, faulted.value().stats);
-  if (!outcome.mismatch.empty()) return outcome;
-  if (faulted_dfs.bytes_written() != baseline_dfs.bytes_written() ||
-      faulted_dfs.records_written() != baseline_dfs.records_written()) {
-    outcome.mismatch = StrFormat(
-        "DFS write ledger diverged: %lld bytes / %lld records vs baseline "
-        "%lld / %lld",
-        static_cast<long long>(faulted_dfs.bytes_written()),
-        static_cast<long long>(faulted_dfs.records_written()),
-        static_cast<long long>(baseline_dfs.bytes_written()),
-        static_cast<long long>(baseline_dfs.records_written()));
-    return outcome;
-  }
-  if (faulted_dfs.live_bytes() != baseline_dfs.live_bytes() ||
-      faulted_dfs.live_records() != baseline_dfs.live_records()) {
-    outcome.mismatch = StrFormat(
-        "DFS live datasets diverged: %lld bytes vs baseline %lld",
-        static_cast<long long>(faulted_dfs.live_bytes()),
-        static_cast<long long>(baseline_dfs.live_bytes()));
-    return outcome;
-  }
-  // Committed writes must be exactly the live datasets: every part file is
-  // committed once, never re-committed by a discarded attempt.
-  if (faulted_dfs.bytes_written() != faulted_dfs.live_bytes()) {
-    outcome.mismatch = StrFormat(
-        "DFS bytes_written %lld != live bytes %lld (phantom attempt bytes)",
-        static_cast<long long>(faulted_dfs.bytes_written()),
-        static_cast<long long>(faulted_dfs.live_bytes()));
-    return outcome;
-  }
-  return outcome;
+  DifferentialOptions diff;
+  diff.fault_seed = options.fault_seed;
+  diff.crash_prob = options.crash_prob;
+  diff.flaky_prob = options.flaky_prob;
+  diff.slow_prob = options.slow_prob;
+  diff.pool = options.pool;
+  diff.shuffle_memory_budget = options.shuffle_memory_budget;
+  diff.fault_plan = options.fault_plan;
+  return RunDifferentialWorld(workload, diff);
 }
 
 SchedulerChaosOutcome RunSchedulerChaosWorld(

@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "core/runner.h"
 #include "mapreduce/fault.h"
+#include "testing/differential.h"
 #include "testing/world.h"
 
 namespace mwsj::testing {
@@ -18,6 +19,12 @@ namespace mwsj::testing {
 /// FaultPlan — and cross-checks that fault injection is invisible in
 /// everything except the fault accounting itself: byte-identical tuples,
 /// user counters, shuffle statistics, and DFS byte accounting.
+///
+/// Since the differential-harness factoring this is a thin adapter: it
+/// assembles the multiway-join DifferentialWorkload (brute-force oracle +
+/// RunSpatialJoin over the world's seeded grid geometry) and delegates to
+/// RunDifferentialWorld (testing/differential.h), which owns the
+/// oracle/baseline/faulted execution and every cross-check.
 
 struct ChaosOptions {
   /// Seed of the FaultPlan::Seeded plan applied to the faulted run.
@@ -45,29 +52,9 @@ struct ChaosOptions {
   const FaultPlan* fault_plan = nullptr;
 };
 
-/// What one chaos world observed. The fault tallies aggregate the faulted
-/// run's JobStats across jobs; callers typically sum them over many worlds
-/// and assert the plans actually fired (retries > 0).
-struct ChaosOutcome {
-  int64_t attempts = 0;
-  int64_t retries = 0;
-  int64_t speculative = 0;
-  int64_t wasted_records = 0;
-  double wasted_seconds = 0;
-  double backoff_seconds = 0;
-  int64_t num_tuples = 0;
-
-  /// Out-of-core tallies of the faulted run (JobStats::spill summed over
-  /// jobs); zero unless a shuffle budget made chunks flush sorted runs.
-  int64_t spilled_runs = 0;
-  int64_t spill_flush_retries = 0;
-  int64_t spill_wasted_flush_bytes = 0;
-
-  /// Empty when the faulted run matched the brute-force oracle and the
-  /// fault-free baseline everywhere; else describes the first divergence.
-  std::string mismatch;
-  bool ok() const { return mismatch.empty(); }
-};
+/// What one chaos world observed — exactly the differential harness's
+/// outcome (the adapter adds no fields of its own).
+using ChaosOutcome = DifferentialOutcome;
 
 /// Runs one chaos world for `algorithm`. Deterministic: the same
 /// (config, algorithm, options) triple always yields the same outcome,

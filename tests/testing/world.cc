@@ -1,6 +1,11 @@
 #include "testing/world.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "grid/grid_partition.h"
+#include "queries/knn.h"
 
 namespace mwsj::testing {
 
@@ -74,6 +79,74 @@ std::vector<std::vector<Rect>> MakeWorldData(const WorldConfig& config,
       relation.push_back(Rect::FromXYLB(x, y, l, b));
     }
   }
+  return out;
+}
+
+std::vector<std::vector<Rect>> MakeKnnWorldData(const KnnWorldConfig& config) {
+  Rng rng(config.seed);
+  std::vector<std::vector<Rect>> out(2);
+  out[0].reserve(static_cast<size_t>(config.num_points));
+  for (int i = 0; i < config.num_points; ++i) {
+    out[0].push_back(Rect::FromPoint(Point{
+        rng.Uniform(0, config.space_size), rng.Uniform(0, config.space_size)}));
+  }
+  out[1].reserve(static_cast<size_t>(config.num_rects));
+  for (int i = 0; i < config.num_rects; ++i) {
+    const double l = rng.Uniform(0, config.max_dim);
+    const double b = rng.Uniform(0, config.max_dim);
+    out[1].push_back(Rect::FromXYLB(rng.Uniform(0, config.space_size - l),
+                                    rng.Uniform(b, config.space_size), l, b));
+  }
+  if (config.with_duplicates && config.num_points > 0 &&
+      config.num_rects > 0) {
+    out[0].push_back(out[0].front());
+    out[0].push_back(out[0].front());
+    out[1].push_back(out[1].front());
+  }
+  return out;
+}
+
+std::vector<IdTuple> KnnOracleTuples(const std::vector<Rect>& points,
+                                     const std::vector<Rect>& rects, int k) {
+  std::vector<IdTuple> out;
+  std::vector<std::pair<double, int64_t>> all;
+  for (size_t p = 0; p < points.size(); ++p) {
+    all.clear();
+    all.reserve(rects.size());
+    for (size_t r = 0; r < rects.size(); ++r) {
+      all.emplace_back(MinDistance(rects[r], points[p]),
+                       static_cast<int64_t>(r));
+    }
+    std::sort(all.begin(), all.end());
+    const size_t keep = std::min(all.size(), static_cast<size_t>(k));
+    for (size_t rank = 0; rank < keep; ++rank) {
+      out.push_back(IdTuple{static_cast<int64_t>(p),
+                            static_cast<int64_t>(rank), all[rank].second});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<IdTuple> KnnSingleNodeTuples(const std::vector<Rect>& points,
+                                         const std::vector<Rect>& rects, int k,
+                                         const Rect& space, int rows,
+                                         int cols) {
+  std::vector<Point> query_points;
+  query_points.reserve(points.size());
+  for (const Rect& p : points) query_points.push_back(p.start_point());
+  const GridPartition grid = GridPartition::Create(space, rows, cols).value();
+  const StatusOr<KnnResult> result = KnnJoin(grid, query_points, rects, k);
+  std::vector<IdTuple> out;
+  if (!result.ok()) return out;  // Callers compare against the oracle.
+  for (size_t p = 0; p < result.value().neighbors.size(); ++p) {
+    const std::vector<KnnNeighbor>& nn = result.value().neighbors[p];
+    for (size_t rank = 0; rank < nn.size(); ++rank) {
+      out.push_back(IdTuple{static_cast<int64_t>(p),
+                            static_cast<int64_t>(rank), nn[rank].rect_id});
+    }
+  }
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/random.h"
 #include "geometry/rect.h"
+#include "localjoin/brute_force.h"
 #include "query/query.h"
 
 namespace mwsj::testing {
@@ -41,6 +42,34 @@ Query MakeWorldQuery(const WorldConfig& config);
 /// Generates one dataset per query relation.
 std::vector<std::vector<Rect>> MakeWorldData(const WorldConfig& config,
                                              int num_relations);
+
+/// World generator for the distributed-kNN differential suite: relation 0
+/// holds degenerate query points, relation 1 data rectangles.
+struct KnnWorldConfig {
+  int num_points = 120;
+  int num_rects = 250;
+  double space_size = 100.0;
+  double max_dim = 8.0;   // Rectangle edge lengths up to this size.
+  /// Appends copies of the first point and the first rectangle, forcing
+  /// exact distance ties through the (distance, rect id) tie-break.
+  bool with_duplicates = false;
+  uint64_t seed = 1;
+};
+
+/// {points, rects} datasets for a config.
+std::vector<std::vector<Rect>> MakeKnnWorldData(const KnnWorldConfig& config);
+
+/// Scalar brute-force kNN oracle in knn-mr's output encoding:
+/// {point_id, rank, rect_id} with ranks assigned by (distance, rect id),
+/// sorted by (point, rank). See queries/knn_mr.h.
+std::vector<IdTuple> KnnOracleTuples(const std::vector<Rect>& points,
+                                     const std::vector<Rect>& rects, int k);
+
+/// The single-node KnnJoin (queries/knn.h) over an explicit grid,
+/// re-encoded the same way — the second pin of the differential suite.
+std::vector<IdTuple> KnnSingleNodeTuples(const std::vector<Rect>& points,
+                                         const std::vector<Rect>& rects, int k,
+                                         const Rect& space, int rows, int cols);
 
 }  // namespace mwsj::testing
 

@@ -35,6 +35,7 @@ CLEAN_FIXTURES = [
     "src/common/rng_ok.cc",
     "src/io/engine_types_ok.cc",
     "src/io/spill_budgeted_ok.cc",
+    "src/queries/knn_mr_ok.cc",
     "tools/stdout_ok.cc",
 ]
 
