@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/effects.h"
 #include "common/thread_annotations.h"
 
 namespace mwsj {
@@ -61,7 +62,9 @@ class CondVar {
 
   /// Atomically releases `mu`, blocks, and reacquires `mu` before
   /// returning. Spurious wakeups are possible; loop on the predicate.
-  void Wait(Mutex& mu) REQUIRES(mu) {
+  /// MWSJ_BLOCKING: unbounded wait — must stay out of map/reduce inner
+  /// loops (tools/mwsj_check.py blocking-reach).
+  MWSJ_BLOCKING void Wait(Mutex& mu) REQUIRES(mu) {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // The caller's MutexLock keeps ownership.

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/effects.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -39,7 +40,7 @@ class ThreadPool {
   /// all submitters. With several concurrent jobs on one pool this waits
   /// for everyone's tasks, so per-batch code must use ParallelFor (which
   /// tracks its own completion) instead.
-  void Wait() EXCLUDES(mu_);
+  MWSJ_BLOCKING void Wait() EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -60,8 +61,8 @@ class ThreadPool {
 /// ThreadPool::Wait), so concurrent callers sharing one pool — the
 /// scheduler's interleaved jobs — neither wait on each other's tasks nor
 /// starve. A null pool (or n <= 1) runs inline on the calling thread.
-void ParallelFor(ThreadPool* pool, size_t n,
-                 const std::function<void(size_t)>& fn);
+MWSJ_BLOCKING void ParallelFor(ThreadPool* pool, size_t n,
+                               const std::function<void(size_t)>& fn);
 
 }  // namespace mwsj
 

@@ -1,10 +1,9 @@
-// mwsj-lint: hot-path
-// mwsj-lint: alloc-free
-//
 // Reference-point dedup kernels: called once per candidate pair/tuple, so
-// they must stay free of std::function indirection and heap allocation.
-// Shared state is limited to relaxed atomics (statistics, not
-// synchronization); there is no lock to annotate.
+// they must stay free of std::function indirection and heap allocation —
+// enforced by tools/mwsj_check.py via the MWSJ_ALLOC_FREE /
+// MWSJ_DETERMINISTIC annotations in dedup.h. Shared state is limited to
+// relaxed atomics (statistics, not synchronization); there is no lock to
+// annotate.
 #include "core/dedup.h"
 
 #include <algorithm>

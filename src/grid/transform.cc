@@ -1,10 +1,9 @@
-// mwsj-lint: hot-path
-// mwsj-lint: alloc-free
-//
 // Cell-transform kernels: one call per input rectangle per round. Output
 // cells append into caller-owned vectors; no naked new/malloc, no
-// std::function. Shared state is limited to relaxed atomics (statistics,
-// not synchronization); there is no lock to annotate.
+// std::function — enforced by tools/mwsj_check.py via the MWSJ_ALLOC_FREE /
+// MWSJ_DETERMINISTIC annotations in transform.h. Shared state is limited
+// to relaxed atomics (statistics, not synchronization); there is no lock
+// to annotate.
 #include "grid/transform.h"
 
 #include <algorithm>
@@ -70,6 +69,8 @@ void SplitCells(const GridPartition& grid, const Rect& u,
   const auto range = grid.CellsOverlapping(u);
   for (int row = range.row_lo; row <= range.row_hi; ++row) {
     for (int col = range.col_lo; col <= range.col_hi; ++col) {
+      // mwsj-check: allow(alloc-free-reach): caller-owned cell buffer,
+      // cleared and reused across records; growth amortizes to zero.
       out->push_back(grid.CellIdOf(row, col));
     }
   }
@@ -83,6 +84,7 @@ void ReplicateF1Cells(const GridPartition& grid, const Rect& u,
   const int col0 = grid.ColOf(anchor);
   for (int row = row0; row < grid.rows(); ++row) {
     for (int col = col0; col < grid.cols(); ++col) {
+      // mwsj-check: allow(alloc-free-reach): caller-owned reused buffer.
       out->push_back(grid.CellIdOf(row, col));
     }
   }
@@ -108,6 +110,7 @@ void ReplicateF2Cells(const GridPartition& grid, const Rect& u, double d,
     for (int col = col0; col < grid.cols(); ++col) {
       const CellId cell = grid.CellIdOf(row, col);
       if (CellRectDistance(grid, cell, u, metric) <= d) {
+        // mwsj-check: allow(alloc-free-reach): caller-owned reused buffer.
         out->push_back(cell);
         row_had_match = true;
       } else if (row_had_match) {

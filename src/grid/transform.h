@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/effects.h"
 #include "geometry/rect.h"
 #include "grid/grid_partition.h"
 
@@ -39,28 +40,37 @@ double CellRectMaxMinDistance(const GridPartition& grid, CellId cell,
                               const Rect& r);
 
 /// Project(u, C) — §4: the single cell containing the start point of `u`.
-CellId ProjectCell(const GridPartition& grid, const Rect& u);
+///
+/// The transforms below run once per input rectangle per round inside map
+/// functions: MWSJ_ALLOC_FREE (cells append into a caller-owned, reused
+/// vector) and MWSJ_DETERMINISTIC (row-major cell order feeds the emit
+/// stream; tools/mwsj_check.py enforces both transitively).
+MWSJ_ALLOC_FREE MWSJ_DETERMINISTIC CellId ProjectCell(
+    const GridPartition& grid, const Rect& u);
 
 /// Split(u, C) — §4: every cell sharing at least one point with `u`,
 /// appended to `*out` in row-major order.
-void SplitCells(const GridPartition& grid, const Rect& u,
-                std::vector<CellId>* out);
+MWSJ_ALLOC_FREE MWSJ_DETERMINISTIC void SplitCells(const GridPartition& grid,
+                                                   const Rect& u,
+                                                   std::vector<CellId>* out);
 
 /// Replicate(u, C, f1) — §4: every cell in the fourth quadrant with respect
 /// to `u` (cells right of / below the start cell of `u`, inclusive),
 /// appended to `*out` in row-major order.
-void ReplicateF1Cells(const GridPartition& grid, const Rect& u,
-                      std::vector<CellId>* out);
+MWSJ_ALLOC_FREE MWSJ_DETERMINISTIC void ReplicateF1Cells(
+    const GridPartition& grid, const Rect& u, std::vector<CellId>* out);
 
 /// Replicate(u, C, f2) — §4: the f1 cells that are additionally within
 /// distance `d` of `u` under `metric`, appended to `*out`.
-void ReplicateF2Cells(const GridPartition& grid, const Rect& u, double d,
-                      DistanceMetric metric, std::vector<CellId>* out);
+MWSJ_ALLOC_FREE MWSJ_DETERMINISTIC void ReplicateF2Cells(
+    const GridPartition& grid, const Rect& u, double d, DistanceMetric metric,
+    std::vector<CellId>* out);
 
 /// Cells overlapping the rectangle enlarged by `d` — the routing used for
 /// the replicated side of a 2-way range join (§5.3).
-void EnlargedSplitCells(const GridPartition& grid, const Rect& u, double d,
-                        std::vector<CellId>* out);
+MWSJ_ALLOC_FREE MWSJ_DETERMINISTIC void EnlargedSplitCells(
+    const GridPartition& grid, const Rect& u, double d,
+    std::vector<CellId>* out);
 
 /// Number of cells f1 would produce, without materializing them.
 int64_t CountReplicateF1Cells(const GridPartition& grid, const Rect& u);

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <vector>
 
+#include "common/effects.h"
+
 namespace mwsj::colcodec {
 
 /// Lightweight columnar codec for spilled rectangle streams (DESIGN.md
@@ -44,14 +46,16 @@ inline double DoubleFromOrderedBits(uint64_t key) {
 }
 
 /// Appends the encoding of vals[0..n) to *out. Returns the bytes appended.
-/// n == 0 appends nothing.
-size_t EncodeColumn(const uint64_t* vals, size_t n, std::vector<uint8_t>* out);
+/// n == 0 appends nothing. MWSJ_DETERMINISTIC: encoded bytes are pinned
+/// identical across ISAs by the spill parity suite.
+MWSJ_DETERMINISTIC size_t EncodeColumn(const uint64_t* vals, size_t n,
+                                       std::vector<uint8_t>* out);
 
 /// Decodes exactly `n` values from `data` into `out`. Returns the bytes
 /// consumed, or 0 when `data`/`size` does not hold a well-formed encoding
 /// of n values (truncated or oversized blocks).
-size_t DecodeColumn(const uint8_t* data, size_t size, size_t n,
-                    uint64_t* out);
+MWSJ_DETERMINISTIC size_t DecodeColumn(const uint8_t* data, size_t size,
+                                       size_t n, uint64_t* out);
 
 /// Streaming block-at-a-time decoder over one encoded column; the spill
 /// merge holds one cursor per run so at most kBlockRows decoded values per
@@ -66,8 +70,9 @@ class ColumnCursor {
 
   /// Decodes the next block (up to kBlockRows values) into `out`, which
   /// must hold kBlockRows entries. Returns the decoded count; 0 when the
-  /// column is exhausted or the input is malformed.
-  size_t NextBlock(uint64_t* out);
+  /// column is exhausted or the input is malformed. MWSJ_ALLOC_FREE: runs
+  /// once per block inside the k-way merge; decodes into caller storage.
+  MWSJ_ALLOC_FREE size_t NextBlock(uint64_t* out);
 
  private:
   const uint8_t* data_ = nullptr;
@@ -79,8 +84,9 @@ class ColumnCursor {
 /// A frame bundles `cols` parallel columns of `rows` values each — one
 /// spilled sorted run. Layout: [u32 cols][u64 rows][u64 byte-length × cols]
 /// [column payloads]. All integers little-endian.
-void EncodeFrame(const uint64_t* const* columns, size_t cols, size_t rows,
-                 std::vector<uint8_t>* out);
+MWSJ_DETERMINISTIC void EncodeFrame(const uint64_t* const* columns,
+                                    size_t cols, size_t rows,
+                                    std::vector<uint8_t>* out);
 
 /// Row-synchronized streaming reader over a frame: NextBlock advances every
 /// column by the same count, so callers reassemble whole records.
@@ -97,7 +103,8 @@ class FrameReader {
   /// column-major with stride kBlockRows (column c's values land at
   /// out[c * kBlockRows ...]). `out` must hold cols() * kBlockRows entries.
   /// Returns the row count; 0 at end of frame or on malformed payload.
-  size_t NextBlock(uint64_t* out);
+  /// MWSJ_ALLOC_FREE: advances the per-column cursors into caller storage.
+  MWSJ_ALLOC_FREE size_t NextBlock(uint64_t* out);
 
  private:
   size_t rows_ = 0;

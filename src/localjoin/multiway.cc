@@ -1,9 +1,8 @@
-// mwsj-lint: hot-path
-// mwsj-lint: alloc-free
-//
 // The multiway binding recursion is the innermost loop of every reducer:
 // emits are templated (no std::function per candidate) and probes reuse
-// BindScratch, so this file must stay free of both.
+// BindScratch. Build-time code below may allocate; the probe path is held
+// allocation-free by tools/mwsj_check.py alloc-free-reach rooted at the
+// MWSJ_ALLOC_FREE Execute annotation in multiway.h.
 #include "localjoin/multiway.h"
 
 #include <algorithm>

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "common/effects.h"
 #include "geometry/rect.h"
 #include "localjoin/rtree.h"
 #include "query/query.h"
@@ -44,6 +45,8 @@ class MultiwayLocalJoin {
   /// Type-erased emit signature, kept for call sites that store the
   /// callback; Execute itself is templated so lambdas dispatch statically
   /// in the recursion (no std::function call per candidate).
+  // mwsj-lint: allow(hot-path-std-function) -- type-erased storage for
+  // callers that hold a callback; never invoked inside the Bind recursion.
   using EmitFn = std::function<void(const std::vector<const LocalRect*>&)>;
 
   /// Runs the join. `emit` receives one pointer per relation (indexed by
@@ -51,14 +54,23 @@ class MultiwayLocalJoin {
   /// per-depth buffers live in a scratch owned by this call, so the steady
   /// state allocates only when a depth's candidate list outgrows its
   /// previous high-water mark.
+  ///
+  /// MWSJ_ALLOC_FREE: the binding recursion is every reducer's innermost
+  /// loop; per-candidate work must not allocate (bench/micro_localjoin.cc
+  /// pins allocs_per_probe == 0). MWSJ_DETERMINISTIC: candidate visit order
+  /// — and therefore the emit stream — is part of the byte-identity
+  /// contract across platforms and kernel ISAs.
   template <typename Emit>
-  void Execute(const Emit& emit) const {
+  MWSJ_ALLOC_FREE MWSJ_DETERMINISTIC void Execute(const Emit& emit) const {
     for (const auto& relation : relations_) {
       if (relation.empty()) return;  // No full assignment can exist.
     }
     BindScratch scratch;
+    // mwsj-check: allow(alloc-free-reach): once-per-Execute scratch setup,
+    // not per-candidate work; the recursion below reuses these buffers.
     scratch.assignment.assign(static_cast<size_t>(query_.num_relations()),
                               nullptr);
+    // mwsj-check: allow(alloc-free-reach): same once-per-Execute setup.
     scratch.candidates.resize(order_.size());
     Bind(0, scratch, emit);
   }
@@ -139,6 +151,8 @@ class MultiwayLocalJoin {
       }
       std::vector<int32_t>& candidates = scratch.candidates[depth];
       if (candidates.size() < soa.size()) {
+        // mwsj-check: allow(alloc-free-reach): grows to the relation's
+        // high-water size once, then every probe reuses the buffer.
         candidates.resize(soa.size());
       }
       // int32_t and uint32_t may alias (signed/unsigned of one type), and

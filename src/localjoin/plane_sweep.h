@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/effects.h"
 #include "geometry/rect.h"
 #include "query/predicate.h"
 
@@ -17,9 +18,14 @@ namespace mwsj {
 ///
 /// For range predicates the sweep window on x is widened by the distance
 /// parameter; candidates are confirmed with the exact Euclidean test.
-void PlaneSweepJoin(const std::vector<Rect>& a, const std::vector<Rect>& b,
-                    const Predicate& predicate,
-                    const std::function<void(int32_t, int32_t)>& emit);
+///
+/// MWSJ_DETERMINISTIC: pair emission order is fixed by the total event
+/// order (unique payload tie-break), so the emit stream is byte-identical
+/// across platforms and kernel ISAs.
+MWSJ_DETERMINISTIC void PlaneSweepJoin(
+    const std::vector<Rect>& a, const std::vector<Rect>& b,
+    const Predicate& predicate,
+    const std::function<void(int32_t, int32_t)>& emit);
 
 }  // namespace mwsj
 

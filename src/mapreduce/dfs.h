@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/effects.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -42,10 +43,10 @@ class Dfs {
   /// InvalidArgument on a null `records` pointer instead of crashing the
   /// simulated DFS.
   template <typename T>
-  Status Write(const std::string& name,
-               std::shared_ptr<const std::vector<T>> records,
-               int64_t record_bytes = sizeof(T), int64_t total_bytes = -1)
-      EXCLUDES(mu_) {
+  MWSJ_BLOCKING Status Write(const std::string& name,
+                             std::shared_ptr<const std::vector<T>> records,
+                             int64_t record_bytes = sizeof(T),
+                             int64_t total_bytes = -1) EXCLUDES(mu_) {
     if (records == nullptr) {
       return Status::InvalidArgument("null record vector for dataset '" +
                                      name + "'");
@@ -64,7 +65,7 @@ class Dfs {
   /// Returns NotFound / FailedPrecondition on missing name or type
   /// mismatch.
   template <typename T>
-  StatusOr<std::shared_ptr<const std::vector<T>>> Read(
+  MWSJ_BLOCKING StatusOr<std::shared_ptr<const std::vector<T>>> Read(
       const std::string& name) EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     auto it = datasets_.find(name);
@@ -139,7 +140,8 @@ class Dfs {
 
   /// Installs a staged entry, charging its write cost. Only DfsStage
   /// (i.e. a successful attempt's Commit) reaches this.
-  void CommitEntry(const std::string& name, Entry e) EXCLUDES(mu_) {
+  MWSJ_BLOCKING void CommitEntry(const std::string& name, Entry e)
+      EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     InstallLocked(name, std::move(e));
   }
@@ -205,8 +207,10 @@ class DfsStage {
     return Status::OK();
   }
 
-  /// Publishes every staged write to the Dfs in write order.
-  void Commit() {
+  /// Publishes every staged write to the Dfs in write order. The
+  /// sanctioned spill-flush exit from map/reduce tasks: blocking-reach
+  /// traversals stop here rather than flagging the Dfs locks behind it.
+  MWSJ_BLOCKING_OK void Commit() {
     for (auto& [name, e] : staged_) dfs_->CommitEntry(name, std::move(e));
     staged_.clear();
     staged_records_ = 0;

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/effects.h"
 #include "common/execution_context.h"
 #include "common/mutex.h"
 #include "common/stopwatch.h"
@@ -106,7 +107,9 @@ class MapReduceJob {
         : pairs_(pairs), route_(route), partition_(partition),
           value_size_(value_size), job_name_(job_name),
           num_reducers_(num_reducers), counters_(counters), job_id_(job_id) {}
-    void Emit(K key, V value) {
+    /// MWSJ_DETERMINISTIC: the emit stream is the byte-identity contract —
+    /// everything transitively feeding it must be order-deterministic.
+    MWSJ_DETERMINISTIC void Emit(K key, V value) {
       const int r = (*partition_)(key);
       // An out-of-range partition result would corrupt the counting sort
       // out of bounds; fail fast with the job and key instead. With many
@@ -125,7 +128,11 @@ class MapReduceJob {
         std::abort();
       }
       bytes_ += (*value_size_)(value);
+      // mwsj-check: allow(alloc-free-reach): emit buffers are pre-reserved
+      // per attempt and budget-tracked; amortized growth here is the
+      // engine's charge, not the allocation-free kernel caller's.
       route_->push_back(static_cast<uint32_t>(r));
+      // mwsj-check: allow(alloc-free-reach): same pre-reserved emit buffer.
       pairs_->emplace_back(std::move(key), std::move(value));
     }
 
@@ -155,7 +162,14 @@ class MapReduceJob {
    public:
     OutEmitter(std::vector<Out>* sink, std::map<std::string, int64_t>* counters)
         : sink_(sink), counters_(counters) {}
-    void Emit(Out record) { sink_->push_back(std::move(record)); }
+    /// MWSJ_DETERMINISTIC: reducer output order is part of the
+    /// byte-identity contract (see Emitter::Emit).
+    MWSJ_DETERMINISTIC void Emit(Out record) {
+      // mwsj-check: allow(alloc-free-reach): the output sink is the
+      // engine's budgeted buffer; growth is the job's charge, not the
+      // reduce kernel's.
+      sink_->push_back(std::move(record));
+    }
 
     /// Adds to a user counter, attempt-locally (see Emitter).
     void IncrementCounter(const std::string& name, int64_t delta) {
@@ -223,8 +237,15 @@ class MapReduceJob {
   /// span carries a "job" arg, JobStats records the id, and DFS part files
   /// are staged under a per-job `job-<id>/` prefix so concurrent jobs with
   /// the same job name never collide.
-  JobStats Run(std::span<const In> input, std::vector<Out>* output,
-               const ExecutionContext& ctx = ExecutionContext());
+  ///
+  /// MWSJ_BLOCKING_OK: the driver is the one sanctioned blocking scope —
+  /// it forks/join task batches, simulates straggler delays, and commits
+  /// DFS stages. blocking-reach traversals stop here instead of flagging
+  /// the orchestration beneath it.
+  MWSJ_BLOCKING_OK JobStats Run(std::span<const In> input,
+                                std::vector<Out>* output,
+                                const ExecutionContext& ctx =
+                                    ExecutionContext());
 
  private:
   /// Folds a committed attempt's counter deltas into the job counters.
@@ -444,6 +465,11 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
               1, shard.bucket_bytes[r]);
         }
       };
+      // Column staging shared by every bucket of every flush attempt below
+      // (including flaky-I/O retries and speculative duplicate flushes):
+      // grows to the largest bucket once instead of reallocating a
+      // bucket-sized vector per EncodeRun call.
+      std::vector<uint64_t> encode_scratch;
       auto stage_runs = [&](DfsStage& stage, size_t bucket_limit) {
         int64_t runs = 0;
         for (size_t r = 0; r < bucket_limit; ++r) {
@@ -452,7 +478,8 @@ JobStats MapReduceJob<In, K, V, Out>::Run(std::span<const In> input,
           if (hi == lo) continue;
           if constexpr (spill::kEncodable<K, V>) {
             auto bytes = std::make_shared<std::vector<uint8_t>>();
-            spill::EncodeRun(shard.pairs.data() + lo, hi - lo, bytes.get());
+            spill::EncodeRun(shard.pairs.data() + lo, hi - lo,
+                             &encode_scratch, bytes.get());
             const int64_t encoded = static_cast<int64_t>(bytes->size());
             // A tiny run can encode *larger* than its raw bytes (frame and
             // block headers dominate a handful of rows); store whichever

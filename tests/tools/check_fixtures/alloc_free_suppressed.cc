@@ -1,0 +1,18 @@
+// Golden fixture: an alloc-free-reach hit silenced by a justified
+// multi-line `mwsj-check: allow(...)` comment block — the amortized-scratch
+// idiom the real tree uses (rtree.cc, transform.cc).
+#include <vector>
+
+#include "common/effects.h"
+
+namespace fx {
+
+MWSJ_ALLOC_FREE void Gather(std::vector<int>* out, int n) {
+  for (int i = 0; i < n; ++i) {
+    // mwsj-check: allow(alloc-free-reach): caller-owned buffer grows to
+    // its high-water size once, then is reused across calls.
+    out->push_back(i);
+  }
+}
+
+}  // namespace fx

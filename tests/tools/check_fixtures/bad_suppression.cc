@@ -1,0 +1,10 @@
+// Golden fixture: violates bad-suppression — the allow names a rule id the
+// analyzer does not know, so it must be reported instead of honored.
+#include "common/effects.h"
+
+namespace fx {
+
+// mwsj-check: allow(made-up-rule): this id does not exist.
+int Identity(int v) { return v; }
+
+}  // namespace fx

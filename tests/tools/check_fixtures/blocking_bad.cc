@@ -1,0 +1,18 @@
+// Golden fixture: violates blocking-reach. The annotated kernel calls into
+// a declared-MWSJ_BLOCKING member through a typed receiver; there is no
+// MWSJ_BLOCKING_OK barrier on the path.
+#include "common/effects.h"
+
+namespace fx {
+
+class Channel {
+ public:
+  MWSJ_BLOCKING void WaitDrained();
+};
+
+MWSJ_ALLOC_FREE int DrainAndCount(Channel* ch, int n) {
+  ch->WaitDrained();
+  return n;
+}
+
+}  // namespace fx

@@ -1,0 +1,18 @@
+// Golden fixture: clean under blocking-reach. The blocking flush is only
+// reachable through an MWSJ_BLOCKING_OK barrier (the sanctioned commit
+// scope), so the traversal stops there instead of flagging it.
+#include "common/effects.h"
+
+namespace fx {
+
+class Stage {
+ public:
+  MWSJ_BLOCKING_OK void Commit();
+  MWSJ_BLOCKING void Flush();
+};
+
+void Stage::Commit() { Flush(); }
+
+MWSJ_DETERMINISTIC void Finish(Stage* stage) { stage->Commit(); }
+
+}  // namespace fx

@@ -1,0 +1,18 @@
+// Golden fixture: a blocking-reach hit silenced by a justified allow on the
+// comment block above the call site.
+#include "common/effects.h"
+
+namespace fx {
+
+class Pool {
+ public:
+  MWSJ_BLOCKING void Join();
+};
+
+MWSJ_ALLOC_FREE void Tick(Pool* pool) {
+  // mwsj-check: allow(blocking-reach): the epoch tick runs on the driver
+  // thread at most once per job; the join is bounded by construction.
+  pool->Join();
+}
+
+}  // namespace fx

@@ -1,0 +1,26 @@
+// Golden fixture: violates emit-determinism. The annotated root never
+// touches an unordered container itself — the hash-order iteration sits in
+// the helper it calls, so only the reachability walk can connect them.
+#include <unordered_map>
+
+#include "common/effects.h"
+
+namespace fx {
+
+struct Histogram {
+  std::unordered_map<long, long> counts;
+};
+
+void FlushCounts(const std::unordered_map<long, long>& counts,
+                 void (*emit)(long, long)) {
+  for (const auto& kv : counts) {
+    emit(kv.first, kv.second);
+  }
+}
+
+MWSJ_DETERMINISTIC void EmitHistogram(const Histogram& h,
+                                      void (*emit)(long, long)) {
+  FlushCounts(h.counts, emit);
+}
+
+}  // namespace fx

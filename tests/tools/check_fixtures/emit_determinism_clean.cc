@@ -1,0 +1,17 @@
+// Golden fixture: clean under emit-determinism. Ordered-map iteration is a
+// total, platform-independent order, so feeding it to the emit stream is
+// exactly what the annotation promises.
+#include <map>
+
+#include "common/effects.h"
+
+namespace fx {
+
+MWSJ_DETERMINISTIC void EmitSorted(const std::map<long, long>& counts,
+                                   void (*emit)(long, long)) {
+  for (const auto& kv : counts) {
+    emit(kv.first, kv.second);
+  }
+}
+
+}  // namespace fx

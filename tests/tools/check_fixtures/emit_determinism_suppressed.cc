@@ -1,0 +1,16 @@
+// Golden fixture: an emit-determinism hit silenced by a justified allow in
+// the comment block directly above the flagged line.
+#include <unordered_map>
+
+#include "common/effects.h"
+
+namespace fx {
+
+// mwsj-check: allow(emit-determinism): the tally is emitted as one
+// aggregate count; unordered iteration order never reaches the stream.
+MWSJ_DETERMINISTIC void EmitTally(const std::unordered_map<long, long>& t,
+                                  void (*emit)(long, long)) {
+  emit(0, static_cast<long>(t.size()));
+}
+
+}  // namespace fx

@@ -1,0 +1,24 @@
+// Golden fixture: violates lock-order. Credit acquires accounts_mu_ then
+// audit_mu_; Audit acquires them in the reverse order — a two-lock cycle in
+// the acquisition graph, the classic AB/BA deadlock shape.
+#include "common/mutex.h"
+
+namespace fx {
+
+class Ledger {
+ public:
+  void Credit() {
+    MutexLock accounts(&accounts_mu_);
+    MutexLock audit(&audit_mu_);
+  }
+  void Audit() {
+    MutexLock audit(&audit_mu_);
+    MutexLock accounts(&accounts_mu_);
+  }
+
+ private:
+  Mutex accounts_mu_;
+  Mutex audit_mu_;
+};
+
+}  // namespace fx

@@ -1,0 +1,25 @@
+// Golden fixture: clean under lock-order. Both paths acquire head_mu_
+// before tail_mu_ — including the path where tail_mu_ is taken by a callee
+// while head_mu_ is held, which exercises the transitive acquires() set.
+#include "common/mutex.h"
+
+namespace fx {
+
+class Journal {
+ public:
+  void Append() {
+    MutexLock head(&head_mu_);
+    MutexLock tail(&tail_mu_);
+  }
+  void Rotate() {
+    MutexLock head(&head_mu_);
+    Seal();
+  }
+  void Seal() { MutexLock tail(&tail_mu_); }
+
+ private:
+  Mutex head_mu_;
+  Mutex tail_mu_;
+};
+
+}  // namespace fx

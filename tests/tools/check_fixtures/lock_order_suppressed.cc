@@ -1,0 +1,25 @@
+// Golden fixture: a lock-order cycle silenced by a justified allow at the
+// edge the analyzer reports (the first acquisition-while-holding site).
+#include "common/mutex.h"
+
+namespace fx {
+
+class Registry {
+ public:
+  void Bind() {
+    MutexLock names(&names_mu_);
+    // mwsj-check: allow(lock-order): the reverse order in Unbind is dead
+    // code behind a migration flag and is tracked for removal.
+    MutexLock ids(&ids_mu_);
+  }
+  void Unbind() {
+    MutexLock ids(&ids_mu_);
+    MutexLock names(&names_mu_);
+  }
+
+ private:
+  Mutex names_mu_;
+  Mutex ids_mu_;
+};
+
+}  // namespace fx

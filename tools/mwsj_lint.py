@@ -25,6 +25,12 @@ File markers (anywhere in the file, conventionally the header comment):
     // mwsj-lint: alloc-free      enables rule alloc-in-alloc-free
     // mwsj-lint: spill-budgeted  enables rule spill-unbounded
 
+hot-path-std-function also applies to any file declaring MWSJ_ALLOC_FREE
+functions (common/effects.h). The hot-path/alloc-free rules are textual
+pre-checks for the annotation layer: the call-graph-aware analysis
+(allocation reachability, emit determinism, blocking reachability, lock
+order) is tools/mwsj_check.py, which runs off compile_commands.json in CI.
+
 Exit status: 0 when clean, 1 when violations were found, 2 on usage error.
 
 The rule table lives in tools/mwsj_lint_rules.md; keep both in sync.
@@ -164,6 +170,14 @@ def is_suppressed(f: SourceFile, line_idx: int, rule: str) -> bool:
     for idx in (line_idx, line_idx - 1):
         if idx in f.allows and rule in f.allows[idx]:
             return True
+    # A multi-line justification puts the allow(...) head several lines up;
+    # honor it across the contiguous //-comment block directly above the
+    # violating line (same grammar as tools/mwsj_check.py).
+    idx = line_idx - 1
+    while 0 <= idx < len(f.raw) and f.raw[idx].lstrip().startswith("//"):
+        if idx in f.allows and rule in f.allows[idx]:
+            return True
+        idx -= 1
     return False
 
 
@@ -275,22 +289,29 @@ def rule_unordered_emit(f: SourceFile):
     return out
 
 
-def rule_hot_path(f: SourceFile):
-    """hot-path-std-function: no std::function in files marked hot-path.
+ALLOC_FREE_ANNOTATION_RE = re.compile(r"\bMWSJ_ALLOC_FREE\b")
 
-    A `// mwsj-lint: hot-path` marker declares that every call in the file
-    sits on a per-candidate/per-tuple path where std::function's type
+
+def rule_hot_path(f: SourceFile):
+    """hot-path-std-function: no std::function near alloc-free kernels.
+
+    Applies to files carrying the legacy `// mwsj-lint: hot-path` marker or
+    declaring MWSJ_ALLOC_FREE functions (common/effects.h): both say calls
+    there sit on a per-candidate/per-tuple path where std::function's type
     erasure (indirect call + possible allocation) is measurable; use
-    templates or function pointers (see localjoin/multiway.cc's templated
-    emit).
+    templates or function pointers (see localjoin/multiway.h's templated
+    emit). This is a cheap textual pre-check — the call-graph-aware
+    allocation analysis behind the annotations is tools/mwsj_check.py
+    alloc-free-reach, which this rule defers to instead of duplicating.
     """
-    if "hot-path" not in f.markers:
+    if "hot-path" not in f.markers and not any(
+            ALLOC_FREE_ANNOTATION_RE.search(line) for line in f.code):
         return []
     out = []
     for idx, line in enumerate(f.code):
         if re.search(r"std::function\b", line):
-            out.append((idx, "std::function in a file marked "
-                             "'mwsj-lint: hot-path'; use a template "
+            out.append((idx, "std::function in a hot-path file (marker or "
+                             "MWSJ_ALLOC_FREE annotations); use a template "
                              "parameter or function pointer"))
     return out
 
@@ -330,6 +351,13 @@ def rule_alloc_free(f: SourceFile):
     (allocs_per_probe == 0): per-call heap allocation is forbidden. Naked
     `new` and the malloc family are rejected; owned containers obtained
     from caller-provided scratch are the sanctioned pattern.
+
+    Legacy-marker pre-check only: kernels that migrated to function-level
+    MWSJ_ALLOC_FREE annotations (common/effects.h) are enforced — including
+    container growth and everything transitively reachable — by
+    tools/mwsj_check.py alloc-free-reach, so this rule deliberately does
+    not fire on annotations (no duplicate diagnostics). Prefer annotations
+    over the file marker in new code.
     """
     if "alloc-free" not in f.markers:
         return []
